@@ -1,0 +1,88 @@
+// Command kddbench is the closed-loop FIO-style benchmark (paper §IV-B3):
+// a Zipfian (α=1.0001) workload issued back-to-back by a fixed thread
+// pool against the timing stack, sweeping read rates like Figures 10/11.
+//
+// Example:
+//
+//	kddbench -policy KDD -readrate 0.25 -scale 0.05
+//	kddbench -sweep -scale 0.02        # all policies × read rates
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kddcache/internal/harness"
+	"kddcache/internal/sim"
+	"kddcache/internal/workload"
+)
+
+func main() {
+	var (
+		policy   = flag.String("policy", "KDD", "policy: Nossd,WT,WA,LeavO,KDD,WB,NVB,PLog")
+		locality = flag.Float64("locality", 0.25, "KDD mean delta compression ratio")
+		readRate = flag.Float64("readrate", 0.25, "fraction of reads in [0,1]")
+		scale    = flag.Float64("scale", 0.05, "working-set/request scale factor")
+		threads  = flag.Int("threads", 16, "closed-loop thread count")
+		sweep    = flag.Bool("sweep", false, "run the full Figure 10/11 sweep instead of one point")
+	)
+	flag.Parse()
+
+	if *sweep {
+		out10, _, err := harness.Fig10(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		out11, _, err := harness.Fig11(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out10)
+		fmt.Print(out11)
+		return
+	}
+
+	spec := workload.DefaultFIO(*readRate).Scale(*scale)
+	spec.Threads = *threads
+	cachePages := int64(262144 * *scale)
+	if cachePages < 256 {
+		cachePages = 256
+	}
+	cachePages -= cachePages % 256
+	diskPages := spec.WorkingSetPages/2 + 8192
+	diskPages -= diskPages % 16
+
+	st, err := harness.Build(harness.StackOpts{
+		Policy:     harness.PolicyKind(*policy),
+		DeltaMean:  *locality,
+		CachePages: cachePages,
+		DiskPages:  diskPages,
+		Timing:     true,
+		Seed:       7,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	r, err := harness.RunClosedLoop(st, spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("policy        : %s\n", st.Policy.Name())
+	fmt.Printf("read rate     : %.0f%%  threads: %d  requests: %d\n",
+		*readRate*100, spec.Threads, spec.TotalPages)
+	fmt.Printf("mean response : %.3f ms\n", r.MeanResponseMs())
+	fmt.Printf("p95 / p99     : %.3f / %.3f ms\n",
+		float64(r.Latency.Percentile(95))/float64(sim.Millisecond),
+		float64(r.Latency.Percentile(99))/float64(sim.Millisecond))
+	fmt.Printf("throughput    : %.0f IOPS (virtual)\n",
+		float64(spec.TotalPages)/r.Duration.Seconds())
+	c := st.Policy.Stats()
+	fmt.Printf("hit ratio     : %.4f\n", c.HitRatio())
+	fmt.Printf("SSD writes    : %d pages\n", c.SSDWrites())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kddbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,125 @@
+// Command kddfigs regenerates the paper's complete evaluation — every
+// table, figure, ablation and extension experiment — writing the text
+// tables (and CSV series where available) into a directory. Experiments
+// are independent and run on a worker pool (-j).
+//
+//	kddfigs -scale 0.02 -o results/ -j 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"kddcache/internal/stats"
+
+	kddcache "kddcache"
+)
+
+// result carries one experiment's output back to the writer.
+type result struct {
+	name string
+	text string
+	err  error
+	took time.Duration
+}
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.02, "experiment scale factor (1.0 = paper-sized)")
+		out     = flag.String("o", "results", "output directory")
+		only    = flag.String("only", "", "name prefix filter, e.g. 'fig' or 'ablation'")
+		workers = flag.Int("j", runtime.NumCPU()/2+1, "parallel experiments")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	var names []string
+	for n := range kddcache.Experiments {
+		if *only == "" || strings.HasPrefix(n, *only) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no experiments match prefix %q", *only))
+	}
+	if *workers < 1 {
+		*workers = 1
+	}
+
+	jobs := make(chan string)
+	results := make(map[string]result, len(names))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range jobs {
+				start := time.Now()
+				text, err := kddcache.RunExperiment(name, *scale)
+				mu.Lock()
+				results[name] = result{name: name, text: text, err: err, took: time.Since(start)}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, n := range names {
+		jobs <- n
+	}
+	close(jobs)
+	wg.Wait()
+
+	summary, err := os.Create(filepath.Join(*out, "ALL.txt"))
+	if err != nil {
+		fatal(err)
+	}
+	defer summary.Close()
+	fmt.Fprintf(summary, "kddcache evaluation — scale %.4g — generated %s\n\n",
+		*scale, time.Now().Format(time.RFC3339))
+
+	failed := 0
+	for _, name := range names {
+		r := results[name]
+		if r.err != nil {
+			failed++
+			fmt.Printf("%-22s FAILED: %v\n", name, r.err)
+			fmt.Fprintf(summary, "== %s FAILED: %v ==\n\n", name, r.err)
+			continue
+		}
+		fmt.Printf("%-22s %6.1fs\n", name, r.took.Seconds())
+		if err := os.WriteFile(filepath.Join(*out, name+".txt"), []byte(r.text), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(summary, r.text+"\n")
+
+		if sf, ok := kddcache.SeriesExperiments[name]; ok {
+			if xName, series, err := sf(*scale); err == nil {
+				f, err := os.Create(filepath.Join(*out, name+".csv"))
+				if err != nil {
+					fatal(err)
+				}
+				stats.WriteCSV(f, xName, series) //nolint:errcheck // best-effort export
+				f.Close()
+			}
+		}
+	}
+	fmt.Printf("results in %s/ (ALL.txt has everything)\n", *out)
+	if failed > 0 {
+		fatal(fmt.Errorf("%d experiment(s) failed", failed))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kddfigs:", err)
+	os.Exit(1)
+}

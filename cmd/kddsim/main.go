@@ -1,0 +1,167 @@
+// Command kddsim is the trace-driven cache simulator (paper §IV-A): it
+// replays a workload through a chosen caching policy over a null-latency
+// RAID-5 and reports hit ratios and SSD write traffic, or regenerates a
+// whole figure/table of the paper when -experiment is given.
+//
+// Examples:
+//
+//	kddsim -experiment fig6 -scale 0.02
+//	kddsim -workload Fin1 -policy KDD -locality 0.25 -cachefrac 0.2
+//	kddsim -trace mytrace.csv -format spc -policy WT -cachepages 262144
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"kddcache/internal/harness"
+	"kddcache/internal/stats"
+	"kddcache/internal/trace"
+	"kddcache/internal/workload"
+
+	kddcache "kddcache"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "regenerate a paper experiment: table1,fig4..fig11,table2,ablation-*,lifetime (empty: single run)")
+		scale      = flag.Float64("scale", 0.02, "experiment scale factor (1.0 = paper-sized)")
+		wl         = flag.String("workload", "Fin1", "synthetic workload: Fin1,Fin2,Hm0,Web0")
+		policy     = flag.String("policy", "KDD", "policy: Nossd,WT,WA,LeavO,KDD,WB,NVB,PLog")
+		locality   = flag.Float64("locality", 0.25, "KDD mean delta compression ratio (content locality)")
+		cacheFrac  = flag.Float64("cachefrac", 0.2, "cache size as a fraction of the workload footprint")
+		cachePages = flag.Int64("cachepages", 0, "explicit cache size in 4KB pages (overrides -cachefrac)")
+		metaFrac   = flag.Float64("metafrac", 0.0059, "metadata partition share of the SSD")
+		traceFile  = flag.String("trace", "", "replay a trace file instead of a synthetic workload")
+		format     = flag.String("format", "uniform", "trace format: uniform,spc,msr")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		csvOut     = flag.String("csv", "", "with -experiment fig4/9/10/11: also write the series as CSV to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		var names []string
+		for n := range kddcache.Experiments {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+
+	if *experiment != "" {
+		out, err := kddcache.RunExperiment(*experiment, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		if *csvOut != "" {
+			sf, ok := kddcache.SeriesExperiments[*experiment]
+			if !ok {
+				fatal(fmt.Errorf("experiment %q has no series form for CSV export", *experiment))
+			}
+			xName, series, err := sf(*scale)
+			if err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := stats.WriteCSV(f, xName, series); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote series CSV to %s\n", *csvOut)
+		}
+		return
+	}
+
+	tr, spec, err := loadWorkload(*traceFile, *format, *wl, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	pages := *cachePages
+	if pages == 0 {
+		pages = int64(*cacheFrac * float64(spec.UniqueTotal))
+	}
+	if pages < 256 {
+		pages = 256
+	}
+	pages -= pages % 256
+
+	st, err := harness.Build(harness.StackOpts{
+		Policy:     harness.PolicyKind(*policy),
+		DeltaMean:  *locality,
+		CachePages: pages,
+		MetaFrac:   *metaFrac,
+		DiskPages:  diskPagesFor(tr),
+		Seed:       spec.Seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	r, err := harness.RunTrace(st, tr)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := st.Policy.Flush(r.Duration); err != nil {
+		fatal(err)
+	}
+	c := st.Policy.Stats()
+	fmt.Printf("policy      : %s\n", st.Policy.Name())
+	fmt.Printf("trace       : %s (%d requests)\n", tr.Name, len(tr.Requests))
+	fmt.Printf("cache       : %d pages (%.1f MB)\n", pages, float64(pages)*4/1024)
+	fmt.Printf("hit ratio   : %.4f (read %.4f)\n", c.HitRatio(), c.ReadHitRatio())
+	fmt.Printf("SSD writes  : %d pages (fills=%d allocs=%d deltas=%d versions=%d meta=%d gc=%d)\n",
+		c.SSDWrites(), c.ReadFills, c.WriteAllocs, c.DeltaCommits, c.VersionWrite,
+		c.MetaWrites, c.MetaGCWrites)
+	fmt.Printf("RAID ops    : reads=%d writes=%d parityFixes=%d smallWritesSaved=%d\n",
+		c.RAIDReads, c.RAIDWrites, c.ParityUpdates, c.SmallWritesSaved)
+}
+
+func loadWorkload(traceFile, format, wl string, scale float64) (*trace.Trace, workload.Spec, error) {
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, workload.Spec{}, err
+		}
+		defer f.Close()
+		var tr *trace.Trace
+		switch format {
+		case "spc":
+			tr, err = trace.ParseSPC(traceFile, f)
+		case "msr":
+			tr, err = trace.ParseMSR(traceFile, f)
+		case "uniform":
+			tr, err = trace.ParseUniform(traceFile, f)
+		default:
+			return nil, workload.Spec{}, fmt.Errorf("unknown format %q", format)
+		}
+		if err != nil {
+			return nil, workload.Spec{}, err
+		}
+		st := tr.Stats()
+		return tr, workload.Spec{Name: traceFile, UniqueTotal: st.UniqueTotal, Seed: 1}, nil
+	}
+	for _, spec := range workload.TableI() {
+		if strings.EqualFold(spec.Name, wl) {
+			s := spec.Scale(scale)
+			return workload.Synthesize(s), s, nil
+		}
+	}
+	return nil, workload.Spec{}, fmt.Errorf("unknown workload %q", wl)
+}
+
+func diskPagesFor(tr *trace.Trace) int64 {
+	p := tr.MaxLBA()/4 + 8192
+	return p - p%16
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kddsim:", err)
+	os.Exit(1)
+}

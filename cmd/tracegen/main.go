@@ -1,0 +1,88 @@
+// Command tracegen synthesises the Table I workloads (or any custom
+// footprint) into uniform-format trace files that kddsim/kddreplay can
+// replay.
+//
+// Example:
+//
+//	tracegen -workload Hm0 -scale 0.01 -o hm0.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kddcache/internal/trace"
+	"kddcache/internal/workload"
+)
+
+func main() {
+	var (
+		wl    = flag.String("workload", "Fin1", "workload: Fin1,Fin2,Hm0,Web0 or 'custom'")
+		scale = flag.Float64("scale", 0.01, "scale factor vs the paper's trace")
+		out   = flag.String("o", "", "output file (default stdout)")
+
+		// Custom workload knobs.
+		unique    = flag.Int64("unique", 100000, "custom: unique pages")
+		reads     = flag.Int64("reads", 200000, "custom: read request pages")
+		writes    = flag.Int64("writes", 200000, "custom: write request pages")
+		theta     = flag.Float64("theta", 0.9, "custom: Zipf exponent")
+		iops      = flag.Float64("iops", 500, "custom: mean arrival rate")
+		seed      = flag.Uint64("seed", 42, "custom: RNG seed")
+		statsOnly = flag.Bool("stats", false, "print Table-I-style stats instead of the trace")
+	)
+	flag.Parse()
+
+	var spec workload.Spec
+	if strings.EqualFold(*wl, "custom") {
+		spec = workload.Spec{
+			Name: "custom", UniqueTotal: *unique,
+			UniqueRead: *unique * 6 / 10, UniqueWrite: *unique * 6 / 10,
+			ReadPages: *reads, WritePages: *writes,
+			Theta: *theta, MeanIOPS: *iops, Seed: *seed,
+		}
+	} else {
+		found := false
+		for _, s := range workload.TableI() {
+			if strings.EqualFold(s.Name, *wl) {
+				spec = s.Scale(*scale)
+				found = true
+				break
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("unknown workload %q", *wl))
+		}
+	}
+
+	tr := workload.Synthesize(spec)
+	if *statsOnly {
+		s := tr.Stats()
+		fmt.Printf("name=%s unique=%d uniqueRead=%d uniqueWrite=%d reads=%d writes=%d readRatio=%.2f duration=%v\n",
+			tr.Name, s.UniqueTotal, s.UniqueRead, s.UniqueWrite,
+			s.ReadPages, s.WritePages, s.ReadRatio, s.Duration)
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteUniform(w, tr); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d requests to %s\n", len(tr.Requests), *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

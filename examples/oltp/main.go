@@ -1,0 +1,73 @@
+// OLTP: replay a Fin1-like financial workload (the paper's write-dominant
+// OLTP trace) through every caching policy and compare hit ratios, SSD
+// write traffic, and the implied SSD lifetime — a miniature of the
+// paper's Figures 5/6 headline comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kddcache/internal/harness"
+	"kddcache/internal/stats"
+	"kddcache/internal/workload"
+)
+
+func main() {
+	// A 1/100-scale Fin1: ~70k requests over a ~10k-page footprint.
+	spec := workload.Fin1.Scale(0.01)
+	tr := workload.Synthesize(spec)
+	fmt.Printf("workload %s: %d requests, %d unique pages, read ratio %.2f\n\n",
+		spec.Name, len(tr.Requests), spec.UniqueTotal, spec.ReadRatio())
+
+	cachePages := int64(0.2 * float64(spec.UniqueTotal))
+	cachePages -= cachePages % 256
+	diskPages := spec.UniqueTotal/4 + 8192
+	diskPages -= diskPages % 16
+
+	fmt.Printf("%-10s %10s %14s %12s %14s\n",
+		"policy", "hit ratio", "SSD writes", "vs WT", "lifetime vs WT")
+	var wtWrites int64
+	for _, po := range []struct {
+		kind  harness.PolicyKind
+		delta float64
+		label string
+	}{
+		{harness.PolicyWA, 0, "WA"},
+		{harness.PolicyWT, 0, "WT"},
+		{harness.PolicyLeavO, 0, "LeavO"},
+		{harness.PolicyKDD, 0.50, "KDD-50%"},
+		{harness.PolicyKDD, 0.25, "KDD-25%"},
+		{harness.PolicyKDD, 0.12, "KDD-12%"},
+	} {
+		st, err := harness.Build(harness.StackOpts{
+			Policy: po.kind, DeltaMean: po.delta,
+			CachePages: cachePages, DiskPages: diskPages, Seed: spec.Seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := harness.RunTrace(st, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := st.Policy.Flush(r.Duration); err != nil {
+			log.Fatal(err)
+		}
+		c := st.Policy.Stats()
+		if po.label == "WT" {
+			wtWrites = c.SSDWrites()
+		}
+		vs := "-"
+		life := "-"
+		if wtWrites > 0 && po.label != "WT" {
+			vs = fmt.Sprintf("%+.1f%%", 100*(float64(c.SSDWrites())/float64(wtWrites)-1))
+			life = fmt.Sprintf("%.2fx", stats.Improvement(wtWrites, c.SSDWrites()))
+		}
+		fmt.Printf("%-10s %10.4f %14d %12s %14s\n",
+			po.label, c.HitRatio(), c.SSDWrites(), vs, life)
+	}
+
+	fmt.Println("\nKDD trades a small hit-ratio loss vs WT for a large cut in flash wear;")
+	fmt.Println("stronger content locality (smaller deltas) widens the gap — Figure 6's shape.")
+}

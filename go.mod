@@ -1,0 +1,3 @@
+module kddcache
+
+go 1.22

@@ -1,0 +1,176 @@
+package blockdev
+
+import (
+	"sync/atomic"
+
+	"kddcache/internal/sim"
+)
+
+// FaultDevice wraps a Device and injects failures: once Fail is called,
+// every subsequent operation returns ErrFailed. This models whole-device
+// loss (SSD failure, HDD failure) in the paper's §III-E recovery scenarios.
+type FaultDevice struct {
+	Inner  Device
+	failed atomic.Bool
+
+	// FailAfterOps, if > 0, fails the device automatically after that many
+	// operations have been issued (for deterministic mid-workload faults).
+	FailAfterOps int64
+	ops          atomic.Int64
+}
+
+// NewFaultDevice wraps inner.
+func NewFaultDevice(inner Device) *FaultDevice {
+	return &FaultDevice{Inner: inner}
+}
+
+// Fail marks the device failed.
+func (f *FaultDevice) Fail() { f.failed.Store(true) }
+
+// Repair replaces the device with a fresh (zeroed) one of the same size;
+// the caller is responsible for rebuilding contents (RAID rebuild).
+func (f *FaultDevice) Repair(fresh Device) {
+	f.Inner = fresh
+	f.failed.Store(false)
+	f.ops.Store(0)
+}
+
+// Failed reports whether the device has failed.
+func (f *FaultDevice) Failed() bool { return f.failed.Load() }
+
+func (f *FaultDevice) step() error {
+	if f.failed.Load() {
+		return ErrFailed
+	}
+	n := f.ops.Add(1)
+	if f.FailAfterOps > 0 && n > f.FailAfterOps {
+		f.failed.Store(true)
+		return ErrFailed
+	}
+	return nil
+}
+
+// Name implements Device.
+func (f *FaultDevice) Name() string { return f.Inner.Name() }
+
+// Pages implements Device.
+func (f *FaultDevice) Pages() int64 { return f.Inner.Pages() }
+
+// ReadPages implements Device.
+func (f *FaultDevice) ReadPages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+	if err := f.step(); err != nil {
+		return t, err
+	}
+	return f.Inner.ReadPages(t, lba, count, buf)
+}
+
+// WritePages implements Device.
+func (f *FaultDevice) WritePages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+	if err := f.step(); err != nil {
+		return t, err
+	}
+	return f.Inner.WritePages(t, lba, count, buf)
+}
+
+// TrimPages implements Trimmer when the inner device does.
+func (f *FaultDevice) TrimPages(t sim.Time, lba int64, count int) (sim.Time, error) {
+	if err := f.step(); err != nil {
+		return t, err
+	}
+	if tr, ok := f.Inner.(Trimmer); ok {
+		return tr.TrimPages(t, lba, count)
+	}
+	return t, nil
+}
+
+// NullDevice is a zero-latency device that stores data when constructed
+// with a MemStore, or nothing in timing mode. It is useful in unit tests
+// for layers above the device models.
+type NullDevice struct {
+	name  string
+	pages int64
+	store *MemStore // nil in timing mode
+	// Latency is added to each operation's completion (0 by default).
+	Latency sim.Time
+	reads   atomic.Int64
+	writes  atomic.Int64
+}
+
+// NewNullDevice returns a timing-mode null device.
+func NewNullDevice(name string, pages int64) *NullDevice {
+	return &NullDevice{name: name, pages: pages}
+}
+
+// NewNullDataDevice returns a data-mode null device backed by memory.
+func NewNullDataDevice(name string, pages int64) *NullDevice {
+	return &NullDevice{name: name, pages: pages, store: NewMemStore(pages)}
+}
+
+// Name implements Device.
+func (d *NullDevice) Name() string { return d.name }
+
+// Pages implements Device.
+func (d *NullDevice) Pages() int64 { return d.pages }
+
+// Reads returns the number of read ops issued.
+func (d *NullDevice) Reads() int64 { return d.reads.Load() }
+
+// Writes returns the number of write ops issued.
+func (d *NullDevice) Writes() int64 { return d.writes.Load() }
+
+// Store exposes the backing store (nil in timing mode).
+func (d *NullDevice) Store() *MemStore { return d.store }
+
+// ReadPages implements Device.
+func (d *NullDevice) ReadPages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+	if err := CheckRange(lba, count, d.pages); err != nil {
+		return t, err
+	}
+	if err := CheckBuf(buf, count); err != nil {
+		return t, err
+	}
+	d.reads.Add(1)
+	if d.store != nil && buf != nil {
+		for i := 0; i < count; i++ {
+			d.store.ReadPage(lba+int64(i), buf[i*PageSize:(i+1)*PageSize])
+		}
+	}
+	return t + d.Latency, nil
+}
+
+// WritePages implements Device.
+func (d *NullDevice) WritePages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+	if err := CheckRange(lba, count, d.pages); err != nil {
+		return t, err
+	}
+	if err := CheckBuf(buf, count); err != nil {
+		return t, err
+	}
+	d.writes.Add(1)
+	if d.store != nil && buf != nil {
+		for i := 0; i < count; i++ {
+			d.store.WritePage(lba+int64(i), buf[i*PageSize:(i+1)*PageSize])
+		}
+	}
+	return t + d.Latency, nil
+}
+
+// TrimPages implements Trimmer.
+func (d *NullDevice) TrimPages(t sim.Time, lba int64, count int) (sim.Time, error) {
+	if err := CheckRange(lba, count, d.pages); err != nil {
+		return t, err
+	}
+	if d.store != nil {
+		for i := 0; i < count; i++ {
+			d.store.TrimPage(lba + int64(i))
+		}
+	}
+	return t, nil
+}
+
+var (
+	_ Device  = (*NullDevice)(nil)
+	_ Trimmer = (*NullDevice)(nil)
+	_ Device  = (*FaultDevice)(nil)
+	_ Trimmer = (*FaultDevice)(nil)
+)

@@ -1,0 +1,58 @@
+package blockdev
+
+// MemStore is a sparse in-memory page store used as the backing bytes for
+// data-mode devices. Pages never written read back as all-zero, like a
+// fresh disk.
+type MemStore struct {
+	pages map[int64][]byte
+	cap   int64
+}
+
+// NewMemStore returns a store with the given capacity in pages.
+func NewMemStore(pages int64) *MemStore {
+	return &MemStore{pages: make(map[int64][]byte), cap: pages}
+}
+
+// Pages returns the capacity in pages.
+func (m *MemStore) Pages() int64 { return m.cap }
+
+// ReadPage copies page lba into dst (one page).
+func (m *MemStore) ReadPage(lba int64, dst []byte) {
+	if p, ok := m.pages[lba]; ok {
+		copy(dst, p)
+		return
+	}
+	for i := range dst[:PageSize] {
+		dst[i] = 0
+	}
+}
+
+// WritePage stores one page at lba.
+func (m *MemStore) WritePage(lba int64, src []byte) {
+	p, ok := m.pages[lba]
+	if !ok {
+		p = make([]byte, PageSize)
+		m.pages[lba] = p
+	}
+	copy(p, src[:PageSize])
+}
+
+// TrimPage discards the page at lba; subsequent reads return zeros.
+func (m *MemStore) TrimPage(lba int64) {
+	delete(m.pages, lba)
+}
+
+// Written returns the number of distinct pages currently stored.
+func (m *MemStore) Written() int { return len(m.pages) }
+
+// Clone returns a deep copy (used to snapshot device state for
+// crash-recovery tests).
+func (m *MemStore) Clone() *MemStore {
+	c := NewMemStore(m.cap)
+	for lba, p := range m.pages {
+		cp := make([]byte, PageSize)
+		copy(cp, p)
+		c.pages[lba] = cp
+	}
+	return c
+}

@@ -1,0 +1,360 @@
+// Package cache provides the set-associative SSD-cache frame shared by
+// every policy, and the three baseline policies the paper compares KDD
+// against: write-through (WT), write-around (WA), and LeavO (Lee et al.,
+// SAC'15 — old+new versions with delayed parity).
+//
+// The cache space is divided into sets of a fixed number of page slots;
+// data pages are mapped to sets by hashing their parity stripe so pages
+// of one stripe land together and can be reclaimed together (§III-B).
+// Replacement is LRU over evictable pages within the set.
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"kddcache/internal/blockdev"
+)
+
+// State is a cache slot state. Free/Clean/Old/Delta are the paper's page
+// states (§III-B); New is used by LeavO for the redundant new version of
+// an updated page.
+type State uint8
+
+// Slot states.
+const (
+	Free State = iota
+	Clean
+	Old
+	Delta
+	New
+)
+
+func (s State) String() string {
+	switch s {
+	case Free:
+		return "free"
+	case Clean:
+		return "clean"
+	case Old:
+		return "old"
+	case Delta:
+		return "delta"
+	case New:
+		return "new"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// NoSlot marks the absence of a slot index.
+const NoSlot = int32(-1)
+
+// Slot is one cache page frame.
+type Slot struct {
+	State   State
+	RaidLBA int64 // storage page cached here (valid for Clean/Old/New)
+	LastUse int64 // LRU tick
+}
+
+// Frame is the set-associative slot array with an LBA lookup index.
+// It tracks slot states only; what the bytes mean is up to the policy.
+type Frame struct {
+	ways        int
+	nsets       int
+	dataSets    int // sets available to data pages (== nsets unless fixed-partition)
+	stripePages int64
+	slots       []Slot
+	lookup      map[int64]int32 // RaidLBA -> slot holding its current data
+	tick        int64
+
+	// Per-state population counts, for thresholds and zone stats.
+	counts [5]int64
+	// Per-set Delta-page counts, for KDD's least-loaded DEZ allocation.
+	deltaPerSet []int32
+	// Per-set Free-slot counts, so allocation scans can skip full sets.
+	freePerSet []int32
+}
+
+// NewFrame builds a frame of totalPages slots grouped into sets of `ways`
+// pages. stripePages controls set mapping: LBAs of one parity stripe map
+// to one set. totalPages is rounded down to a multiple of ways.
+func NewFrame(totalPages int64, ways int, stripePages int64) *Frame {
+	if ways < 1 || totalPages < int64(ways) || stripePages < 1 {
+		panic(fmt.Sprintf("cache: bad frame geometry pages=%d ways=%d stripe=%d",
+			totalPages, ways, stripePages))
+	}
+	nsets := int(totalPages / int64(ways))
+	f := &Frame{
+		ways:        ways,
+		nsets:       nsets,
+		dataSets:    nsets,
+		stripePages: stripePages,
+		slots:       make([]Slot, nsets*ways),
+		lookup:      make(map[int64]int32),
+		deltaPerSet: make([]int32, nsets),
+		freePerSet:  make([]int32, nsets),
+	}
+	f.counts[Free] = int64(len(f.slots))
+	for i := range f.freePerSet {
+		f.freePerSet[i] = int32(ways)
+	}
+	return f
+}
+
+// Pages returns the usable cache capacity in pages.
+func (f *Frame) Pages() int64 { return int64(len(f.slots)) }
+
+// Sets returns the number of cache sets.
+func (f *Frame) Sets() int { return f.nsets }
+
+// Ways returns the set associativity.
+func (f *Frame) Ways() int { return f.ways }
+
+// Count returns the number of slots in the given state.
+func (f *Frame) Count(s State) int64 { return f.counts[s] }
+
+// SetOf maps a storage LBA to its cache set via Fibonacci hashing of the
+// parity stripe number. Only the first DataSets sets receive data pages.
+func (f *Frame) SetOf(lba int64) int {
+	stripe := uint64(lba / f.stripePages)
+	h := stripe * 0x9E3779B97F4A7C15
+	return int(h % uint64(f.dataSets))
+}
+
+// SetDataSets restricts data pages to the first n sets, reserving the
+// rest for delta pages — the fixed-partition ablation of §III-B. The
+// default (n == Sets()) is the paper's dynamic mixing.
+func (f *Frame) SetDataSets(n int) {
+	if n < 1 || n > f.nsets {
+		panic("cache: bad data-set count")
+	}
+	f.dataSets = n
+}
+
+// DataSets returns the number of sets data pages may occupy.
+func (f *Frame) DataSets() int { return f.dataSets }
+
+// SetRange returns the slot index range [lo, hi) of a set.
+func (f *Frame) SetRange(set int) (int32, int32) {
+	lo := int32(set * f.ways)
+	return lo, lo + int32(f.ways)
+}
+
+// Lookup returns the slot currently holding the storage page, or NoSlot.
+func (f *Frame) Lookup(lba int64) int32 {
+	if s, ok := f.lookup[lba]; ok {
+		return s
+	}
+	return NoSlot
+}
+
+// Slot returns a pointer to slot i for inspection.
+func (f *Frame) Slot(i int32) *Slot { return &f.slots[i] }
+
+// Touch refreshes LRU recency for slot i.
+func (f *Frame) Touch(i int32) {
+	f.tick++
+	f.slots[i].LastUse = f.tick
+}
+
+// setState moves slot i to state s, maintaining counts.
+func (f *Frame) setState(i int32, s State) {
+	old := f.slots[i].State
+	if old == s {
+		return
+	}
+	f.counts[old]--
+	f.counts[s]++
+	set := int(i) / f.ways
+	if old == Delta {
+		f.deltaPerSet[set]--
+	}
+	if s == Delta {
+		f.deltaPerSet[set]++
+	}
+	if old == Free {
+		f.freePerSet[set]--
+	}
+	if s == Free {
+		f.freePerSet[set]++
+	}
+	f.slots[i].State = s
+}
+
+// Insert binds storage page lba to slot i with the given state and
+// freshens its recency. Any previous binding of the slot must have been
+// released.
+func (f *Frame) Insert(lba int64, i int32, s State) {
+	if s == Free || s == Delta {
+		panic("cache: Insert with non-data state")
+	}
+	f.slots[i].RaidLBA = lba
+	f.setState(i, s)
+	f.lookup[lba] = i
+	f.Touch(i)
+}
+
+// Rebind repoints the lookup entry for lba to slot i without touching
+// slot states (LeavO's new-version promotion).
+func (f *Frame) Rebind(lba int64, i int32) { f.lookup[lba] = i }
+
+// Transition changes the state of slot i (e.g. Clean -> Old on a write
+// hit), keeping the lookup intact.
+func (f *Frame) Transition(i int32, s State) { f.setState(i, s) }
+
+// MarkDelta claims slot i as a DEZ page (no lookup binding).
+func (f *Frame) MarkDelta(i int32) {
+	f.slots[i].RaidLBA = -1
+	f.setState(i, Delta)
+}
+
+// Release frees slot i. If drop is true the lookup binding for its
+// storage page is removed too (set drop=false when the lookup was already
+// rebound elsewhere).
+func (f *Frame) Release(i int32, drop bool) {
+	if drop && f.slots[i].State != Free && f.slots[i].State != Delta {
+		if cur, ok := f.lookup[f.slots[i].RaidLBA]; ok && cur == i {
+			delete(f.lookup, f.slots[i].RaidLBA)
+		}
+	}
+	f.slots[i].RaidLBA = -1
+	f.setState(i, Free)
+}
+
+// AllocFree returns a Free slot in the set, or NoSlot.
+func (f *Frame) AllocFree(set int) int32 {
+	if f.freePerSet[set] == 0 {
+		return NoSlot
+	}
+	lo, hi := f.SetRange(set)
+	for i := lo; i < hi; i++ {
+		if f.slots[i].State == Free {
+			return i
+		}
+	}
+	return NoSlot
+}
+
+// EvictLRU returns the least-recently-used slot in the set whose state is
+// in evictable, or NoSlot. The caller releases it.
+func (f *Frame) EvictLRU(set int, evictable ...State) int32 {
+	lo, hi := f.SetRange(set)
+	best := NoSlot
+	var bestUse int64
+	for i := lo; i < hi; i++ {
+		st := f.slots[i].State
+		ok := false
+		for _, e := range evictable {
+			if st == e {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if best == NoSlot || f.slots[i].LastUse < bestUse {
+			best = i
+			bestUse = f.slots[i].LastUse
+		}
+	}
+	return best
+}
+
+// LeastDeltaSet returns the set with the fewest Delta pages that still
+// has a Free slot, or -1 ("KDD always chooses a free page from the cache
+// set which has the least number of DEZ pages", §III-B). freeHint scans
+// lazily; cost is O(sets) which is fine at simulation granularity.
+func (f *Frame) LeastDeltaSet() int {
+	start := 0
+	if f.dataSets < f.nsets {
+		start = f.dataSets // fixed partition: deltas only in reserved sets
+	}
+	best := -1
+	var bestDelta int32
+	for s := start; s < f.nsets; s++ {
+		if f.freePerSet[s] == 0 {
+			continue
+		}
+		if best == -1 || f.deltaPerSet[s] < bestDelta {
+			best = s
+			bestDelta = f.deltaPerSet[s]
+		}
+	}
+	return best
+}
+
+// OldestSlots returns up to n slot indices in the given state across the
+// whole cache, least recently used first (the cleaner's victim scan).
+func (f *Frame) OldestSlots(state State, n int) []int32 {
+	type cand struct {
+		i   int32
+		use int64
+	}
+	var cands []cand
+	for i := range f.slots {
+		if f.slots[i].State == state {
+			cands = append(cands, cand{int32(i), f.slots[i].LastUse})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].use < cands[b].use })
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]int32, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, cands[k].i)
+	}
+	return out
+}
+
+// CheckInvariants validates internal consistency (used by tests and the
+// property suite): counts match slot states, lookup is a bijection onto
+// live data slots, delta counts match.
+func (f *Frame) CheckInvariants() error {
+	var counts [5]int64
+	deltas := make([]int32, f.nsets)
+	frees := make([]int32, f.nsets)
+	for i := range f.slots {
+		st := f.slots[i].State
+		counts[st]++
+		if st == Delta {
+			deltas[i/f.ways]++
+		}
+		if st == Free {
+			frees[i/f.ways]++
+		}
+	}
+	for s := range frees {
+		if frees[s] != f.freePerSet[s] {
+			return fmt.Errorf("cache: set %d free count %d, cached %d", s, frees[s], f.freePerSet[s])
+		}
+	}
+	for s := State(0); s < 5; s++ {
+		if counts[s] != f.counts[s] {
+			return fmt.Errorf("cache: state %v count %d, cached %d", s, counts[s], f.counts[s])
+		}
+	}
+	for s := range deltas {
+		if deltas[s] != f.deltaPerSet[s] {
+			return fmt.Errorf("cache: set %d delta count %d, cached %d", s, deltas[s], f.deltaPerSet[s])
+		}
+	}
+	for lba, i := range f.lookup {
+		st := f.slots[i].State
+		if st == Free || st == Delta {
+			return fmt.Errorf("cache: lookup %d points at %v slot", lba, st)
+		}
+		if f.slots[i].RaidLBA != lba {
+			return fmt.Errorf("cache: lookup %d points at slot holding %d", lba, f.slots[i].RaidLBA)
+		}
+		if f.SetOf(lba) != int(i)/f.ways && st != New {
+			return fmt.Errorf("cache: lba %d mapped outside its set", lba)
+		}
+	}
+	return nil
+}
+
+// PageSize re-exported for convenience of policy implementations.
+const PageSize = blockdev.PageSize

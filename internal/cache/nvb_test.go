@@ -1,0 +1,151 @@
+package cache_test
+
+import (
+	"bytes"
+	"testing"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/cache"
+	"kddcache/internal/raid"
+	"kddcache/internal/sim"
+)
+
+func TestNVBReadYourWrites(t *testing.T) {
+	s := newStack(t, 512)
+	p := cache.NewNVB(s.array, 64)
+	for lba := int64(0); lba < 200; lba++ {
+		s.write(t, p, lba) // exceeds buffer: destaging happens inline
+	}
+	s.verify(t, p)
+	if _, err := p.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Buffered() != 0 {
+		t.Fatalf("%d pages left after flush", p.Buffered())
+	}
+	// Everything durable and parity-consistent: survive a disk loss.
+	s.array.FailDisk(1)
+	buf := make([]byte, blockdev.PageSize)
+	for lba, want := range s.oracle {
+		if _, err := s.array.ReadPages(0, lba, 1, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("lba %d wrong after NVB destage", lba)
+		}
+	}
+}
+
+func TestNVBFullStripeDetection(t *testing.T) {
+	s := newStack(t, 512)
+	p := cache.NewNVB(s.array, 256)
+	// Write a complete parity row, then flush: it must go out as a
+	// full-stripe write (zero parity reads).
+	peers := s.array.RowPeers(0)
+	for _, lba := range peers {
+		s.write(t, p, lba)
+	}
+	if _, err := p.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	st := s.array.Stats()
+	if st.ParityReads != 0 {
+		t.Fatalf("full-stripe destage read parity %d times", st.ParityReads)
+	}
+	if p.Stats().SmallWritesSaved == 0 {
+		t.Fatal("full-stripe write not counted")
+	}
+	s.verify(t, p)
+}
+
+func TestNVBPartialRowUsesRMW(t *testing.T) {
+	s := newStack(t, 512)
+	p := cache.NewNVB(s.array, 256)
+	s.write(t, p, 0) // single page of a 4-page row
+	if _, err := p.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.array.Stats().ParityReads == 0 {
+		t.Fatal("partial destage should RMW")
+	}
+	s.verify(t, p)
+}
+
+func TestNVBBackPressureLatency(t *testing.T) {
+	// Once the buffer is full, random writes pay RAID small-write latency
+	// — the §I limitation. Sequential full rows keep completing fast.
+	var members []blockdev.Device
+	for i := 0; i < 5; i++ {
+		d := blockdev.NewNullDevice("d", 65536)
+		d.Latency = 10 * sim.Millisecond
+		members = append(members, d)
+	}
+	a, err := raid.New(raid.Config{Level: raid.Level5, ChunkPages: 16}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cache.NewNVB(a, 32)
+	rng := sim.NewRNG(3)
+	// Fill with random pages (poor locality: rows rarely complete).
+	var now sim.Time
+	fast, slow := 0, 0
+	for i := 0; i < 200; i++ {
+		lba := int64(rng.Uint64n(200000))
+		done, err := p.Write(now, lba, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done == now {
+			fast++
+		} else {
+			slow++
+		}
+		now = done
+	}
+	if fast == 0 || slow == 0 {
+		t.Fatalf("expected both instant (%d) and back-pressured (%d) writes", fast, slow)
+	}
+	// Back-pressured random writes pay ~RMW latency.
+	done, err := p.Write(now, int64(rng.Uint64n(200000)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done-now < 10*sim.Millisecond {
+		t.Fatalf("full-buffer random write cost %v; should be disk-bound", done-now)
+	}
+}
+
+func TestNVBReadsServeFromBufferThenRAID(t *testing.T) {
+	s := newStack(t, 512)
+	p := cache.NewNVB(s.array, 64)
+	data := s.page(9)
+	if _, err := p.Write(0, 7, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, blockdev.PageSize)
+	if _, err := p.Read(0, 7, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) || p.Stats().ReadHits != 1 {
+		t.Fatal("buffered read wrong")
+	}
+	if _, err := p.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(0, 7, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) || p.Stats().ReadMisses != 1 {
+		t.Fatal("post-destage read wrong")
+	}
+}
+
+func TestNVBPanicsOnZeroCapacity(t *testing.T) {
+	s := newStack(t, 128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cache.NewNVB(s.array, 0)
+}

@@ -1,0 +1,131 @@
+package cache_test
+
+import (
+	"bytes"
+	"testing"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/cache"
+	"kddcache/internal/sim"
+)
+
+func TestWriteBackReadYourWrites(t *testing.T) {
+	s := newStack(t, 512)
+	p := cache.NewWB(s.ssd, s.array, 256, 64, 32)
+	for lba := int64(0); lba < 100; lba++ {
+		s.write(t, p, lba)
+	}
+	for lba := int64(0); lba < 100; lba += 2 {
+		s.write(t, p, lba)
+	}
+	s.verify(t, p)
+	if _, err := p.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	s.verify(t, p)
+	// After flush everything is durable on RAID.
+	buf := make([]byte, blockdev.PageSize)
+	for lba, want := range s.oracle {
+		if _, err := s.array.ReadPages(0, lba, 1, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("lba %d not durable after flush", lba)
+		}
+	}
+}
+
+func TestWriteBackLatencyIsFlashSpeed(t *testing.T) {
+	// WB acknowledges at SSD latency; WT pays the RAID small write.
+	mk := func() (blockdev.Device, cache.Backend) {
+		var members []blockdev.Device
+		for i := 0; i < 5; i++ {
+			d := blockdev.NewNullDevice("d", 4096)
+			d.Latency = 10 * sim.Millisecond
+			members = append(members, d)
+		}
+		a := mustArray5(t, members)
+		ssd := blockdev.NewNullDevice("ssd", 4096)
+		ssd.Latency = 300 * sim.Microsecond
+		return ssd, a
+	}
+	ssd1, a1 := mk()
+	wb := cache.NewWB(ssd1, a1, 512, 0, 32)
+	done, err := wb.Write(0, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done >= sim.Millisecond {
+		t.Fatalf("WB write took %v; should be flash-speed", done)
+	}
+	ssd2, a2 := mk()
+	wt := cache.NewWT(ssd2, a2, 512, 0, 32)
+	done, err = wt.Write(0, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done < 20*sim.Millisecond {
+		t.Fatalf("WT write took %v; must pay the RMW", done)
+	}
+}
+
+// TestWriteBackLosesDataOnSSDFailure demonstrates exactly why the paper
+// excludes write-back (§IV-A1): dirty pages exist only in the SSD, so an
+// SSD failure before write-back violates the RPO-of-zero guarantee that
+// WT/WA/LeavO/KDD all preserve.
+func TestWriteBackLosesDataOnSSDFailure(t *testing.T) {
+	s := newStack(t, 512)
+	p := cache.NewWB(s.ssd, s.array, 256, 64, 32)
+	data := s.page(0xD1)
+	if _, err := p.Write(0, 42, data); err != nil {
+		t.Fatal(err)
+	}
+	if p.DirtyPages() == 0 {
+		t.Fatal("write-back page should be dirty")
+	}
+	// SSD dies before write-back. The RAID never saw the data.
+	buf := make([]byte, blockdev.PageSize)
+	if _, err := s.array.ReadPages(0, 42, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, data) {
+		t.Fatal("RAID has the data; write-back should have deferred it")
+	}
+	// Contrast: KDD/WT/WA/LeavO always dispatch data to RAID first.
+	s2 := newStack(t, 512)
+	wt := cache.NewWT(s2.ssd, s2.array, 256, 64, 32)
+	if _, err := wt.Write(0, 42, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.array.ReadPages(0, 42, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("WT failed to make data durable before ack")
+	}
+}
+
+func TestWriteBackCleanerThresholds(t *testing.T) {
+	s := newStack(t, 2048)
+	p := cache.NewWB(s.ssd, s.array, 256, 64, 32)
+	// Fill with dirty pages past the high-water mark.
+	for lba := int64(0); lba < 500; lba++ {
+		s.write(t, p, lba)
+	}
+	if p.Stats().CleanerRuns == 0 {
+		t.Fatal("cleaner never ran past high water")
+	}
+	if got := float64(p.DirtyPages()); got > 0.45*256 {
+		t.Fatalf("dirty pages %v above high water after cleaning", got)
+	}
+	s.verify(t, p)
+}
+
+func mustArray5(t *testing.T, members []blockdev.Device) cache.Backend {
+	t.Helper()
+	a, err := newArray5(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}

@@ -1,0 +1,42 @@
+package core
+
+import "container/list"
+
+// ghostLRU is an address-only LRU used for selective cache admission,
+// after LARC (Huang et al., MSST'13) — one of the schemes §V-C notes
+// "can be deployed in KDD to further reduce the amount of writes to SSD".
+// A page is admitted to the real cache only on its second miss within the
+// ghost window, filtering one-touch traffic out of the allocation stream.
+type ghostLRU struct {
+	cap   int
+	ll    *list.List // front = most recent; values are int64 LBAs
+	index map[int64]*list.Element
+}
+
+func newGhostLRU(capacity int) *ghostLRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ghostLRU{cap: capacity, ll: list.New(), index: make(map[int64]*list.Element)}
+}
+
+// Admit reports whether lba should be admitted now (it was seen recently)
+// and records this touch either way.
+func (g *ghostLRU) Admit(lba int64) bool {
+	if el, ok := g.index[lba]; ok {
+		// Second touch: promote to the real cache and drop the ghost.
+		g.ll.Remove(el)
+		delete(g.index, lba)
+		return true
+	}
+	g.index[lba] = g.ll.PushFront(lba)
+	for g.ll.Len() > g.cap {
+		back := g.ll.Back()
+		g.ll.Remove(back)
+		delete(g.index, back.Value.(int64))
+	}
+	return false
+}
+
+// Len returns the current ghost population.
+func (g *ghostLRU) Len() int { return g.ll.Len() }

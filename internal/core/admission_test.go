@@ -1,0 +1,112 @@
+package core_test
+
+import (
+	"testing"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/core"
+	"kddcache/internal/sim"
+)
+
+func TestSelectiveAdmissionFiltersOneTouch(t *testing.T) {
+	r := newRig(t, 256, func(c *core.Config) { c.SelectiveAdmission = true })
+	// First touch of every page: nothing is admitted.
+	for lba := int64(0); lba < 50; lba++ {
+		r.write(t, lba)
+	}
+	st := r.kdd.Stats()
+	if st.WriteAllocs != 0 {
+		t.Fatalf("one-touch pages were cached: %d allocs", st.WriteAllocs)
+	}
+	if st.AdmissionRejects != 50 {
+		t.Fatalf("rejects = %d, want 50", st.AdmissionRejects)
+	}
+	// Second touch: admitted.
+	for lba := int64(0); lba < 50; lba++ {
+		r.write(t, lba)
+	}
+	st = r.kdd.Stats()
+	if st.WriteAllocs != 50 {
+		t.Fatalf("second-touch pages not cached: %d allocs", st.WriteAllocs)
+	}
+	// Third touch: write hits with deltas.
+	for lba := int64(0); lba < 50; lba++ {
+		r.write(t, lba)
+	}
+	if r.kdd.Stats().WriteHits != 50 {
+		t.Fatalf("write hits = %d", r.kdd.Stats().WriteHits)
+	}
+	r.verifyCache(t)
+	r.verifyRAID(t)
+	if err := r.kdd.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectiveAdmissionReducesAllocationWrites(t *testing.T) {
+	// A scan-heavy workload (mostly one-touch pages, small hot set): the
+	// filter must cut SSD writes substantially without hurting
+	// correctness.
+	run := func(selective bool) (int64, float64) {
+		r := newRig(t, 128, func(c *core.Config) { c.SelectiveAdmission = selective })
+		rng := sim.NewRNG(77)
+		for i := 0; i < 4000; i++ {
+			var lba int64
+			if rng.Float64() < 0.5 {
+				lba = int64(rng.Uint64n(64)) // hot set
+			} else {
+				lba = 64 + int64(i) // scan: every page once
+			}
+			r.write(t, lba)
+		}
+		r.verifyCache(t)
+		return r.kdd.Stats().SSDWrites(), r.kdd.Stats().HitRatio()
+	}
+	always, hitAlways := run(false)
+	larc, hitLARC := run(true)
+	if larc >= always {
+		t.Fatalf("selective admission did not reduce writes: %d vs %d", larc, always)
+	}
+	if hitLARC < hitAlways*0.8 {
+		t.Fatalf("selective admission destroyed hit ratio: %.3f vs %.3f", hitLARC, hitAlways)
+	}
+}
+
+func TestGhostLRUBoundedAndRecency(t *testing.T) {
+	r := newRig(t, 256, func(c *core.Config) { c.SelectiveAdmission = true })
+	// Touch far more unique pages than the ghost capacity (= cache pages
+	// = 256): the ghost must stay bounded, and pages evicted from the
+	// ghost need two fresh touches again.
+	for lba := int64(0); lba < 2000; lba++ {
+		r.write(t, lba)
+	}
+	st := r.kdd.Stats()
+	if st.WriteAllocs != 0 {
+		t.Fatalf("unique-scan admitted %d pages", st.WriteAllocs)
+	}
+	// Page 0 was evicted from the ghost long ago: next touch is still a
+	// first touch.
+	r.write(t, 0)
+	if r.kdd.Stats().WriteAllocs != 0 {
+		t.Fatal("ghost retained an entry beyond its capacity")
+	}
+	r.write(t, 0)
+	if r.kdd.Stats().WriteAllocs != 1 {
+		t.Fatal("second touch within window not admitted")
+	}
+}
+
+func TestSelectiveAdmissionCrashRecovery(t *testing.T) {
+	r := newRig(t, 128, func(c *core.Config) { c.SelectiveAdmission = true })
+	for lba := int64(0); lba < 60; lba++ {
+		r.write(t, lba)
+		r.write(t, lba)
+		r.write(t, lba)
+	}
+	r.crash(t)
+	r.verifyCache(t)
+	if err := r.kdd.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	_ = blockdev.PageSize
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/cache"
+	"kddcache/internal/delta"
+	"kddcache/internal/sim"
+)
+
+// This file implements KDD's flushing policy (§III-D): a background
+// cleaner generates new parity blocks for stale stripes and reclaims the
+// old/delta pages. The cleaner is triggered when old+delta pages exceed a
+// threshold, when allocation finds a set pinned solid, or when the replay
+// driver detects an idle period. Parity is recomputed by
+// reconstruct-write when every data block of the row is cached, otherwise
+// by read-modify-write over the decompressed deltas. Reclamation follows
+// scheme 2 (drop old pages, invalidate deltas) unless the scheme-1
+// ablation is configured.
+
+// maybeClean triggers the cleaner past the high-water mark.
+func (k *KDD) maybeClean(t sim.Time) error {
+	if float64(k.DirtyPages()) > k.cfg.HighWater*float64(k.frame.Pages()) {
+		_, err := k.Clean(t, false)
+		return err
+	}
+	return nil
+}
+
+// Clean implements cache.Policy: one cleaning pass. force drains every
+// stale stripe (used before HDD rebuild and at shutdown).
+func (k *KDD) Clean(t sim.Time, force bool) (sim.Time, error) {
+	if k.cleaning {
+		return t, nil // re-entrant trigger from allocation inside a pass
+	}
+	k.cleaning = true
+	defer func() { k.cleaning = false }()
+
+	low := int64(k.cfg.LowWater * float64(k.frame.Pages()))
+	if force {
+		low = 0
+	}
+	done := t
+	ran := false
+	for k.frame.Count(cache.Old) > 0 && (force || k.DirtyPages() > low) {
+		// Take victims in LRU batches; one frame scan amortises over many
+		// rows. Entries may stop being Old mid-batch when reclaimed as a
+		// row peer of an earlier victim.
+		victims := k.frame.OldestSlots(cache.Old, 128)
+		if len(victims) == 0 {
+			break
+		}
+		ran = true
+		for _, v := range victims {
+			if k.frame.Slot(v).State != cache.Old {
+				continue
+			}
+			c, err := k.cleanRow(t, v)
+			if err != nil {
+				return t, err
+			}
+			done = sim.MaxTime(done, c)
+			t = c // cleaning work is serialized in the background thread
+			if !force && k.DirtyPages() <= low {
+				break
+			}
+		}
+	}
+	if ran {
+		k.st.CleanerRuns++
+	}
+	return done, nil
+}
+
+// Flush implements cache.Policy: repair every stale parity (§III-E2:
+// "KDD first updates all parity blocks using the parity_update interface
+// and then triggers the rebuilding process").
+func (k *KDD) Flush(t sim.Time) (sim.Time, error) {
+	done, err := k.Clean(t, true)
+	if err != nil {
+		return t, err
+	}
+	if k.log != nil {
+		c, err := k.log.Flush(done)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	return done, nil
+}
+
+// cleanRow repairs the parity row containing the victim Old slot and
+// reclaims every Old peer in it, exploiting the stripe-aligned set
+// mapping ("they can be reclaimed together during cache cleaning",
+// §III-B).
+// peerInfo pairs a row peer's storage LBA with its cache slot.
+type peerInfo struct {
+	lba  int64
+	slot int32
+}
+
+func (k *KDD) cleanRow(t sim.Time, victim int32) (sim.Time, error) {
+	lba := k.frame.Slot(victim).RaidLBA
+	peers := k.backend.RowPeers(lba)
+
+	var cached []peerInfo
+	var oldPeers []peerInfo
+	allCached := true
+	for _, p := range peers {
+		s := k.frame.Lookup(p)
+		if s == cache.NoSlot {
+			allCached = false
+			continue
+		}
+		pi := peerInfo{lba: p, slot: s}
+		cached = append(cached, pi)
+		if k.frame.Slot(s).State == cache.Old {
+			oldPeers = append(oldPeers, pi)
+		}
+	}
+	if len(oldPeers) == 0 {
+		return t, fmt.Errorf("core: cleanRow found no old pages in row of lba %d", lba)
+	}
+
+	k.st.ParityUpdates++
+	var done sim.Time
+	var err error
+	if allCached {
+		done, err = k.parityReconstruct(t, peers, cached)
+	} else {
+		done, err = k.parityRMW(t, oldPeers)
+	}
+	if err != nil {
+		return t, err
+	}
+
+	// Reclaim the old pages and invalidate their deltas.
+	for _, pi := range oldPeers {
+		c, err := k.reclaimOld(done, pi.lba, pi.slot)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	return done, nil
+}
+
+// parityReconstruct recomputes the row's parity from the cached current
+// data ("reconstruct-write is only used when all data blocks within the
+// stripe are residing in SSD", §III-D) — no disk reads at all.
+func (k *KDD) parityReconstruct(t sim.Time, peers []int64, cached []peerInfo) (sim.Time, error) {
+	var rowData [][]byte
+	if k.dataMode {
+		rowData = make([][]byte, len(peers))
+		bySlot := make(map[int64]int32, len(cached))
+		for _, pi := range cached {
+			bySlot[pi.lba] = pi.slot
+		}
+		for i, p := range peers {
+			buf := make([]byte, blockdev.PageSize)
+			if _, err := k.readCurrent(t, p, bySlot[p], buf); err != nil {
+				return t, err
+			}
+			rowData[i] = buf
+		}
+	} else {
+		// Timing mode: charge the SSD reads for gathering the row.
+		for _, pi := range cached {
+			k.ssd.ReadPages(t, k.cacheLBA(pi.slot), 1, nil) //nolint:errcheck // timing only
+		}
+	}
+	return k.backend.ParityUpdateReconstruct(t, peers[0], rowData)
+}
+
+// parityRMW repairs parity by XOR-ing the decompressed deltas into the
+// stale parity read from disk.
+func (k *KDD) parityRMW(t sim.Time, oldPeers []peerInfo) (sim.Time, error) {
+	lbas := make([]int64, 0, len(oldPeers))
+	var deltas [][]byte
+	if k.dataMode {
+		deltas = make([][]byte, 0, len(oldPeers))
+	}
+	for _, pi := range oldPeers {
+		lbas = append(lbas, pi.lba)
+		if !k.dataMode {
+			continue
+		}
+		xor, err := k.expandXor(t, pi.slot)
+		if err != nil {
+			return t, err
+		}
+		deltas = append(deltas, xor)
+	}
+	return k.backend.ParityUpdateDelta(t, lbas, deltas)
+}
+
+// readCurrent reads the latest version of a cached page into buf (Clean:
+// straight read; Old: old ⊕ delta) without affecting recency.
+func (k *KDD) readCurrent(t sim.Time, lba int64, slot int32, buf []byte) (sim.Time, error) {
+	switch k.frame.Slot(slot).State {
+	case cache.Clean:
+		return k.ssd.ReadPages(t, k.cacheLBA(slot), 1, buf)
+	case cache.Old:
+		return k.readOld(t, lba, slot, buf)
+	default:
+		return t, fmt.Errorf("core: readCurrent on %v slot", k.frame.Slot(slot).State)
+	}
+}
+
+// expandXor materialises the raw XOR (old ⊕ new) for an Old slot's delta:
+// exactly what ParityUpdateDelta folds into the stale parity.
+func (k *KDD) expandXor(t sim.Time, slot int32) ([]byte, error) {
+	od, ok := k.oldDeltas[slot]
+	if !ok {
+		return nil, fmt.Errorf("%w: slot %d", ErrNotCombinable, slot)
+	}
+	var d delta.Delta
+	if od.staged {
+		sd, ok := k.staging.Get(int64(slot))
+		if !ok {
+			return nil, fmt.Errorf("%w: staged delta missing for slot %d", ErrNotCombinable, slot)
+		}
+		d = sd.D
+	} else {
+		dezBuf := make([]byte, blockdev.PageSize)
+		if _, err := k.ssd.ReadPages(t, k.cacheLBA(od.dez), 1, dezBuf); err != nil {
+			return nil, err
+		}
+		d = delta.Delta{Len: od.length, Raw: od.raw, Bytes: dezBuf[od.off : od.off+od.length]}
+	}
+	xor := make([]byte, blockdev.PageSize)
+	if d.Raw {
+		// xor = old ⊕ new: need the old page.
+		oldBuf := make([]byte, blockdev.PageSize)
+		if _, err := k.ssd.ReadPages(t, k.cacheLBA(slot), 1, oldBuf); err != nil {
+			return nil, err
+		}
+		for i := range xor {
+			xor[i] = oldBuf[i] ^ d.Bytes[i]
+		}
+		return xor, nil
+	}
+	// Codecs compress the XOR itself, so applying the delta to a zero
+	// page decompresses it.
+	if err := k.codec.Apply(xor, d, xor); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotCombinable, err)
+	}
+	return xor, nil
+}
+
+// reclaimOld retires one Old page after its parity has been repaired.
+func (k *KDD) reclaimOld(t sim.Time, lba int64, slot int32) (sim.Time, error) {
+	// Invalidate the delta wherever it lives.
+	if od, ok := k.oldDeltas[slot]; ok {
+		if od.staged {
+			k.staging.Drop(int64(slot))
+		} else {
+			k.releaseDez(t, od.dez)
+		}
+		delete(k.oldDeltas, slot)
+	}
+	k.st.Reclaims++
+
+	if k.cfg.ReclaimMaterialize {
+		// Scheme 1: keep the latest version cached as Clean. Costs an
+		// extra flash program per reclaim (§III-D's "expense of more
+		// cache writes"); requires the latest bytes in data mode.
+		var buf []byte
+		var err error
+		if k.dataMode {
+			buf = make([]byte, blockdev.PageSize)
+			// The delta is gone from the books but the combine must use
+			// it; materialisation is done by re-reading from RAID, which
+			// already holds the current data (always dispatched).
+			if _, err = k.backend.ReadPages(t, lba, 1, buf); err != nil {
+				return t, err
+			}
+			k.st.RAIDReads++
+		}
+		k.st.WriteAllocs++
+		done, err := k.ssd.WritePages(t, k.cacheLBA(slot), 1, buf)
+		if err != nil {
+			return t, err
+		}
+		k.frame.Transition(slot, cache.Clean)
+		if _, err := k.logPut(t, k.cleanEntry(slot, lba)); err != nil {
+			return t, err
+		}
+		return done, nil
+	}
+
+	// Scheme 2 (the paper's choice): drop the old page.
+	k.frame.Release(slot, true)
+	k.trimSlot(t, slot)
+	if _, err := k.logPut(t, k.freeEntry(slot)); err != nil {
+		return t, err
+	}
+	return t, nil
+}

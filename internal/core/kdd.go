@@ -1,0 +1,305 @@
+// Package core implements KDD — Keeping Data and Deltas in SSD — the
+// paper's primary contribution (§III).
+//
+// The SSD cache is logically split into a Data Zone (DAZ) holding pages
+// as first admitted, and a Delta Zone (DEZ) holding compressed XORs of
+// updated pages, dynamically mixed within the same set-associative frame.
+// On a write hit KDD writes the data to RAID *without* updating parity
+// (one disk I/O instead of four), stages the delta in NVRAM, and packs
+// staged deltas into DEZ pages when the staging buffer fills. A
+// background cleaner repairs stale parities — reconstruct-write when the
+// whole row is cached, read-modify-write from decompressed deltas
+// otherwise — and reclaims old/delta pages (reclaim scheme 2 by default).
+// Cache metadata persists in a circular log on the SSD with NVRAM
+// buffering, giving an RPO of zero across power failures.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/cache"
+	"kddcache/internal/delta"
+	"kddcache/internal/metalog"
+	"kddcache/internal/nvram"
+	"kddcache/internal/sim"
+	"kddcache/internal/stats"
+)
+
+// ErrNotCombinable reports a read of an Old page whose delta cannot be
+// applied (would indicate a bookkeeping bug; surfaced for tests).
+var ErrNotCombinable = errors.New("core: cannot combine old page with delta")
+
+// Config assembles a KDD cache instance.
+type Config struct {
+	SSD     blockdev.Device // cache device (metadata partition + cache pages)
+	Backend cache.Backend   // the RAID array
+
+	CachePages int64 // data cache capacity in pages (DAZ+DEZ combined)
+	Ways       int   // set associativity
+
+	MetaStart int64 // first page of the metadata partition on the SSD
+	MetaPages int64 // metadata partition size in pages (paper: 0.59% of SSD)
+
+	Codec delta.Codec // delta codec (real or modelled)
+
+	StagingBytes int // NVRAM staging buffer capacity in bytes
+
+	// Cleaner thresholds: fractions of cache capacity held by old+delta
+	// pages that start/stop background cleaning.
+	HighWater float64
+	LowWater  float64
+
+	// MetaGCThreshold is the metadata log occupancy triggering its GC
+	// (0 = default 0.9).
+	MetaGCThreshold float64
+
+	// FixedDEZSets reserves the last N sets exclusively for DEZ pages
+	// (the static-partition ablation, §III-B); 0 = dynamic mixing.
+	FixedDEZSets int
+
+	// ReclaimMaterialize selects reclaim scheme 1 (§III-D): combine
+	// old+delta into the latest version and keep it cached as Clean,
+	// instead of dropping the old page (scheme 2, the paper's choice).
+	ReclaimMaterialize bool
+
+	// DisableMetaLog turns off metadata persistence entirely (ablation
+	// baseline: what the cache write traffic looks like with no
+	// durability; recovery is impossible in this mode).
+	DisableMetaLog bool
+
+	// SelectiveAdmission enables a LARC-style ghost-LRU admission filter:
+	// pages are cached only on their second miss within a window of
+	// CachePages addresses. §V-C lists such filters as complementary to
+	// KDD for further reducing allocation writes.
+	SelectiveAdmission bool
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Ways == 0 {
+		c.Ways = 256
+	}
+	if c.StagingBytes == 0 {
+		c.StagingBytes = 4 * blockdev.PageSize
+	}
+	// Dirty (old+delta) pages may occupy a substantial share of the cache
+	// before cleaning kicks in: keeping recently-updated pages resident
+	// is where KDD's hit-ratio advantage over LeavO comes from (and the
+	// reason it can beat WT on write-hot traces like Web0, §IV-A3).
+	if c.HighWater == 0 {
+		c.HighWater = 0.40
+	}
+	if c.LowWater == 0 {
+		c.LowWater = 0.30
+	}
+	return c
+}
+
+// oldDelta locates the newest delta of an Old DAZ page.
+type oldDelta struct {
+	staged bool  // still in the NVRAM staging buffer
+	dez    int32 // DEZ slot (when !staged)
+	off    int
+	length int
+	raw    bool
+}
+
+// dezPage tracks a DEZ page's occupancy.
+type dezPage struct {
+	valid int // live deltas ("valid count", §III-C)
+	used  int // bytes consumed
+}
+
+// KDD is the cache engine.
+type KDD struct {
+	cfg     Config
+	frame   *cache.Frame
+	ssd     blockdev.Device
+	backend cache.Backend
+
+	dataStart int64 // first SSD page of the cache data partition
+
+	staging *nvram.Staging
+	log     *metalog.Log
+	codec   delta.Codec
+
+	oldDeltas map[int32]oldDelta // old DAZ slot -> delta location
+	dezPages  map[int32]*dezPage // DEZ slot -> occupancy
+
+	ghost *ghostLRU // nil unless SelectiveAdmission
+
+	st       stats.CacheStats
+	dataMode bool
+	cleaning bool
+}
+
+// New builds a KDD cache.
+func New(cfg Config) (*KDD, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SSD == nil || cfg.Backend == nil || cfg.Codec == nil {
+		return nil, fmt.Errorf("core: SSD, Backend and Codec are required")
+	}
+	if cfg.CachePages < int64(cfg.Ways) {
+		return nil, fmt.Errorf("core: cache of %d pages below one set", cfg.CachePages)
+	}
+	if !cfg.DisableMetaLog && cfg.MetaPages < 2 {
+		return nil, fmt.Errorf("core: metadata partition needs >=2 pages")
+	}
+	if cfg.MetaStart+cfg.MetaPages+cfg.CachePages > cfg.SSD.Pages() {
+		return nil, fmt.Errorf("core: SSD too small: need %d pages, have %d",
+			cfg.MetaStart+cfg.MetaPages+cfg.CachePages, cfg.SSD.Pages())
+	}
+	if cfg.LowWater >= cfg.HighWater {
+		return nil, fmt.Errorf("core: cleaner watermarks inverted")
+	}
+	k := &KDD{
+		cfg:       cfg,
+		frame:     cache.NewFrame(cfg.CachePages, cfg.Ways, cfg.Backend.StripePages()),
+		ssd:       cfg.SSD,
+		backend:   cfg.Backend,
+		dataStart: cfg.MetaStart + cfg.MetaPages,
+		staging:   nvram.NewStaging(cfg.StagingBytes),
+		codec:     cfg.Codec,
+		oldDeltas: make(map[int32]oldDelta),
+		dezPages:  make(map[int32]*dezPage),
+	}
+	if cfg.FixedDEZSets > 0 {
+		if cfg.FixedDEZSets >= k.frame.Sets() {
+			return nil, fmt.Errorf("core: FixedDEZSets %d >= %d sets", cfg.FixedDEZSets, k.frame.Sets())
+		}
+		k.frame.SetDataSets(k.frame.Sets() - cfg.FixedDEZSets)
+	}
+	if !cfg.DisableMetaLog {
+		k.log = metalog.New(cfg.SSD, cfg.MetaStart, cfg.MetaPages, cfg.MetaGCThreshold)
+	}
+	if cfg.SelectiveAdmission {
+		k.ghost = newGhostLRU(int(cfg.CachePages))
+	}
+	// Data mode (real pages and real deltas end to end) requires both a
+	// byte-backed SSD and a real codec; a modelled codec produces sized
+	// placeholders only, even if the SSD could persist bytes (the
+	// crash-recovery timing stack uses exactly that combination: real
+	// metadata-log bytes, modelled data path).
+	type storer interface{ Store() *blockdev.MemStore }
+	if s, ok := cfg.SSD.(storer); ok {
+		k.dataMode = s.Store() != nil
+	}
+	if _, modelled := cfg.Codec.(*delta.Modelled); modelled {
+		k.dataMode = false
+	}
+	return k, nil
+}
+
+// Name implements cache.Policy.
+func (k *KDD) Name() string {
+	if m, ok := k.codec.(*delta.Modelled); ok {
+		return fmt.Sprintf("KDD-%d%%", int(m.MeanRatio()*100+0.5))
+	}
+	return "KDD(" + k.codec.Name() + ")"
+}
+
+// Stats implements cache.Policy. Metadata traffic is pulled from the log
+// at read time.
+func (k *KDD) Stats() *stats.CacheStats {
+	if k.log != nil {
+		ls := k.log.Stats()
+		gc := ls.GCPageEquivalent()
+		k.st.MetaWrites = ls.PagesWritten - gc
+		k.st.MetaGCWrites = gc
+	}
+	return &k.st
+}
+
+// Frame exposes the slot frame for tests and the harness.
+func (k *KDD) Frame() *cache.Frame { return k.frame }
+
+// Staging exposes the NVRAM staging buffer (recovery and tests).
+func (k *KDD) Staging() *nvram.Staging { return k.staging }
+
+// Codec returns the delta codec in use (recovery reuses it).
+func (k *KDD) Codec() delta.Codec { return k.codec }
+
+// Log exposes the metadata log (recovery and tests); nil when disabled.
+func (k *KDD) Log() *metalog.Log { return k.log }
+
+// DirtyPages returns the old+delta page population (the cleaner's gauge).
+func (k *KDD) DirtyPages() int64 {
+	return k.frame.Count(cache.Old) + k.frame.Count(cache.Delta)
+}
+
+// cacheLBA maps a slot index to its SSD page.
+func (k *KDD) cacheLBA(slot int32) int64 { return k.dataStart + int64(slot) }
+
+// slotOf maps an SSD page back to a slot index (recovery).
+func (k *KDD) slotOf(ssdPage int64) int32 { return int32(ssdPage - k.dataStart) }
+
+// logPut appends a metadata entry unless the log is disabled.
+func (k *KDD) logPut(t sim.Time, e metalog.Entry) (sim.Time, error) {
+	if k.log == nil {
+		return t, nil
+	}
+	return k.log.Put(t, e)
+}
+
+// cleanEntry builds the log record for a Clean DAZ page.
+func (k *KDD) cleanEntry(slot int32, lba int64) metalog.Entry {
+	return metalog.Entry{
+		State:   metalog.StateClean,
+		DazPage: uint32(k.cacheLBA(slot)),
+		RaidLBA: uint32(lba),
+		DezPage: metalog.NoDez,
+	}
+}
+
+// freeEntry builds the log record for a reclaimed DAZ page.
+func (k *KDD) freeEntry(slot int32) metalog.Entry {
+	return metalog.Entry{
+		State:   metalog.StateFree,
+		DazPage: uint32(k.cacheLBA(slot)),
+		DezPage: metalog.NoDez,
+	}
+}
+
+// trimSlot hands a released cache page back to the FTL.
+func (k *KDD) trimSlot(t sim.Time, slot int32) {
+	if tr, ok := k.ssd.(blockdev.Trimmer); ok {
+		tr.TrimPages(t, k.cacheLBA(slot), 1) //nolint:errcheck // advisory
+	}
+}
+
+// evictClean frees the LRU Clean slot in the set (logging the free
+// entry), or returns NoSlot if the set holds no evictable page.
+func (k *KDD) evictClean(t sim.Time, set int) int32 {
+	s := k.frame.EvictLRU(set, cache.Clean)
+	if s == cache.NoSlot {
+		return cache.NoSlot
+	}
+	k.st.Evictions++
+	k.frame.Release(s, true)
+	k.trimSlot(t, s)
+	k.logPut(t, k.freeEntry(s)) //nolint:errcheck // metadata flush failure surfaces on next op
+	return s
+}
+
+// allocDAZ finds a slot for a data page: free first, then LRU-clean
+// eviction. May trigger the cleaner when the set is pinned solid.
+func (k *KDD) allocDAZ(t sim.Time, lba int64) int32 {
+	set := k.frame.SetOf(lba)
+	if s := k.frame.AllocFree(set); s != cache.NoSlot {
+		return s
+	}
+	if s := k.evictClean(t, set); s != cache.NoSlot {
+		return s
+	}
+	// Set is all old/delta pages: a cleaning trigger ("when the SSD cache
+	// is full", §III-B).
+	k.Clean(t, false) //nolint:errcheck // best effort; next op surfaces errors
+	if s := k.frame.AllocFree(set); s != cache.NoSlot {
+		return s
+	}
+	return k.evictClean(t, set)
+}
+
+var _ cache.Policy = (*KDD)(nil)

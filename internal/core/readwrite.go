@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/cache"
+	"kddcache/internal/delta"
+	"kddcache/internal/metalog"
+	"kddcache/internal/nvram"
+	"kddcache/internal/sim"
+)
+
+// Read implements cache.Policy (§III-A): misses fill DAZ; hits on Clean
+// pages read straight from flash; hits on Old pages combine the cached
+// old version with the newest delta — read concurrently from DAZ and DEZ
+// thanks to the SSD's internal parallelism.
+func (k *KDD) Read(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
+	k.st.Reads++
+	slot := k.frame.Lookup(lba)
+	if slot == cache.NoSlot {
+		k.st.ReadMisses++
+		k.st.RAIDReads++
+		done, err := k.backend.ReadPages(t, lba, 1, buf)
+		if err != nil {
+			return t, err
+		}
+		k.fill(done, lba, buf)
+		return done, nil
+	}
+	k.st.ReadHits++
+	k.frame.Touch(slot)
+	switch k.frame.Slot(slot).State {
+	case cache.Clean:
+		return k.ssd.ReadPages(t, k.cacheLBA(slot), 1, buf)
+	case cache.Old:
+		return k.readOld(t, lba, slot, buf)
+	default:
+		return t, fmt.Errorf("core: lookup hit %v slot for lba %d",
+			k.frame.Slot(slot).State, lba)
+	}
+}
+
+// readOld serves a hit on an Old page: old data ⊕ delta.
+func (k *KDD) readOld(t sim.Time, lba int64, slot int32, buf []byte) (sim.Time, error) {
+	od, ok := k.oldDeltas[slot]
+	if !ok {
+		return t, fmt.Errorf("%w: old slot %d has no delta record", ErrNotCombinable, slot)
+	}
+	var oldBuf []byte
+	if k.dataMode && buf != nil {
+		oldBuf = make([]byte, blockdev.PageSize)
+	}
+	// Read the old version from DAZ.
+	done, err := k.ssd.ReadPages(t, k.cacheLBA(slot), 1, oldBuf)
+	if err != nil {
+		return t, err
+	}
+	var d delta.Delta
+	if od.staged {
+		sd, ok := k.staging.Get(int64(slot))
+		if !ok {
+			return t, fmt.Errorf("%w: staged delta for slot %d missing", ErrNotCombinable, slot)
+		}
+		d = sd.D
+	} else {
+		// Read the DEZ page concurrently with the DAZ read (issued at t).
+		var dezBuf []byte
+		if k.dataMode && buf != nil {
+			dezBuf = make([]byte, blockdev.PageSize)
+		}
+		c, err := k.ssd.ReadPages(t, k.cacheLBA(od.dez), 1, dezBuf)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+		d = delta.Delta{Len: od.length, Raw: od.raw}
+		if dezBuf != nil {
+			d.Bytes = dezBuf[od.off : od.off+od.length]
+		}
+	}
+	if k.dataMode && buf != nil {
+		if err := delta.ApplyAny(k.codec, oldBuf, d, buf); err != nil {
+			return t, fmt.Errorf("%w: %v", ErrNotCombinable, err)
+		}
+	}
+	// Decompress+combine costs "tens of microseconds" (§IV-B2).
+	return done + 20*sim.Microsecond, nil
+}
+
+// admitMiss applies the optional LARC-style filter: only pages seen twice
+// within the ghost window are worth an allocation write.
+func (k *KDD) admitMiss(lba int64) bool {
+	if k.ghost == nil {
+		return true
+	}
+	if k.ghost.Admit(lba) {
+		return true
+	}
+	k.st.AdmissionRejects++
+	return false
+}
+
+// fill admits a page read from RAID into DAZ (read-fill).
+func (k *KDD) fill(done sim.Time, lba int64, buf []byte) {
+	if !k.admitMiss(lba) {
+		return
+	}
+	slot := k.allocDAZ(done, lba)
+	if slot == cache.NoSlot {
+		return
+	}
+	k.frame.Insert(lba, slot, cache.Clean)
+	k.st.ReadFills++
+	k.ssd.WritePages(done, k.cacheLBA(slot), 1, buf) //nolint:errcheck // background fill
+	k.logPut(done, k.cleanEntry(slot, lba))          //nolint:errcheck // surfaces on next op
+}
+
+// Write implements cache.Policy (§III-A).
+//
+// Miss: data cached in DAZ and written to RAID with a conventional parity
+// update. Hit: the data goes to RAID withOUT a parity update, and the
+// compressed XOR of the cached old version and the new data is staged for
+// DEZ. The response completes when the RAID data write completes — delta
+// generation overlaps the (much slower) disk write (§IV-B2).
+func (k *KDD) Write(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
+	k.st.Writes++
+	slot := k.frame.Lookup(lba)
+	if slot == cache.NoSlot {
+		return k.writeMiss(t, lba, buf)
+	}
+	k.st.WriteHits++
+	k.frame.Touch(slot)
+
+	// While the array is degraded, deferring parity would widen the data
+	// loss window (§III-E repairs parity BEFORE rebuild); write hits on
+	// Clean pages degrade to write-through instead.
+	if !k.backend.Healthy() && k.frame.Slot(slot).State == cache.Clean {
+		k.st.WriteAllocs++
+		ssdDone, err := k.ssd.WritePages(t, k.cacheLBA(slot), 1, buf)
+		if err != nil {
+			return t, err
+		}
+		k.st.RAIDWrites++
+		raidDone, err := k.backend.WritePages(t, lba, 1, buf)
+		if err != nil {
+			return t, err
+		}
+		return sim.MaxTime(ssdDone, raidDone), nil
+	}
+
+	// Generate the delta against the version parity still reflects: the
+	// DAZ old copy. (For a Clean page that IS the current copy; for an
+	// Old page the DAZ copy is unchanged — deltas are always old⊕newest,
+	// so replacing the staged/committed delta keeps parity repair a
+	// single XOR.)
+	var d delta.Delta
+	if k.dataMode && buf != nil {
+		oldBuf := make([]byte, blockdev.PageSize)
+		if _, err := k.ssd.ReadPages(t, k.cacheLBA(slot), 1, oldBuf); err != nil {
+			return t, err
+		}
+		d = k.codec.Encode(oldBuf, buf)
+		if d.Len >= blockdev.PageSize {
+			d = delta.NewRaw(buf)
+		}
+	} else {
+		d = k.codec.Encode(nil, nil)
+	}
+
+	// Supersede any committed DEZ delta for this page.
+	if od, ok := k.oldDeltas[slot]; ok && !od.staged {
+		k.releaseDez(t, od.dez)
+	}
+	k.staging.Put(nvram.StagedDelta{DazPage: int64(slot), RaidLBA: lba, D: d})
+	k.oldDeltas[slot] = oldDelta{staged: true}
+	if k.frame.Slot(slot).State == cache.Clean {
+		k.frame.Transition(slot, cache.Old)
+	}
+
+	// Dispatch the data to RAID without touching parity.
+	k.st.RAIDWrites++
+	done, err := k.backend.WriteNoParity(t, lba, 1, buf)
+	if err != nil {
+		return t, err
+	}
+	k.st.SmallWritesSaved++
+
+	// Commit a DEZ page if the staging buffer filled.
+	if k.staging.Full() {
+		if _, err := k.commitDez(t); err != nil {
+			return t, err
+		}
+	}
+	if err := k.maybeClean(done); err != nil {
+		return t, err
+	}
+	return done, nil
+}
+
+// writeMiss admits the page and performs a conventional parity write.
+func (k *KDD) writeMiss(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
+	k.st.WriteMiss++
+	k.st.RAIDWrites++
+	raidDone, err := k.backend.WritePages(t, lba, 1, buf)
+	if err != nil {
+		return t, err
+	}
+	if !k.admitMiss(lba) {
+		return raidDone, nil
+	}
+	var ssdDone sim.Time
+	if slot := k.allocDAZ(t, lba); slot != cache.NoSlot {
+		k.frame.Insert(lba, slot, cache.Clean)
+		k.st.WriteAllocs++
+		ssdDone, err = k.ssd.WritePages(t, k.cacheLBA(slot), 1, buf)
+		if err != nil {
+			return t, err
+		}
+		if _, err := k.logPut(t, k.cleanEntry(slot, lba)); err != nil {
+			return t, err
+		}
+	}
+	return sim.MaxTime(raidDone, ssdDone), nil
+}
+
+// commitDez packs the staging buffer's oldest deltas into one DEZ page,
+// writes it, and logs the updated old-page mappings.
+func (k *KDD) commitDez(t sim.Time) (sim.Time, error) {
+	// Secure the DEZ page FIRST: cleaning (which may reclaim staged
+	// deltas) must never run between draining the staging buffer and
+	// recording the new delta locations.
+	dezSet := k.frame.LeastDeltaSet()
+	if dezSet < 0 {
+		// No free page anywhere: run a cleaning pass, then retry once.
+		if _, err := k.Clean(t, false); err != nil {
+			return t, err
+		}
+		dezSet = k.frame.LeastDeltaSet()
+		if dezSet < 0 {
+			return t, nil // still full; the write path retries later
+		}
+	}
+	packed := k.staging.PackPage()
+	if len(packed) == 0 {
+		return t, nil
+	}
+	dezSlot := k.frame.AllocFree(dezSet)
+	k.frame.MarkDelta(dezSlot)
+
+	var image []byte
+	if k.dataMode {
+		image = make([]byte, blockdev.PageSize)
+	}
+	dp := &dezPage{}
+	k.dezPages[dezSlot] = dp
+	off := 0
+	done := t
+	for _, sd := range packed {
+		slot := int32(sd.DazPage)
+		if image != nil && sd.D.Bytes != nil {
+			copy(image[off:], sd.D.Bytes)
+		}
+		k.oldDeltas[slot] = oldDelta{
+			dez: dezSlot, off: off, length: sd.D.Len, raw: sd.D.Raw,
+		}
+		dp.valid++
+		dp.used += sd.D.Len
+		off += sd.D.Len
+		e := metalog.Entry{
+			State:   metalog.StateOld,
+			DazPage: uint32(k.cacheLBA(slot)),
+			RaidLBA: uint32(sd.RaidLBA),
+			DezPage: uint32(k.cacheLBA(dezSlot)),
+			DezOff:  uint16(k.oldDeltas[slot].off),
+			DezLen:  uint16(sd.D.Len),
+			DezRaw:  sd.D.Raw,
+		}
+		c, err := k.logPut(t, e)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	k.st.DeltaCommits++
+	c, err := k.ssd.WritePages(t, k.cacheLBA(dezSlot), 1, image)
+	if err != nil {
+		return t, err
+	}
+	return sim.MaxTime(done, c), nil
+}
+
+// releaseDez invalidates one delta in a DEZ page, freeing the page when
+// its valid count reaches zero ("the DEZ page cannot be freed until the
+// valid count reaches zero", §III-C).
+func (k *KDD) releaseDez(t sim.Time, dezSlot int32) {
+	dp := k.dezPages[dezSlot]
+	if dp == nil {
+		return
+	}
+	dp.valid--
+	if dp.valid <= 0 {
+		delete(k.dezPages, dezSlot)
+		k.frame.Release(dezSlot, false)
+		k.trimSlot(t, dezSlot)
+	}
+}

@@ -1,0 +1,316 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/core"
+	"kddcache/internal/raid"
+	"kddcache/internal/sim"
+)
+
+// crash simulates a power failure: volatile state (the KDD object and its
+// primary map) is discarded, while the SSD contents and the NVRAM
+// (counters, metadata buffer, staging buffer) survive and feed Restore.
+func (r *rig) crash(t *testing.T) {
+	t.Helper()
+	ctr := r.kdd.Log().Counters()
+	buffered := r.kdd.Log().BufferedEntries()
+	staging := r.kdd.Staging()
+	k2, _, err := core.Restore(r.cfg, 0, ctr, buffered, staging)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	r.kdd = k2
+}
+
+func TestPowerFailureRecoveryBasic(t *testing.T) {
+	r := newRig(t, 256)
+	for lba := int64(0); lba < 80; lba++ {
+		r.write(t, lba)
+	}
+	for lba := int64(0); lba < 80; lba += 2 {
+		r.write(t, lba) // half become Old with deltas
+	}
+	r.crash(t)
+	if err := r.kdd.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Read-your-writes must hold across the crash, including Old pages
+	// whose deltas were in NVRAM or DEZ.
+	r.verifyCache(t)
+	r.verifyRAID(t)
+	// Hits should still be hits (cache content preserved).
+	before := r.kdd.Stats().ReadHits
+	buf := make([]byte, blockdev.PageSize)
+	if _, err := r.kdd.Read(0, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if r.kdd.Stats().ReadHits != before+1 {
+		t.Fatal("recovered cache lost its contents")
+	}
+}
+
+func TestPowerFailureRecoveryThenFlushAndDiskLoss(t *testing.T) {
+	r := newRig(t, 256)
+	for lba := int64(0); lba < 100; lba++ {
+		r.write(t, lba)
+	}
+	for lba := int64(0); lba < 100; lba += 3 {
+		r.write(t, lba)
+	}
+	r.crash(t)
+	// The recovered instance must be able to repair all stale parity.
+	if _, err := r.kdd.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	if r.array.StaleRows() != 0 {
+		t.Fatalf("stale rows after recovered flush: %d", r.array.StaleRows())
+	}
+	r.array.FailDisk(3)
+	r.verifyRAID(t)
+}
+
+func TestCrashAfterHeavyChurnProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := newRig(t, 128)
+		rng := sim.NewRNG(seed)
+		for i := 0; i < 600; i++ {
+			r.write(t, int64(rng.Uint64n(400)))
+			if i%173 == 172 {
+				if _, err := r.kdd.Clean(0, false); err != nil {
+					return false
+				}
+			}
+		}
+		r.crash(t)
+		if err := r.kdd.CheckInvariants(); err != nil {
+			t.Logf("invariants: %v", err)
+			return false
+		}
+		buf := make([]byte, blockdev.PageSize)
+		for lba, want := range r.oracle {
+			if _, err := r.kdd.Read(0, lba, buf); err != nil {
+				t.Logf("read %d: %v", lba, err)
+				return false
+			}
+			if !bytes.Equal(buf, want) {
+				t.Logf("mismatch at %d", lba)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleCrash(t *testing.T) {
+	r := newRig(t, 128)
+	for lba := int64(0); lba < 50; lba++ {
+		r.write(t, lba)
+		r.write(t, lba)
+	}
+	r.crash(t)
+	for lba := int64(50); lba < 80; lba++ {
+		r.write(t, lba)
+	}
+	r.crash(t)
+	r.verifyCache(t)
+	if err := r.kdd.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSDFailureResync(t *testing.T) {
+	// §III-E2: on SSD failure the cache is lost, but the RAID can be
+	// resynchronised via reconstruct-write because data blocks were
+	// always dispatched.
+	r := newRig(t, 256)
+	for lba := int64(0); lba < 100; lba++ {
+		r.write(t, lba)
+		r.write(t, lba)
+	}
+	if r.array.StaleRows() == 0 {
+		t.Fatal("expected stale rows before SSD failure")
+	}
+	// SSD dies: cache and its staged deltas are gone. Resync from data.
+	if _, err := r.array.Resync(0); err != nil {
+		t.Fatal(err)
+	}
+	if r.array.StaleRows() != 0 {
+		t.Fatal("resync incomplete")
+	}
+	r.array.FailDisk(0)
+	r.verifyRAID(t)
+}
+
+func TestSSDFailureBeforeResyncIsVulnerabilityWindow(t *testing.T) {
+	// The LeavO weakness the paper highlights (§I): SSD loss followed by
+	// a disk failure before resync can lose data. Demonstrate the window
+	// exists, then that resync closes it.
+	r := newRig(t, 256)
+	r.write(t, 7)
+	r.write(t, 7) // stale parity on 7's row
+	r.array.FailDisk(raidDiskOf(t, r.array, 7))
+	buf := make([]byte, blockdev.PageSize)
+	_, err := r.array.ReadPages(0, 7, 1, buf)
+	if !errors.Is(err, raid.ErrStaleParity) {
+		t.Fatalf("expected stale-parity data loss, got %v", err)
+	}
+}
+
+// raidDiskOf finds the member disk holding lba's data page by failing
+// none and asking the layout via RowPeers+trial; simplest is to probe
+// each disk: fail it, check if a healthy-path read still works.
+func raidDiskOf(t *testing.T, a *raid.Array, lba int64) int {
+	t.Helper()
+	// The data disk is the one whose failure turns reads of lba into
+	// degraded reads. Probe by reading per-disk counters.
+	before := make([]int64, a.Disks())
+	// Use the stats delta of a direct read.
+	st0 := a.Stats()
+	buf := make([]byte, blockdev.PageSize)
+	if _, err := a.ReadPages(0, lba, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	_ = before
+	_ = st0
+	// Cheap trick: the read went to exactly one disk; find the disk whose
+	// read counter incremented by checking all members via their Inner
+	// devices.
+	for i := 0; i < a.Disks(); i++ {
+		if d, ok := memberReads(a, i); ok && d > 0 {
+			// Heuristic: re-read and see if this member increments again.
+			r1, _ := memberReads(a, i)
+			if _, err := a.ReadPages(0, lba, 1, buf); err != nil {
+				t.Fatal(err)
+			}
+			r2, _ := memberReads(a, i)
+			if r2 > r1 {
+				return i
+			}
+		}
+	}
+	t.Fatal("could not locate data disk")
+	return -1
+}
+
+func memberReads(a *raid.Array, i int) (int64, bool) {
+	type reader interface{ Reads() int64 }
+	d, ok := a.Member(i).(reader)
+	if !ok {
+		return 0, false
+	}
+	return d.Reads(), true
+}
+
+func TestHDDFailureFlushThenRebuild(t *testing.T) {
+	// §III-E2: HDD fails → KDD updates all parities first, then the RAID
+	// rebuild runs; all data must survive.
+	r := newRig(t, 256)
+	for lba := int64(0); lba < 120; lba++ {
+		r.write(t, lba)
+	}
+	for lba := int64(0); lba < 120; lba += 2 {
+		r.write(t, lba)
+	}
+	r.array.FailDisk(2)
+	// §III-E order: update all parity blocks first (rows whose parity
+	// lives on the dead disk are resolved by the rebuild's recompute),
+	// then rebuild.
+	if _, err := r.kdd.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	if r.array.StaleRows() != 0 {
+		t.Fatalf("degraded flush left %d stale rows", r.array.StaleRows())
+	}
+	fresh := blockdev.NewNullDataDevice("fresh", 4096)
+	if _, err := r.array.ReplaceDisk(0, 2, fresh); err != nil {
+		t.Fatal(err)
+	}
+	r.verifyRAID(t)
+	r.verifyCache(t)
+	// A different disk may now fail and everything must still survive.
+	r.array.FailDisk(4)
+	r.verifyRAID(t)
+}
+
+func TestRecoveryRejectsDisabledLog(t *testing.T) {
+	r := newRig(t, 128, func(c *core.Config) { c.DisableMetaLog = true })
+	r.write(t, 1)
+	cfg := r.cfg
+	if _, _, err := core.Restore(cfg, 0, nil, nil, nil); err == nil {
+		t.Fatal("recovery with disabled log should fail")
+	}
+}
+
+func TestDisableMetaLogAblation(t *testing.T) {
+	r := newRig(t, 256, func(c *core.Config) { c.DisableMetaLog = true })
+	for lba := int64(0); lba < 80; lba++ {
+		r.write(t, lba)
+		r.write(t, lba)
+	}
+	r.verifyCache(t)
+	if r.kdd.Stats().MetaWrites != 0 {
+		t.Fatal("disabled log still wrote metadata")
+	}
+	if r.kdd.Log() != nil {
+		t.Fatal("log object present despite ablation")
+	}
+}
+
+func TestFixedPartitionAblation(t *testing.T) {
+	r := newRig(t, 256, func(c *core.Config) { c.FixedDEZSets = 2 })
+	for lba := int64(0); lba < 120; lba++ {
+		r.write(t, lba)
+	}
+	for lba := int64(0); lba < 120; lba++ {
+		r.write(t, lba)
+	}
+	r.verifyCache(t)
+	if err := r.kdd.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// All delta pages must live in the reserved sets.
+	f := r.kdd.Frame()
+	for i := int32(0); int64(i) < f.Pages(); i++ {
+		if f.Slot(i).State == 3 /* Delta */ {
+			if set := int(i) / f.Ways(); set < f.DataSets() {
+				t.Fatalf("delta page in data set %d", set)
+			}
+		}
+	}
+}
+
+func TestReclaimMaterializeAblation(t *testing.T) {
+	r := newRig(t, 256, func(c *core.Config) { c.ReclaimMaterialize = true })
+	for lba := int64(0); lba < 100; lba++ {
+		r.write(t, lba)
+		r.write(t, lba)
+	}
+	if _, err := r.kdd.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	// Scheme 1 keeps the pages cached: reads after flush should hit.
+	before := r.kdd.Stats().ReadHits
+	buf := make([]byte, blockdev.PageSize)
+	for lba := int64(0); lba < 100; lba++ {
+		if _, err := r.kdd.Read(0, lba, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, r.oracle[lba]) {
+			t.Fatalf("materialized page %d wrong", lba)
+		}
+	}
+	if r.kdd.Stats().ReadHits-before < 90 {
+		t.Fatal("materialize kept too few pages cached")
+	}
+	if err := r.kdd.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

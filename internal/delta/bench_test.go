@@ -1,0 +1,63 @@
+package delta
+
+import (
+	"fmt"
+	"testing"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/sim"
+)
+
+// Codec ablation: ZRLE (the lzo stand-in) vs flate at the paper's three
+// content-locality levels. Reported custom metric: encoded bytes/op.
+func BenchmarkCodecs(b *testing.B) {
+	for _, ratio := range []float64{0.12, 0.25, 0.50} {
+		rng := sim.NewRNG(1)
+		mut := NewMutator(2, ratio)
+		old := make([]byte, blockdev.PageSize)
+		for i := range old {
+			old[i] = byte(rng.Uint64())
+		}
+		newPage := make([]byte, blockdev.PageSize)
+		copy(newPage, old)
+		mut.Mutate(newPage)
+
+		for _, codec := range []Codec{ZRLE{}, Flate{}} {
+			b.Run(fmt.Sprintf("%s/encode/%d%%", codec.Name(), int(ratio*100)), func(b *testing.B) {
+				b.SetBytes(blockdev.PageSize)
+				var last Delta
+				for i := 0; i < b.N; i++ {
+					last = codec.Encode(old, newPage)
+				}
+				b.ReportMetric(float64(last.Len), "deltaBytes/op")
+			})
+			d := codec.Encode(old, newPage)
+			out := make([]byte, blockdev.PageSize)
+			b.Run(fmt.Sprintf("%s/apply/%d%%", codec.Name(), int(ratio*100)), func(b *testing.B) {
+				b.SetBytes(blockdev.PageSize)
+				for i := 0; i < b.N; i++ {
+					if err := codec.Apply(old, d, out); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkModelledEncode(b *testing.B) {
+	m := NewModelled(1, 0.25)
+	for i := 0; i < b.N; i++ {
+		_ = m.Encode(nil, nil)
+	}
+}
+
+func BenchmarkMutator(b *testing.B) {
+	mut := NewMutator(1, 0.25)
+	page := make([]byte, blockdev.PageSize)
+	mut.FillRandom(page)
+	b.SetBytes(blockdev.PageSize)
+	for i := 0; i < b.N; i++ {
+		mut.Mutate(page)
+	}
+}

@@ -1,0 +1,64 @@
+package delta
+
+import (
+	"kddcache/internal/blockdev"
+	"kddcache/internal/sim"
+)
+
+// Mutator generates "new versions" of pages with controlled content
+// locality: it rewrites clustered runs of bytes so that only roughly
+// targetRatio of each page changes, reproducing the workload property the
+// paper exploits ("only 5% to 20% of bits inside a data block are changed
+// on a write operation", §II-C).
+type Mutator struct {
+	rng    *sim.RNG
+	target float64
+}
+
+// NewMutator returns a mutator whose rewrites change about targetRatio of
+// each page's bytes (0 < targetRatio <= 1).
+func NewMutator(seed uint64, targetRatio float64) *Mutator {
+	if targetRatio <= 0 || targetRatio > 1 {
+		panic("delta: target ratio out of (0,1]")
+	}
+	return &Mutator{rng: sim.NewRNG(seed), target: targetRatio}
+}
+
+// Mutate rewrites page in place, changing ~target fraction of its bytes in
+// a handful of clustered runs (real updates touch fields/records, not
+// random single bytes).
+func (m *Mutator) Mutate(page []byte) {
+	if len(page) < blockdev.PageSize {
+		panic("delta: Mutate needs a full page")
+	}
+	toChange := int(m.target * float64(blockdev.PageSize))
+	if toChange < 1 {
+		toChange = 1
+	}
+	// Spread the change over 1-8 runs.
+	runs := 1 + m.rng.Intn(8)
+	if runs > toChange {
+		runs = toChange
+	}
+	per := toChange / runs
+	for r := 0; r < runs; r++ {
+		n := per
+		if r == runs-1 {
+			n = toChange - per*(runs-1)
+		}
+		if n <= 0 {
+			continue
+		}
+		start := m.rng.Intn(blockdev.PageSize - n + 1)
+		for i := 0; i < n; i++ {
+			page[start+i] = byte(m.rng.Uint64())
+		}
+	}
+}
+
+// FillRandom fills page with random bytes (an initial version).
+func (m *Mutator) FillRandom(page []byte) {
+	for i := range page {
+		page[i] = byte(m.rng.Uint64())
+	}
+}

@@ -1,0 +1,290 @@
+// Package delta implements the delta machinery at the heart of KDD: the
+// "compressed XORs of the current version of data and the old version"
+// (§III-A) that are packed into Delta Zone pages.
+//
+// Three codecs are provided:
+//
+//   - ZRLE: XOR + zero-run-length encoding. Real-world deltas are sparse
+//     (5–20% of bits change, §II-C), so their XOR is mostly zero bytes and
+//     run-length coding captures it at lzo-like speed. This is the
+//     prototype-path stand-in for the paper's lzo.
+//   - Flate: XOR + DEFLATE via compress/flate; slower, denser.
+//   - Modelled: draws the compression ratio from a clipped Gaussian, the
+//     exact assumption the paper's simulator makes ("delta compression
+//     ratio values follow Gaussian distribution with an average equaling
+//     50%, 25%, and 12%", §IV-A2). Used by the trace-driven simulator,
+//     which carries no real bytes.
+package delta
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/sim"
+)
+
+// Errors returned by codecs.
+var (
+	ErrCorrupt  = errors.New("delta: corrupt encoding")
+	ErrNoBytes  = errors.New("delta: modelled delta carries no bytes")
+	ErrTooLarge = errors.New("delta: encoded delta exceeds a page")
+)
+
+// Delta is an encoded difference between two versions of a page.
+type Delta struct {
+	Bytes []byte // encoded payload; nil when produced by the modelled codec
+	Len   int    // encoded length in bytes (== len(Bytes) when present)
+	Raw   bool   // payload is the full new page, not an encoding (incompressible fallback)
+}
+
+// NewRaw returns an incompressible-delta fallback carrying the full new
+// page verbatim. KDD falls back to raw when a delta encodes to at least a
+// page, so DEZ space is never wasted on expansion.
+func NewRaw(newPage []byte) Delta {
+	cp := make([]byte, blockdev.PageSize)
+	copy(cp, newPage)
+	return Delta{Bytes: cp, Len: blockdev.PageSize, Raw: true}
+}
+
+// ApplyAny reconstructs the new page from old and d into out, handling
+// both codec-encoded and raw deltas.
+func ApplyAny(c Codec, old []byte, d Delta, out []byte) error {
+	if d.Raw {
+		if d.Bytes == nil {
+			return ErrNoBytes
+		}
+		copy(out[:blockdev.PageSize], d.Bytes)
+		return nil
+	}
+	return c.Apply(old, d, out)
+}
+
+// Ratio returns the delta size as a fraction of a page.
+func (d Delta) Ratio() float64 { return float64(d.Len) / float64(blockdev.PageSize) }
+
+// Codec encodes and applies page deltas.
+type Codec interface {
+	// Name identifies the codec in stats and ablation benches.
+	Name() string
+	// Encode produces the delta that transforms old into new. Both pages
+	// must be PageSize long, except for the modelled codec which accepts
+	// nil pages.
+	Encode(old, new []byte) Delta
+	// Apply reconstructs new from old and the delta into out (PageSize).
+	Apply(old []byte, d Delta, out []byte) error
+}
+
+// ---------------------------------------------------------------------------
+// ZRLE: XOR + zero-run-length encoding.
+
+// ZRLE is the fast XOR+RLE codec. The zero value is ready to use.
+type ZRLE struct{}
+
+// Name implements Codec.
+func (ZRLE) Name() string { return "zrle" }
+
+// Encode implements Codec. Encoding format: repeated groups of
+// (uvarint zeroRun, uvarint litLen, litLen literal bytes) over the XOR of
+// the two pages; trailing zeros are implicit.
+func (ZRLE) Encode(old, new []byte) Delta {
+	if len(old) < blockdev.PageSize || len(new) < blockdev.PageSize {
+		panic("delta: ZRLE.Encode needs two full pages")
+	}
+	var x [blockdev.PageSize]byte
+	for i := range x {
+		x[i] = old[i] ^ new[i]
+	}
+	out := []byte{} // non-nil: nil marks modelled deltas
+	var tmp [binary.MaxVarintLen64]byte
+	i := 0
+	for i < len(x) {
+		runStart := i
+		for i < len(x) && x[i] == 0 {
+			i++
+		}
+		zeroRun := i - runStart
+		if i == len(x) {
+			break // trailing zeros are implicit
+		}
+		litStart := i
+		// A literal run ends at the next stretch of >=4 zeros (shorter
+		// zero stretches cost more as tokens than as literals).
+		zeros := 0
+		for i < len(x) {
+			if x[i] == 0 {
+				zeros++
+				if zeros >= 4 {
+					i -= zeros - 1
+					break
+				}
+			} else {
+				zeros = 0
+			}
+			i++
+		}
+		litEnd := i
+		for litEnd > litStart && x[litEnd-1] == 0 {
+			litEnd--
+		}
+		n := binary.PutUvarint(tmp[:], uint64(zeroRun))
+		out = append(out, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(litEnd-litStart))
+		out = append(out, tmp[:n]...)
+		out = append(out, x[litStart:litEnd]...)
+		i = litEnd
+	}
+	return Delta{Bytes: out, Len: len(out)}
+}
+
+// Apply implements Codec.
+func (ZRLE) Apply(old []byte, d Delta, out []byte) error {
+	if d.Bytes == nil {
+		return ErrNoBytes
+	}
+	if len(old) < blockdev.PageSize || len(out) < blockdev.PageSize {
+		panic("delta: ZRLE.Apply needs full pages")
+	}
+	copy(out[:blockdev.PageSize], old[:blockdev.PageSize])
+	buf := d.Bytes
+	pos := 0
+	for len(buf) > 0 {
+		zeroRun, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return ErrCorrupt
+		}
+		buf = buf[n:]
+		litLen, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return ErrCorrupt
+		}
+		buf = buf[n:]
+		pos += int(zeroRun)
+		if pos+int(litLen) > blockdev.PageSize || int(litLen) > len(buf) {
+			return ErrCorrupt
+		}
+		for i := 0; i < int(litLen); i++ {
+			out[pos+i] ^= buf[i]
+		}
+		buf = buf[litLen:]
+		pos += int(litLen)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Flate: XOR + DEFLATE.
+
+// Flate compresses the XOR with DEFLATE (compress/flate), the stdlib
+// stand-in for heavier general-purpose compressors.
+type Flate struct {
+	// Level is the flate compression level; 0 means flate.DefaultCompression.
+	Level int
+}
+
+// Name implements Codec.
+func (Flate) Name() string { return "flate" }
+
+// Encode implements Codec.
+func (f Flate) Encode(old, new []byte) Delta {
+	if len(old) < blockdev.PageSize || len(new) < blockdev.PageSize {
+		panic("delta: Flate.Encode needs two full pages")
+	}
+	x := make([]byte, blockdev.PageSize)
+	for i := range x {
+		x[i] = old[i] ^ new[i]
+	}
+	lvl := f.Level
+	if lvl == 0 {
+		lvl = flate.DefaultCompression
+	}
+	var b bytes.Buffer
+	w, err := flate.NewWriter(&b, lvl)
+	if err != nil {
+		panic(fmt.Sprintf("delta: flate writer: %v", err))
+	}
+	if _, err := w.Write(x); err != nil {
+		panic(fmt.Sprintf("delta: flate write: %v", err))
+	}
+	if err := w.Close(); err != nil {
+		panic(fmt.Sprintf("delta: flate close: %v", err))
+	}
+	return Delta{Bytes: b.Bytes(), Len: b.Len()}
+}
+
+// Apply implements Codec.
+func (Flate) Apply(old []byte, d Delta, out []byte) error {
+	if d.Bytes == nil {
+		return ErrNoBytes
+	}
+	r := flate.NewReader(bytes.NewReader(d.Bytes))
+	defer r.Close()
+	x := make([]byte, blockdev.PageSize)
+	if _, err := io.ReadFull(r, x); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	for i := 0; i < blockdev.PageSize; i++ {
+		out[i] = old[i] ^ x[i]
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Modelled: Gaussian-sized deltas for the trace-driven simulator.
+
+// Modelled draws delta sizes from a clipped Gaussian, matching the
+// paper's simulation assumption. It carries no bytes and cannot Apply.
+type Modelled struct {
+	rng    *sim.RNG
+	mean   float64 // mean compression ratio, e.g. 0.25 for "KDD-25%"
+	stddev float64
+	lo, hi float64
+}
+
+// NewModelled returns a modelled codec with the given mean compression
+// ratio (fraction of a page). The standard deviation defaults to mean/4
+// and samples are clipped to [2%, 100%] of a page.
+func NewModelled(seed uint64, meanRatio float64) *Modelled {
+	if meanRatio <= 0 || meanRatio > 1 {
+		panic("delta: mean ratio out of (0,1]")
+	}
+	return &Modelled{
+		rng:    sim.NewRNG(seed),
+		mean:   meanRatio,
+		stddev: meanRatio / 4,
+		lo:     0.02,
+		hi:     1.0,
+	}
+}
+
+// Name implements Codec.
+func (m *Modelled) Name() string { return fmt.Sprintf("model-%d%%", int(m.mean*100+0.5)) }
+
+// MeanRatio returns the configured mean compression ratio.
+func (m *Modelled) MeanRatio() float64 { return m.mean }
+
+// Encode implements Codec; pages are ignored and may be nil.
+func (m *Modelled) Encode(_, _ []byte) Delta {
+	r := m.rng.Gaussian(m.mean, m.stddev, m.lo, m.hi)
+	n := int(r * float64(blockdev.PageSize))
+	if n < 1 {
+		n = 1
+	}
+	if n > blockdev.PageSize {
+		n = blockdev.PageSize
+	}
+	return Delta{Len: n}
+}
+
+// Apply implements Codec; modelled deltas carry no bytes.
+func (m *Modelled) Apply(_ []byte, _ Delta, _ []byte) error { return ErrNoBytes }
+
+var (
+	_ Codec = ZRLE{}
+	_ Codec = Flate{}
+	_ Codec = (*Modelled)(nil)
+)

@@ -1,0 +1,392 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"kddcache/internal/stats"
+	"kddcache/internal/trace"
+	"kddcache/internal/workload"
+)
+
+// Scale shrinks every experiment proportionally (footprints, request
+// counts, cache sizes). 1.0 reproduces paper-sized runs; tests and quick
+// benches use much smaller values — the curves keep their shape because
+// cache sizes scale with footprints.
+//
+// KDDLevels are the content-locality levels evaluated throughout
+// (§IV-A2): average delta compression ratios 50%, 25%, 12%.
+var KDDLevels = []float64{0.50, 0.25, 0.12}
+
+// cacheFractions are the cache-size sweep points as fractions of each
+// workload's unique-page footprint (the paper sweeps absolute page counts
+// per trace; fractions preserve the relative coverage at any scale).
+var cacheFractions = []float64{0.05, 0.10, 0.20, 0.40, 0.80}
+
+// simOpts builds the trace-driven simulator stack options (§IV-A1): null
+// devices, Table-I workload footprint, given cache size.
+func simOpts(spec workload.Spec, cachePages int64) StackOpts {
+	diskPages := spec.UniqueTotal/4 + 4096 // 5-disk RAID-5: 4 data chunks
+	diskPages -= diskPages % 16
+	return StackOpts{
+		CachePages: cachePages,
+		DiskPages:  diskPages,
+		Seed:       spec.Seed,
+	}
+}
+
+// roundWays rounds a cache size to whole sets.
+func roundWays(pages int64, ways int) int64 {
+	if pages < int64(ways) {
+		return int64(ways)
+	}
+	return pages - pages%int64(ways)
+}
+
+// runSim replays a synthesized workload through one policy and returns
+// the result.
+func runSim(spec workload.Spec, tr *trace.Trace, o StackOpts) (*Result, error) {
+	// Preserve every policy knob from o; only geometry comes from the
+	// workload.
+	base := o
+	geo := simOpts(spec, o.CachePages)
+	base.DiskPages = geo.DiskPages
+	base.Seed = geo.Seed
+	st, err := Build(base)
+	if err != nil {
+		return nil, err
+	}
+	r, err := RunTrace(st, tr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := st.Policy.Flush(r.Duration); err != nil {
+		return nil, err
+	}
+	r.Cache = st.Policy.Stats()
+	return r, nil
+}
+
+// TableI formats the synthesized workload characteristics next to the
+// paper's Table I targets.
+func TableI(scale float64) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Table I: workload characteristics (scale %.3g) ==\n", scale)
+	fmt.Fprintf(&b, "%-12s %14s %14s %14s %12s %12s %10s\n",
+		"Workload", "Unique(tot)", "Unique(rd)", "Unique(wr)", "Reads", "Writes", "RdRatio")
+	for _, spec := range workload.TableI() {
+		s := spec.Scale(scale)
+		tr := workload.Synthesize(s)
+		st := tr.Stats()
+		fmt.Fprintf(&b, "%-12s %14d %14d %14d %12d %12d %10.2f\n",
+			spec.Name, st.UniqueTotal, st.UniqueRead, st.UniqueWrite,
+			st.ReadPages, st.WritePages, st.ReadRatio)
+		fmt.Fprintf(&b, "%-12s %14d %14d %14d %12d %12d %10.2f  (paper x scale)\n",
+			"  target", int64(float64(spec.UniqueTotal)*scale),
+			int64(float64(spec.UniqueRead)*scale), int64(float64(spec.UniqueWrite)*scale),
+			int64(float64(spec.ReadPages)*scale), int64(float64(spec.WritePages)*scale),
+			spec.ReadRatio())
+	}
+	return b.String(), nil
+}
+
+// Fig4 explores metadata partition sizing: the share of cache write
+// traffic spent on metadata I/O for partition sizes 0.39–0.98% of the
+// SSD, per workload, at a representative cache size. KDD-25%.
+func Fig4(scale float64) (string, []stats.Series, error) {
+	fractions := []float64{0.0039, 0.0059, 0.0078, 0.0098}
+	var series []stats.Series
+	for _, spec := range workload.TableI() {
+		s := spec.Scale(scale)
+		tr := workload.Synthesize(s)
+		se := stats.Series{Label: spec.Name}
+		for _, mf := range fractions {
+			cachePages := roundWays(int64(0.2*float64(s.UniqueTotal)), 256)
+			r, err := runSim(s, tr, StackOpts{
+				Policy: PolicyKDD, DeltaMean: 0.25,
+				CachePages: cachePages, MetaFrac: mf,
+			})
+			if err != nil {
+				return "", nil, fmt.Errorf("fig4 %s mf=%.4f: %w", spec.Name, mf, err)
+			}
+			se.X = append(se.X, mf*100)
+			se.Y = append(se.Y, r.Cache.MetaShare()*100)
+		}
+		series = append(series, se)
+	}
+	return stats.Table("Figure 4: metadata I/O share (%) vs metadata partition size (% of SSD)",
+		"meta part(%)", series), series, nil
+}
+
+// sweepResult bundles the per-policy curves of one workload sweep.
+type sweepResult struct {
+	workload string
+	hit      []stats.Series // hit ratio per policy
+	traffic  []stats.Series // SSD writes (pages) per policy
+}
+
+// sweep runs a cache-size sweep of all policies over one workload.
+func sweep(spec workload.Spec, scale float64, withWA bool) (*sweepResult, error) {
+	s := spec.Scale(scale)
+	tr := workload.Synthesize(s)
+	out := &sweepResult{workload: spec.Name}
+
+	lineup := Policies(false, withWA, KDDLevels)
+	for _, po := range lineup {
+		label := string(po.Policy)
+		if po.Policy == PolicyKDD {
+			label = fmt.Sprintf("KDD-%d%%", int(po.DeltaMean*100+0.5))
+		}
+		hit := stats.Series{Label: label}
+		traffic := stats.Series{Label: label}
+		for _, frac := range cacheFractions {
+			cachePages := roundWays(int64(frac*float64(s.UniqueTotal)), 256)
+			po.CachePages = cachePages
+			r, err := runSim(s, tr, po)
+			if err != nil {
+				return nil, fmt.Errorf("sweep %s %s: %w", spec.Name, label, err)
+			}
+			x := float64(cachePages) / 1000
+			hit.X = append(hit.X, x)
+			hit.Y = append(hit.Y, r.Cache.HitRatio())
+			traffic.X = append(traffic.X, x)
+			traffic.Y = append(traffic.Y, float64(r.Cache.SSDWrites())/1000)
+		}
+		out.hit = append(out.hit, hit)
+		out.traffic = append(out.traffic, traffic)
+	}
+	return out, nil
+}
+
+// hitOnly filters WA out of hit-ratio figures (the paper omits WA there:
+// all writes bypass the cache).
+func hitOnly(sr *sweepResult) []stats.Series {
+	var out []stats.Series
+	for _, s := range sr.hit {
+		if s.Label != string(PolicyWA) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Fig5 and Fig6: write-dominant traces (Fin1, Hm0).
+// Fig7 and Fig8: read-dominant traces (Fin2, Web0).
+
+// FigHitRatio renders a hit-ratio figure (Fig. 5 or 7) for the given
+// workloads.
+func FigHitRatio(title string, specs []workload.Spec, scale float64) (string, error) {
+	var b strings.Builder
+	for _, spec := range specs {
+		sr, err := sweep(spec, scale, true)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(stats.Table(
+			fmt.Sprintf("%s — %s: hit ratio vs cache size (Kpages)", title, spec.Name),
+			"cache(Kpg)", hitOnly(sr)))
+	}
+	return b.String(), nil
+}
+
+// FigWriteTraffic renders an SSD write-traffic figure (Fig. 6 or 8).
+func FigWriteTraffic(title string, specs []workload.Spec, scale float64) (string, error) {
+	var b strings.Builder
+	for _, spec := range specs {
+		sr, err := sweep(spec, scale, true)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(stats.Table(
+			fmt.Sprintf("%s — %s: SSD writes (Kpages) vs cache size (Kpages)", title, spec.Name),
+			"cache(Kpg)", sr.traffic))
+	}
+	return b.String(), nil
+}
+
+// Fig5 is the write-dominant hit-ratio figure.
+func Fig5(scale float64) (string, error) {
+	return FigHitRatio("Figure 5", []workload.Spec{workload.Fin1, workload.Hm0}, scale)
+}
+
+// Fig6 is the write-dominant SSD-write-traffic figure.
+func Fig6(scale float64) (string, error) {
+	return FigWriteTraffic("Figure 6", []workload.Spec{workload.Fin1, workload.Hm0}, scale)
+}
+
+// Fig7 is the read-dominant hit-ratio figure.
+func Fig7(scale float64) (string, error) {
+	return FigHitRatio("Figure 7", []workload.Spec{workload.Fin2, workload.Web0}, scale)
+}
+
+// Fig8 is the read-dominant SSD-write-traffic figure.
+func Fig8(scale float64) (string, error) {
+	return FigWriteTraffic("Figure 8", []workload.Spec{workload.Fin2, workload.Web0}, scale)
+}
+
+// replayIOPS sets the open-loop replay rate per workload: roughly the
+// natural rates of the original traces, low enough that the cacheless
+// baseline saturates but does not diverge.
+var replayIOPS = map[string]float64{
+	"Fin1": 80, "Fin2": 120, "Hm0": 80, "Web0": 110,
+}
+
+// Fig9 measures average response time via open-loop trace replay on the
+// timing stack (HDD models + flash model): the prototype experiment of
+// §IV-B2. KDD runs at medium content locality (25%), like the paper.
+func Fig9(scale float64) (string, []stats.Series, error) {
+	var series []stats.Series
+	lineup := Policies(true, true, []float64{0.25})
+	for _, po := range lineup {
+		label := string(po.Policy)
+		if po.Policy == PolicyKDD {
+			label = "KDD"
+		}
+		se := stats.Series{Label: label}
+		for wi, spec := range workload.TableI() {
+			s := spec.Scale(scale)
+			s.MeanIOPS = replayIOPS[spec.Name]
+			tr := workload.Synthesize(s)
+			o := simOpts(s, roundWays(int64(0.25*float64(s.UniqueTotal)), 256))
+			o.Policy = po.Policy
+			o.DeltaMean = po.DeltaMean
+			o.Timing = true
+			st, err := Build(o)
+			if err != nil {
+				return "", nil, err
+			}
+			r, err := RunTrace(st, tr)
+			if err != nil {
+				return "", nil, fmt.Errorf("fig9 %s %s: %w", spec.Name, label, err)
+			}
+			se.X = append(se.X, float64(wi))
+			se.Y = append(se.Y, r.MeanResponseMs())
+		}
+		series = append(series, se)
+	}
+	var b strings.Builder
+	b.WriteString("== Figure 9: average response time (ms), open-loop replay ==\n")
+	b.WriteString("(x: 0=Fin1 1=Fin2 2=Hm0 3=Web0)\n")
+	b.WriteString(stats.Table("Figure 9", "workload#", series))
+	return b.String(), series, nil
+}
+
+// fioReadRates are the §IV-B3 sweep points.
+var fioReadRates = []float64{0, 0.25, 0.50, 0.75}
+
+// runFIO executes the closed-loop benchmark for one policy and read rate.
+func runFIO(po StackOpts, readRate, scale float64) (*Result, error) {
+	spec := workload.DefaultFIO(readRate).Scale(scale)
+	// Cache = 1GB scaled; working set 1.6GB scaled (larger than cache,
+	// like the paper).
+	cachePages := roundWays(int64(262144*scale), 256)
+	o := StackOpts{
+		Policy:     po.Policy,
+		DeltaMean:  0.25, // paper: medium content locality for prototype runs
+		CachePages: cachePages,
+		DiskPages:  roundWays(spec.WorkingSetPages/2+8192, 16),
+		Timing:     true,
+		Seed:       7,
+	}
+	st, err := Build(o)
+	if err != nil {
+		return nil, err
+	}
+	return RunClosedLoop(st, spec)
+}
+
+// Fig10 is the closed-loop average response time sweep over read rates.
+func Fig10(scale float64) (string, []stats.Series, error) {
+	lineup := Policies(true, true, []float64{0.25})
+	var series []stats.Series
+	for _, po := range lineup {
+		label := string(po.Policy)
+		if po.Policy == PolicyKDD {
+			label = "KDD"
+		}
+		se := stats.Series{Label: label}
+		for _, rr := range fioReadRates {
+			r, err := runFIO(po, rr, scale)
+			if err != nil {
+				return "", nil, fmt.Errorf("fig10 %s rr=%.2f: %w", label, rr, err)
+			}
+			se.X = append(se.X, rr*100)
+			se.Y = append(se.Y, r.MeanResponseMs())
+		}
+		series = append(series, se)
+	}
+	return stats.Table("Figure 10: average response time (ms) vs read rate (%), FIO closed loop",
+		"read rate(%)", series), series, nil
+}
+
+// Fig11 is the closed-loop SSD write traffic sweep over read rates.
+func Fig11(scale float64) (string, []stats.Series, error) {
+	lineup := Policies(false, true, []float64{0.25})
+	var series []stats.Series
+	for _, po := range lineup {
+		label := string(po.Policy)
+		if po.Policy == PolicyKDD {
+			label = "KDD"
+		}
+		se := stats.Series{Label: label}
+		for _, rr := range fioReadRates {
+			r, err := runFIO(po, rr, scale)
+			if err != nil {
+				return "", nil, fmt.Errorf("fig11 %s rr=%.2f: %w", label, rr, err)
+			}
+			se.X = append(se.X, rr*100)
+			se.Y = append(se.Y, float64(r.Cache.SSDWrites())/1000)
+		}
+		series = append(series, se)
+	}
+	return stats.Table("Figure 11: SSD write traffic (Kpages) vs read rate (%), FIO closed loop",
+		"read rate(%)", series), series, nil
+}
+
+// TableII derives the qualitative policy comparison from a quick
+// closed-loop run at 25% reads.
+func TableII(scale float64) (string, error) {
+	type row struct {
+		name    string
+		latency float64
+		writes  int64
+	}
+	var rows []row
+	for _, po := range Policies(false, true, []float64{0.25}) {
+		label := string(po.Policy)
+		if po.Policy == PolicyKDD {
+			label = "KDD"
+		}
+		r, err := runFIO(po, 0.25, scale)
+		if err != nil {
+			return "", err
+		}
+		rows = append(rows, row{label, r.MeanResponseMs(), r.Cache.SSDWrites()})
+	}
+	// Latency is "Low" if within 1.3x of the best; endurance is "Good" if
+	// SSD writes within 2x of the fewest (WA's read-fill-only floor).
+	bestLat, bestWr := rows[0].latency, rows[0].writes
+	for _, r := range rows[1:] {
+		if r.latency < bestLat {
+			bestLat = r.latency
+		}
+		if r.writes < bestWr {
+			bestWr = r.writes
+		}
+	}
+	var b strings.Builder
+	b.WriteString("== Table II: comparison of caching policies (derived) ==\n")
+	fmt.Fprintf(&b, "%-10s %14s %16s %12s %14s\n", "Policy", "I/O latency", "SSD endurance", "mean(ms)", "SSD writes")
+	for _, r := range rows {
+		lat := "High"
+		if r.latency <= 1.3*bestLat {
+			lat = "Low"
+		}
+		end := "Bad"
+		if float64(r.writes) <= 2.0*float64(bestWr) {
+			end = "Good"
+		}
+		fmt.Fprintf(&b, "%-10s %14s %16s %12.2f %14d\n", r.name, lat, end, r.latency, r.writes)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/core"
+	"kddcache/internal/delta"
+	"kddcache/internal/raid"
+	"kddcache/internal/workload"
+)
+
+// Parameter-sensitivity experiments for the simulator knobs §IV-A1 lists
+// ("cache size, page size, cache associativity, NVRAM buffer size, etc.").
+
+// AblationAssociativity sweeps the set associativity. Higher associativity
+// approaches global LRU (better hit ratios, slower lookups in real HW);
+// the stripe-aligned mapping needs sets at least as large as a stripe.
+func AblationAssociativity(scale float64) (string, error) {
+	spec := workload.Fin1.Scale(scale)
+	tr := workload.Synthesize(spec)
+	cachePages := roundWays(int64(0.15*float64(spec.UniqueTotal)), 1024)
+
+	var b strings.Builder
+	b.WriteString("== Parameter sweep: set associativity (Fin1, KDD-25%) ==\n")
+	fmt.Fprintf(&b, "%-8s %10s %14s %12s\n", "ways", "hit", "SSD writes", "evictions")
+	for _, ways := range []int{32, 64, 256, 1024} {
+		r, err := runSim(spec, tr, StackOpts{
+			Policy: PolicyKDD, DeltaMean: 0.25,
+			CachePages: cachePages, Ways: ways,
+		})
+		if err != nil {
+			return "", fmt.Errorf("associativity %d: %w", ways, err)
+		}
+		fmt.Fprintf(&b, "%-8d %10.4f %14d %12d\n",
+			ways, r.Cache.HitRatio(), r.Cache.SSDWrites(), r.Cache.Evictions)
+	}
+	return b.String(), nil
+}
+
+// AblationStaging sweeps the NVRAM staging buffer size: a larger buffer
+// coalesces more deltas before each DEZ commit (fewer, denser delta
+// pages) at the cost of more battery-backed RAM.
+func AblationStaging(scale float64) (string, error) {
+	spec := workload.Fin1.Scale(scale)
+	tr := workload.Synthesize(spec)
+	cachePages := roundWays(int64(0.15*float64(spec.UniqueTotal)), 256)
+	diskPages := spec.UniqueTotal/4 + 4096
+	diskPages -= diskPages % 16
+
+	var b strings.Builder
+	b.WriteString("== Parameter sweep: NVRAM staging buffer (Fin1, KDD-25%) ==\n")
+	fmt.Fprintf(&b, "%-12s %14s %14s %12s\n", "staging", "DEZ commits", "SSD writes", "coalesced")
+	for _, pages := range []int{1, 4, 16, 64} {
+		st, err := buildKDDWithStaging(cachePages, diskPages, pages, spec.Seed)
+		if err != nil {
+			return "", err
+		}
+		r, err := RunTrace(st, tr)
+		if err != nil {
+			return "", fmt.Errorf("staging %d: %w", pages, err)
+		}
+		if _, err := st.Policy.Flush(r.Duration); err != nil {
+			return "", err
+		}
+		k := st.Policy.(*core.KDD)
+		fmt.Fprintf(&b, "%-12s %14d %14d %12d\n",
+			fmt.Sprintf("%dKB", pages*4),
+			k.Stats().DeltaCommits, k.Stats().SSDWrites(), k.Staging().Coalesced)
+	}
+	b.WriteString("\nBigger buffers coalesce more repeat updates before committing a DEZ page.\n")
+	return b.String(), nil
+}
+
+// buildKDDWithStaging assembles a KDD stack with an explicit staging size
+// (StackOpts does not expose it; this mirrors Build's null-device path).
+func buildKDDWithStaging(cachePages, diskPages int64, stagingPages int, seed uint64) (*Stack, error) {
+	var members []blockdev.Device
+	for i := 0; i < 5; i++ {
+		members = append(members, blockdev.NewNullDevice(fmt.Sprintf("d%d", i), diskPages))
+	}
+	array, err := raid.New(raid.Config{Level: raid.Level5, ChunkPages: 16}, members)
+	if err != nil {
+		return nil, err
+	}
+	metaPages := int64(float64(cachePages) * 0.0059 / (1 - 0.0059))
+	if metaPages < 8 {
+		metaPages = 8
+	}
+	ssdDev := blockdev.NewNullDevice("ssd", cachePages+metaPages)
+	cfg := core.Config{
+		SSD: ssdDev, Backend: array,
+		CachePages: cachePages, Ways: 256,
+		MetaStart: 0, MetaPages: metaPages,
+		Codec:        delta.NewModelled(seed+99, 0.25),
+		StagingBytes: stagingPages * blockdev.PageSize,
+	}
+	k, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{Policy: k, Array: array, SSDDev: ssdDev, KDDConfig: cfg,
+		Opts: StackOpts{Policy: PolicyKDD, CachePages: cachePages, DiskPages: diskPages}}, nil
+}

@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"fmt"
+
+	"kddcache/internal/sim"
+	"kddcache/internal/stats"
+	"kddcache/internal/trace"
+	"kddcache/internal/workload"
+)
+
+// Result carries everything a figure needs from one run.
+type Result struct {
+	Policy   string
+	Cache    *stats.CacheStats
+	Latency  *stats.Histogram // response times in ns (timing runs)
+	Duration sim.Time         // virtual time of the last completion
+}
+
+// MeanResponseMs returns the mean response time in milliseconds.
+func (r *Result) MeanResponseMs() float64 {
+	return r.Latency.Mean() / float64(sim.Millisecond)
+}
+
+// IdleCleanGap is the idle interval after which the background cleaner is
+// woken ("the system has been idle for a certain period", §III-D).
+const IdleCleanGap = 200 * sim.Millisecond
+
+// RunTrace replays a trace through the stack open-loop: requests are
+// issued at their recorded timestamps regardless of completions, matching
+// the paper's RAIDmeter replay.
+func RunTrace(st *Stack, tr *trace.Trace) (*Result, error) {
+	res := &Result{Policy: st.Policy.Name(), Latency: stats.NewHistogram(1 << 16)}
+	var prev sim.Time
+	for _, req := range tr.Requests {
+		if req.Time-prev > IdleCleanGap {
+			if _, err := st.Policy.Clean(prev, false); err != nil {
+				return nil, fmt.Errorf("idle clean: %w", err)
+			}
+		}
+		prev = req.Time
+		done := req.Time
+		for p := 0; p < req.Pages; p++ {
+			var c sim.Time
+			var err error
+			if req.Op == trace.Read {
+				c, err = st.Policy.Read(req.Time, req.LBA+int64(p), nil)
+			} else {
+				c, err = st.Policy.Write(req.Time, req.LBA+int64(p), nil)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s lba %d: %w", req.Op, req.LBA+int64(p), err)
+			}
+			if c > done {
+				done = c
+			}
+		}
+		res.Latency.Observe(int64(done - req.Time))
+		if done > res.Duration {
+			res.Duration = done
+		}
+	}
+	res.Cache = st.Policy.Stats()
+	return res, nil
+}
+
+// RunClosedLoop drives the FIO-style benchmark: spec.Threads workers each
+// issue their next request the moment the previous one completes
+// ("requests are generated back to back with a limited request queue",
+// §IV-B1).
+func RunClosedLoop(st *Stack, spec workload.FIOSpec) (*Result, error) {
+	gen := workload.NewFIOGen(spec)
+	res := &Result{Policy: st.Policy.Name(), Latency: stats.NewHistogram(1 << 16)}
+	free := make([]sim.Time, spec.Threads)
+	for {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		// Pick the earliest-free thread.
+		th := 0
+		for i := 1; i < len(free); i++ {
+			if free[i] < free[th] {
+				th = i
+			}
+		}
+		start := free[th]
+		var done sim.Time
+		var err error
+		if req.Op == trace.Read {
+			done, err = st.Policy.Read(start, req.LBA, nil)
+		} else {
+			done, err = st.Policy.Write(start, req.LBA, nil)
+		}
+		if err != nil {
+			return nil, err
+		}
+		free[th] = done
+		res.Latency.Observe(int64(done - start))
+		if done > res.Duration {
+			res.Duration = done
+		}
+	}
+	res.Cache = st.Policy.Stats()
+	return res, nil
+}
+
+// Policies returns the evaluation's policy lineup for a figure. KDD
+// appears once per content-locality level when levels is non-empty.
+func Policies(withNossd, withWA bool, kddLevels []float64) []StackOpts {
+	var out []StackOpts
+	if withNossd {
+		out = append(out, StackOpts{Policy: PolicyNossd})
+	}
+	if withWA {
+		out = append(out, StackOpts{Policy: PolicyWA})
+	}
+	out = append(out, StackOpts{Policy: PolicyWT}, StackOpts{Policy: PolicyLeavO})
+	for _, m := range kddLevels {
+		out = append(out, StackOpts{Policy: PolicyKDD, DeltaMean: m})
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"testing"
+
+	"kddcache/internal/workload"
+)
+
+func TestClosedLoopDeterminism(t *testing.T) {
+	run := func() (float64, int64) {
+		st, err := Build(StackOpts{
+			Policy: PolicyKDD, DeltaMean: 0.25,
+			CachePages: 2048, DiskPages: 65536, Timing: true, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := workload.DefaultFIO(0.25).Scale(0.005)
+		r, err := RunClosedLoop(st, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.MeanResponseMs(), r.Cache.SSDWrites()
+	}
+	m1, w1 := run()
+	m2, w2 := run()
+	if m1 != m2 || w1 != w2 {
+		t.Fatalf("closed loop not deterministic: %f/%d vs %f/%d", m1, w1, m2, w2)
+	}
+}
+
+func TestClosedLoopThreadBound(t *testing.T) {
+	// With one thread everything serializes; with 16 the virtual duration
+	// must shrink substantially (throughput scales with concurrency until
+	// the devices saturate).
+	duration := func(threads int) float64 {
+		st, err := Build(StackOpts{
+			Policy: PolicyWT, CachePages: 1024, DiskPages: 65536,
+			Timing: true, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := workload.DefaultFIO(0.5).Scale(0.002)
+		spec.Threads = threads
+		r, err := RunClosedLoop(st, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Duration.Seconds()
+	}
+	d1 := duration(1)
+	d16 := duration(16)
+	// Speedup is bounded by device-level parallelism (5 spindles, and an
+	// RMW occupies two of them per phase), not by thread count; anything
+	// clearly above 1x demonstrates the closed loop overlaps requests.
+	if d16 >= d1*3/4 {
+		t.Fatalf("16 threads (%.2fs) not faster than 1 (%.2fs)", d16, d1)
+	}
+}
+
+func TestRunTraceIdleTriggersCleaner(t *testing.T) {
+	// A trace with a long idle gap must wake the cleaner: stale rows
+	// present before the gap are repaired without an explicit Flush.
+	spec := workload.Fin1.Scale(0.002)
+	spec.MeanIOPS = 50
+	tr := workload.Synthesize(spec)
+	// Insert a 10-second gap two-thirds in.
+	cut := 2 * len(tr.Requests) / 3
+	for i := cut; i < len(tr.Requests); i++ {
+		tr.Requests[i].Time += 10_000_000_000
+	}
+	st, err := Build(simOptsWith(spec, PolicyKDD, 0.25, roundWays(spec.UniqueTotal/5, 256)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTrace(st, tr); err != nil {
+		t.Fatal(err)
+	}
+	if st.Policy.Stats().CleanerRuns == 0 {
+		t.Fatal("idle gap did not wake the cleaner")
+	}
+}
+
+func TestMotivationOutput(t *testing.T) {
+	out, err := Motivation(0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"Nossd", "PLog", "NVB", "WB", "KDD"} {
+		if !containsLine(out, w) {
+			t.Fatalf("missing %q in:\n%s", w, out)
+		}
+	}
+}
+
+func containsLine(out, w string) bool {
+	return len(out) > 0 && (stringIndex(out, w) >= 0)
+}
+
+func stringIndex(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestPoliciesLineup(t *testing.T) {
+	all := Policies(true, true, []float64{0.5, 0.25})
+	if len(all) != 6 {
+		t.Fatalf("lineup size %d", len(all))
+	}
+	if all[0].Policy != PolicyNossd || all[1].Policy != PolicyWA {
+		t.Fatalf("lineup order wrong: %+v", all[:2])
+	}
+	none := Policies(false, false, nil)
+	if len(none) != 2 {
+		t.Fatalf("minimal lineup size %d", len(none))
+	}
+}

@@ -1,0 +1,271 @@
+// Package harness wires the substrates into the paper's two experimental
+// rigs — the trace-driven cache simulator (§IV-A) and the prototype-style
+// timing stack (§IV-B) — and regenerates every table and figure of the
+// evaluation section.
+package harness
+
+import (
+	"fmt"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/cache"
+	"kddcache/internal/core"
+	"kddcache/internal/delta"
+	"kddcache/internal/hdd"
+	"kddcache/internal/raid"
+	"kddcache/internal/ssd"
+)
+
+// PolicyKind selects a cache management scheme.
+type PolicyKind string
+
+// The five schemes of the evaluation, plus two extra baselines this repo
+// implements to make the paper's motivations demonstrable: WB (write-back
+// — excluded by §IV-A1 for its RPO violation) and NVB (NVRAM write
+// buffering — §I's limited alternative).
+const (
+	PolicyNossd PolicyKind = "Nossd"
+	PolicyWT    PolicyKind = "WT"
+	PolicyWA    PolicyKind = "WA"
+	PolicyLeavO PolicyKind = "LeavO"
+	PolicyKDD   PolicyKind = "KDD"
+	PolicyWB    PolicyKind = "WB"
+	PolicyNVB   PolicyKind = "NVB"
+	PolicyPLog  PolicyKind = "PLog"
+)
+
+// StackOpts configures one experiment stack.
+type StackOpts struct {
+	Policy PolicyKind
+
+	// DeltaMean sets KDD's modelled content locality (0.50/0.25/0.12 for
+	// KDD-50%/25%/12%). Ignored by other policies.
+	DeltaMean float64
+
+	// CachePages is the SSD cache data capacity in 4KB pages.
+	CachePages int64
+	// MetaFrac is the metadata partition share of the SSD (paper default
+	// 0.59%); used by KDD's circular log and LeavO's metadata region.
+	MetaFrac float64
+	// Ways is set associativity (default 256).
+	Ways int
+
+	// Timing selects realistic device models (HDD seek curves, SSD flash
+	// latencies with FTL) instead of zero-latency null devices. Null
+	// devices are the right choice for pure hit-ratio/write-traffic
+	// simulation; timing mode is the "prototype".
+	Timing bool
+
+	// DataMode backs every device with real bytes so the stack carries
+	// and verifies actual data (delta codecs run for real). Combines with
+	// Timing.
+	DataMode bool
+
+	// SSDData backs only the SSD with real bytes, so the metadata log
+	// genuinely persists while the rest of the stack stays in fast
+	// timing mode — what crash-recovery timing experiments need.
+	SSDData bool
+
+	// Disks and DiskPages shape the RAID-5 array (paper: 5 disks, 64KB
+	// chunks).
+	Disks      int
+	DiskPages  int64
+	ChunkPages int64
+	Level      raid.Level
+
+	// Seed drives every stochastic component.
+	Seed uint64
+
+	// NVBPages sizes the NVRAM write buffer for PolicyNVB (default 2048
+	// pages = 8MB: NVRAM is small "for power and cost efficiency").
+	NVBPages int
+
+	// PLogPages sizes the parity-log region for PolicyPLog (default 4096
+	// pages on a dedicated log disk).
+	PLogPages int64
+
+	// KDD knobs for ablations.
+	FixedDEZSets       int
+	ReclaimMaterialize bool
+	DisableMetaLog     bool
+	SelectiveAdmission bool
+	HighWater          float64
+	LowWater           float64
+}
+
+// withDefaults fills zero fields with the paper's configuration.
+func (o StackOpts) withDefaults() StackOpts {
+	if o.Policy == "" {
+		o.Policy = PolicyKDD
+	}
+	if o.DeltaMean == 0 {
+		o.DeltaMean = 0.25
+	}
+	if o.CachePages == 0 {
+		o.CachePages = 262144 // 1GB
+	}
+	if o.MetaFrac == 0 {
+		o.MetaFrac = 0.0059
+	}
+	if o.Ways == 0 {
+		o.Ways = 256
+	}
+	if o.Disks == 0 {
+		o.Disks = 5
+	}
+	if o.ChunkPages == 0 {
+		o.ChunkPages = 16 // 64KB
+	}
+	if o.Level == 0 {
+		o.Level = raid.Level5
+	}
+	if o.DiskPages == 0 {
+		o.DiskPages = 1 << 20 // 4GB per member
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Stack is a ready-to-run experiment rig.
+type Stack struct {
+	Policy cache.Policy
+	Array  *raid.Array
+	SSDDev blockdev.Device
+	// FlashModel is the FTL-level SSD model (nil with null devices).
+	FlashModel *ssd.Device
+	// Disks holds the HDD models (nil entries with null devices).
+	Disks []*hdd.Disk
+	Opts  StackOpts
+	// KDDConfig is the core configuration used when Policy is KDD
+	// (zero value otherwise); crash-recovery experiments rebuild from it.
+	KDDConfig core.Config
+}
+
+// Build assembles a stack.
+func Build(o StackOpts) (*Stack, error) {
+	o = o.withDefaults()
+
+	// Member disks.
+	var members []blockdev.Device
+	var disks []*hdd.Disk
+	for i := 0; i < o.Disks; i++ {
+		name := fmt.Sprintf("hdd%d", i)
+		switch {
+		case o.Timing && o.DataMode:
+			d := hdd.NewData(name, hdd.DefaultConfig(o.DiskPages), o.Seed+uint64(i)*7)
+			disks = append(disks, d)
+			members = append(members, d)
+		case o.Timing:
+			d := hdd.New(name, hdd.DefaultConfig(o.DiskPages), o.Seed+uint64(i)*7)
+			disks = append(disks, d)
+			members = append(members, d)
+		case o.DataMode:
+			members = append(members, blockdev.NewNullDataDevice(name, o.DiskPages))
+		default:
+			members = append(members, blockdev.NewNullDevice(name, o.DiskPages))
+		}
+	}
+	array, err := raid.New(raid.Config{Level: o.Level, ChunkPages: o.ChunkPages}, members)
+	if err != nil {
+		return nil, err
+	}
+
+	// SSD sizing: cache pages plus the metadata partition.
+	metaPages := int64(float64(o.CachePages) / (1 - o.MetaFrac) * o.MetaFrac)
+	if metaPages < 8 {
+		metaPages = 8
+	}
+	ssdPages := o.CachePages + metaPages
+	var ssdDev blockdev.Device
+	var flash *ssd.Device
+	ssdBytes := o.DataMode || o.SSDData
+	switch {
+	case o.Timing && ssdBytes:
+		flash = ssd.NewData("ssd", ssd.DefaultConfig(ssdPages))
+		ssdDev = flash
+	case o.Timing:
+		flash = ssd.New("ssd", ssd.DefaultConfig(ssdPages))
+		ssdDev = flash
+	case ssdBytes:
+		ssdDev = blockdev.NewNullDataDevice("ssd", ssdPages)
+	default:
+		ssdDev = blockdev.NewNullDevice("ssd", ssdPages)
+	}
+
+	st := &Stack{Array: array, SSDDev: ssdDev, FlashModel: flash, Disks: disks, Opts: o}
+	switch o.Policy {
+	case PolicyNossd:
+		st.Policy = cache.NewNossd(array)
+	case PolicyWT:
+		st.Policy = cache.NewWT(ssdDev, array, o.CachePages, metaPages, o.Ways)
+	case PolicyWA:
+		st.Policy = cache.NewWA(ssdDev, array, o.CachePages, metaPages, o.Ways)
+	case PolicyLeavO:
+		st.Policy = cache.NewLeavO(ssdDev, array, o.CachePages, metaPages, o.Ways, 0, metaPages)
+	case PolicyWB:
+		st.Policy = cache.NewWB(ssdDev, array, o.CachePages, metaPages, o.Ways)
+	case PolicyNVB:
+		nvb := o.NVBPages
+		if nvb == 0 {
+			nvb = 2048
+		}
+		st.Policy = cache.NewNVB(array, nvb)
+	case PolicyPLog:
+		cap := o.PLogPages
+		if cap == 0 {
+			cap = 4096
+		}
+		var logDev blockdev.Device
+		if o.Timing {
+			logDev = hdd.New("logdisk", hdd.DefaultConfig(cap), o.Seed+7777)
+		} else {
+			logDev = blockdev.NewNullDevice("logdisk", cap)
+		}
+		st.Policy = cache.NewPLog(array, logDev, cap)
+	case PolicyKDD:
+		var codec delta.Codec = delta.NewModelled(o.Seed+99, o.DeltaMean)
+		if o.DataMode {
+			codec = delta.ZRLE{} // real bytes: run the real codec
+		}
+		st.KDDConfig = core.Config{
+			SSD:                ssdDev,
+			Backend:            array,
+			CachePages:         o.CachePages,
+			Ways:               o.Ways,
+			MetaStart:          0,
+			MetaPages:          metaPages,
+			Codec:              codec,
+			FixedDEZSets:       o.FixedDEZSets,
+			ReclaimMaterialize: o.ReclaimMaterialize,
+			DisableMetaLog:     o.DisableMetaLog,
+			SelectiveAdmission: o.SelectiveAdmission,
+			HighWater:          o.HighWater,
+			LowWater:           o.LowWater,
+		}
+		k, err := core.New(st.KDDConfig)
+		if err != nil {
+			return nil, err
+		}
+		st.Policy = k
+	default:
+		return nil, fmt.Errorf("harness: unknown policy %q", o.Policy)
+	}
+	return st, nil
+}
+
+// freshMember builds a replacement disk matching the stack's device mode
+// (for rebuild experiments).
+func freshMember(st *Stack, diskPages int64) blockdev.Device {
+	switch {
+	case st.Opts.Timing && st.Opts.DataMode:
+		return hdd.NewData("fresh", hdd.DefaultConfig(diskPages), st.Opts.Seed+991)
+	case st.Opts.Timing:
+		return hdd.New("fresh", hdd.DefaultConfig(diskPages), st.Opts.Seed+991)
+	case st.Opts.DataMode:
+		return blockdev.NewNullDataDevice("fresh", diskPages)
+	default:
+		return blockdev.NewNullDevice("fresh", diskPages)
+	}
+}

@@ -1,0 +1,202 @@
+// Package hdd models a 7,200 RPM magnetic disk, the primary-storage device
+// in the paper's testbed (15× 1TB 7.2k drives behind Linux MD RAID-5).
+//
+// The model captures the three latency components that make the RAID
+// small-write problem expensive — seek, rotation, and media transfer —
+// plus sequential-stream detection. The paper disables drive look-ahead
+// and the volatile write cache with hdparm, so there is no on-drive
+// caching to model: every request pays for real mechanical positioning.
+//
+// Positioning model: the head position is tracked as the last-accessed
+// LBA. Seek time follows the usual square-root-of-distance curve between
+// track-to-track and full-stroke values. Rotational delay is uniform in
+// [0, one revolution) drawn from a seeded RNG, except for sequential hits
+// where both seek and rotation are skipped.
+package hdd
+
+import (
+	"fmt"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/sim"
+)
+
+// Config describes a disk model. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	Pages int64 // capacity in 4KB pages
+
+	RPM            int      // spindle speed
+	TrackToTrack   sim.Time // minimum seek
+	FullStroke     sim.Time // maximum seek
+	TransferMBps   float64  // sustained media rate
+	SeqWindowPages int64    // LBA distance treated as sequential continuation
+}
+
+// DefaultConfig returns the 1TB 7,200 RPM drive used in §IV-B.
+func DefaultConfig(pages int64) Config {
+	return Config{
+		Pages:          pages,
+		RPM:            7200,
+		TrackToTrack:   800 * sim.Microsecond,
+		FullStroke:     17 * sim.Millisecond,
+		TransferMBps:   150,
+		SeqWindowPages: 8,
+	}
+}
+
+// Disk is a single HDD with a FIFO queue.
+type Disk struct {
+	name string
+	cfg  Config
+	q    *sim.Station
+	rng  *sim.RNG
+
+	store *blockdev.MemStore // nil in timing mode
+
+	headLBA  int64 // last accessed LBA, for seek distance
+	lastEnd  int64 // LBA one past the previous access, for sequentiality
+	revTime  sim.Time
+	pageXfer sim.Time
+
+	reads, writes   int64
+	seqHits         int64
+	totalServiceOps int64
+}
+
+// New returns a timing-mode disk. seed makes rotational delays reproducible.
+func New(name string, cfg Config, seed uint64) *Disk {
+	return newDisk(name, cfg, seed, nil)
+}
+
+// NewData returns a data-mode disk backed by an in-memory store.
+func NewData(name string, cfg Config, seed uint64) *Disk {
+	return newDisk(name, cfg, seed, blockdev.NewMemStore(cfg.Pages))
+}
+
+func newDisk(name string, cfg Config, seed uint64, store *blockdev.MemStore) *Disk {
+	if cfg.Pages <= 0 || cfg.RPM <= 0 || cfg.TransferMBps <= 0 {
+		panic(fmt.Sprintf("hdd: invalid config %+v", cfg))
+	}
+	revTime := sim.Time(60.0 / float64(cfg.RPM) * float64(sim.Second))
+	bytesPerSec := cfg.TransferMBps * 1e6
+	pageXfer := sim.Time(float64(blockdev.PageSize) / bytesPerSec * float64(sim.Second))
+	return &Disk{
+		name:     name,
+		cfg:      cfg,
+		q:        sim.NewStation(name, 1),
+		rng:      sim.NewRNG(seed),
+		store:    store,
+		revTime:  revTime,
+		pageXfer: pageXfer,
+		headLBA:  0,
+		lastEnd:  -1,
+	}
+}
+
+// Name implements blockdev.Device.
+func (d *Disk) Name() string { return d.name }
+
+// Pages implements blockdev.Device.
+func (d *Disk) Pages() int64 { return d.cfg.Pages }
+
+// Reads returns the number of read operations serviced.
+func (d *Disk) Reads() int64 { return d.reads }
+
+// Writes returns the number of write operations serviced.
+func (d *Disk) Writes() int64 { return d.writes }
+
+// SeqHits returns how many operations were serviced as sequential
+// continuations (no seek, no rotation).
+func (d *Disk) SeqHits() int64 { return d.seqHits }
+
+// BusyTime returns total service time issued on the disk arm.
+func (d *Disk) BusyTime() sim.Time { return d.q.BusyTime() }
+
+// Store exposes the backing store (nil in timing mode).
+func (d *Disk) Store() *blockdev.MemStore { return d.store }
+
+// seekTime returns the seek latency for moving the head `dist` pages.
+func (d *Disk) seekTime(dist int64) sim.Time {
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist == 0 {
+		return 0
+	}
+	// t = min + (max-min) * sqrt(d / capacity)
+	frac := float64(dist) / float64(d.cfg.Pages)
+	if frac > 1 {
+		frac = 1
+	}
+	span := float64(d.cfg.FullStroke - d.cfg.TrackToTrack)
+	return d.cfg.TrackToTrack + sim.Time(span*sqrt(frac))
+}
+
+// sqrt avoids importing math for a single call site; Newton's method is
+// plenty for latency modelling and keeps the package dependency-light.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 24; i++ {
+		z -= (z*z - x) / (2 * z)
+	}
+	return z
+}
+
+// serviceTime computes positioning+transfer time for an access and updates
+// head state.
+func (d *Disk) serviceTime(lba int64, count int) sim.Time {
+	var pos sim.Time
+	if d.lastEnd >= 0 && lba >= d.lastEnd && lba-d.lastEnd <= d.cfg.SeqWindowPages {
+		// Sequential continuation: no seek, negligible rotation.
+		d.seqHits++
+	} else {
+		pos = d.seekTime(lba - d.headLBA)
+		// Uniform rotational latency in [0, revolution).
+		pos += sim.Time(d.rng.Float64() * float64(d.revTime))
+	}
+	xfer := sim.Time(int64(count)) * d.pageXfer
+	d.headLBA = lba + int64(count) - 1
+	d.lastEnd = lba + int64(count)
+	d.totalServiceOps++
+	return pos + xfer
+}
+
+// ReadPages implements blockdev.Device.
+func (d *Disk) ReadPages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+	if err := blockdev.CheckRange(lba, count, d.cfg.Pages); err != nil {
+		return t, err
+	}
+	if err := blockdev.CheckBuf(buf, count); err != nil {
+		return t, err
+	}
+	d.reads++
+	if d.store != nil && buf != nil {
+		for i := 0; i < count; i++ {
+			d.store.ReadPage(lba+int64(i), buf[i*blockdev.PageSize:(i+1)*blockdev.PageSize])
+		}
+	}
+	return d.q.Submit(t, d.serviceTime(lba, count)), nil
+}
+
+// WritePages implements blockdev.Device.
+func (d *Disk) WritePages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+	if err := blockdev.CheckRange(lba, count, d.cfg.Pages); err != nil {
+		return t, err
+	}
+	if err := blockdev.CheckBuf(buf, count); err != nil {
+		return t, err
+	}
+	d.writes++
+	if d.store != nil && buf != nil {
+		for i := 0; i < count; i++ {
+			d.store.WritePage(lba+int64(i), buf[i*blockdev.PageSize:(i+1)*blockdev.PageSize])
+		}
+	}
+	return d.q.Submit(t, d.serviceTime(lba, count)), nil
+}
+
+var _ blockdev.Device = (*Disk)(nil)

@@ -1,0 +1,45 @@
+package metalog
+
+import (
+	"testing"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/sim"
+)
+
+// BenchmarkPut measures the metadata-buffer insert path including page
+// flushes and log GC.
+func BenchmarkPut(b *testing.B) {
+	dev := blockdev.NewNullDevice("ssd", 1<<20)
+	l := New(dev, 0, 1024, 0.9)
+	rng := sim.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := Entry{State: StateClean, DazPage: uint32(rng.Uint64n(100000)), DezPage: NoDez}
+		if _, err := l.Put(0, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecover measures the head-to-tail log replay after a crash.
+func BenchmarkRecover(b *testing.B) {
+	dev := blockdev.NewNullDataDevice("ssd", 1<<20)
+	l := New(dev, 0, 1024, 0.9)
+	for i := 0; i < 200*EntriesPerPage; i++ {
+		e := Entry{State: StateClean, DazPage: uint32(i % 60000), DezPage: NoDez}
+		if _, err := l.Put(0, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctr := *l.Counters()
+	buffered := l.BufferedEntries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := ctr
+		l2 := Restore(dev, 0, 1024, 0.9, &c, buffered)
+		if _, _, err := l2.Recover(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

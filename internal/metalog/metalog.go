@@ -1,0 +1,467 @@
+// Package metalog implements KDD's persistent cache metadata: a fixed
+// partition at the beginning of the SSD managed as a circular log
+// (§III-B/C). Mapping entries accumulate in an NVRAM metadata buffer and
+// are committed one full page at a time at the log tail; reclamation is
+// oldest-first from the head, reinserting still-valid entries into the
+// buffer. The head/tail counters live in NVRAM. Recovery rebuilds the
+// mapping by scanning the log from head to tail and then overlaying the
+// NVRAM buffer.
+package metalog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/nvram"
+	"kddcache/internal/sim"
+)
+
+// State is the cache-page state recorded in mapping entries (§III-B).
+type State uint8
+
+// Page states. A Free entry records the reclamation of a DAZ page.
+const (
+	StateFree State = iota
+	StateClean
+	StateOld
+	StateDelta // never logged (DEZ mapping is embedded in Old entries); present for completeness
+)
+
+func (s State) String() string {
+	switch s {
+	case StateFree:
+		return "free"
+	case StateClean:
+		return "clean"
+	case StateOld:
+		return "old"
+	case StateDelta:
+		return "delta"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// NoDez marks entries without an associated DEZ delta.
+const NoDez = ^uint32(0)
+
+// Entry is one persistent mapping record. Encoding is variable-size,
+// following §III-C: "mapping entries in the primary map have different
+// required fields for different kinds of pages" — a free record needs
+// only the cache page, a clean record adds the storage LBA, and an old
+// record adds the delta location tuple. LBAs are 4 bytes (16TB
+// addressability at 4KB pages).
+type Entry struct {
+	State   State
+	DazPage uint32 // cache page index holding the data (lba_daz)
+	RaidLBA uint32 // storage address of the data (lba_raid)
+	DezPage uint32 // cache page holding the delta, or NoDez (lba_dez)
+	DezOff  uint16 // byte offset of the delta within the DEZ page
+	DezLen  uint16 // encoded delta length in bytes
+	DezRaw  bool   // delta is a raw full page, not an encoding
+}
+
+// On-flash entry sizes per state: 1 type byte + fields.
+const (
+	FreeEntrySize  = 1 + 4             // type, daz
+	CleanEntrySize = 1 + 4 + 4         // type, daz, raid
+	OldEntrySize   = 1 + 4 + 4 + 4 + 4 // type, daz, raid, dez, off+len
+)
+
+// EntriesPerPage is the nominal entry density of a metadata page (used
+// for buffer-sizing heuristics by LeavO's uncoalesced model; the log
+// itself packs variable-size entries).
+const EntriesPerPage = blockdev.PageSize / 20
+
+// ErrLogFull is returned when the circular log cannot reclaim space
+// because every entry is live; the partition is undersized.
+var ErrLogFull = errors.New("metalog: log full of live entries; metadata partition too small")
+
+// ErrVolatileDevice is returned by Recover when the SSD device carries no
+// bytes (timing-only mode): committed metadata pages cannot be read back,
+// so pretending to recover would silently lose the mapping. Build the
+// stack with a data-backed SSD for crash-recovery experiments.
+var ErrVolatileDevice = errors.New("metalog: cannot recover from a timing-only device that persisted no bytes")
+
+// encSize returns the on-flash size of e.
+func (e Entry) encSize() int {
+	switch e.State {
+	case StateFree:
+		return FreeEntrySize
+	case StateOld:
+		return OldEntrySize
+	default:
+		return CleanEntrySize
+	}
+}
+
+// typeByte encodes state (+1 so 0 terminates a page) and the raw flag.
+func (e Entry) typeByte() byte {
+	t := byte(e.State) + 1
+	if e.DezRaw {
+		t |= 0x80
+	}
+	return t
+}
+
+// encode writes e into b and returns the bytes consumed.
+func (e Entry) encode(b []byte) int {
+	b[0] = e.typeByte()
+	binary.LittleEndian.PutUint32(b[1:], e.DazPage)
+	switch e.State {
+	case StateFree:
+		return FreeEntrySize
+	case StateOld:
+		binary.LittleEndian.PutUint32(b[5:], e.RaidLBA)
+		binary.LittleEndian.PutUint32(b[9:], e.DezPage)
+		binary.LittleEndian.PutUint16(b[13:], e.DezOff)
+		binary.LittleEndian.PutUint16(b[15:], e.DezLen)
+		return OldEntrySize
+	default:
+		binary.LittleEndian.PutUint32(b[5:], e.RaidLBA)
+		return CleanEntrySize
+	}
+}
+
+// decodeEntry parses one entry at the start of b; n is the bytes
+// consumed, ok is false at the page terminator or on garbage.
+func decodeEntry(b []byte) (e Entry, n int, ok bool) {
+	if len(b) < FreeEntrySize || b[0] == 0 {
+		return Entry{}, 0, false
+	}
+	raw := b[0]&0x80 != 0
+	st := State(b[0]&0x7F) - 1
+	if st > StateOld {
+		return Entry{}, 0, false
+	}
+	e = Entry{State: st, DezRaw: raw, DazPage: binary.LittleEndian.Uint32(b[1:]), DezPage: NoDez}
+	switch st {
+	case StateFree:
+		return e, FreeEntrySize, true
+	case StateOld:
+		if len(b) < OldEntrySize {
+			return Entry{}, 0, false
+		}
+		e.RaidLBA = binary.LittleEndian.Uint32(b[5:])
+		e.DezPage = binary.LittleEndian.Uint32(b[9:])
+		e.DezOff = binary.LittleEndian.Uint16(b[13:])
+		e.DezLen = binary.LittleEndian.Uint16(b[15:])
+		return e, OldEntrySize, true
+	default:
+		if len(b) < CleanEntrySize {
+			return Entry{}, 0, false
+		}
+		e.RaidLBA = binary.LittleEndian.Uint32(b[5:])
+		return e, CleanEntrySize, true
+	}
+}
+
+// inBuffer marks an entry whose latest version is in the NVRAM buffer.
+const inBuffer = ^uint64(0)
+
+// Stats counts metadata traffic.
+type Stats struct {
+	PagesWritten      int64 // metadata pages committed to flash
+	EntriesLogged     int64 // entries committed (including reinsertions)
+	ReinsertedEntries int64 // entries re-logged by GC
+	ReinsertedBytes   int64 // encoded bytes re-logged by GC
+	GCRuns            int64
+	Recoveries        int64
+}
+
+// GCPageEquivalent returns GC traffic expressed in whole metadata pages.
+func (s Stats) GCPageEquivalent() int64 {
+	return s.ReinsertedBytes / blockdev.PageSize
+}
+
+// Log is the circular metadata log plus its NVRAM metadata buffer.
+type Log struct {
+	dev    blockdev.Device
+	start  int64 // first page of the metadata partition on the SSD
+	npages int64 // partition size in pages
+
+	ctr *nvram.Counters
+
+	// NVRAM metadata buffer: coalescing map with stable insertion order.
+	bufOrder []uint32 // DazPage keys in arrival order
+	buf      map[uint32]Entry
+	bufBytes int // total encoded size of buffered entries
+
+	// Volatile acceleration structures (rebuilt on recovery, §III-C: "KDD
+	// maintains a list in memory for each metadata page").
+	pageLists map[uint64][]Entry // page seq -> entries it holds
+	latest    map[uint32]uint64  // DazPage -> seq of page with its newest entry, or inBuffer
+
+	// gcThreshold is the live fraction of the partition above which GC
+	// reclaims head pages.
+	gcThreshold float64
+
+	stats Stats
+}
+
+// New creates a log over [start, start+npages) of dev with fresh NVRAM
+// counters. gcThreshold in (0,1]; 0 selects the 0.9 default.
+func New(dev blockdev.Device, start, npages int64, gcThreshold float64) *Log {
+	if npages < 2 {
+		panic("metalog: partition needs at least 2 pages")
+	}
+	if gcThreshold == 0 {
+		gcThreshold = 0.9
+	}
+	if gcThreshold <= 0 || gcThreshold > 1 {
+		panic("metalog: bad GC threshold")
+	}
+	return &Log{
+		dev:         dev,
+		start:       start,
+		npages:      npages,
+		ctr:         &nvram.Counters{},
+		buf:         make(map[uint32]Entry),
+		pageLists:   make(map[uint64][]Entry),
+		latest:      make(map[uint32]uint64),
+		gcThreshold: gcThreshold,
+	}
+}
+
+// Counters exposes the NVRAM head/tail counters (handed to recovery after
+// a simulated power failure).
+func (l *Log) Counters() *nvram.Counters { return l.ctr }
+
+// BufferedEntries returns the NVRAM metadata buffer contents in insertion
+// order (what survives a crash alongside the counters).
+func (l *Log) BufferedEntries() []Entry {
+	out := make([]Entry, 0, len(l.bufOrder))
+	for _, k := range l.bufOrder {
+		if e, ok := l.buf[k]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Stats returns a snapshot of metadata traffic counters.
+func (l *Log) Stats() Stats { return l.stats }
+
+// LivePages returns the number of committed pages currently in the log.
+func (l *Log) LivePages() int64 { return int64(l.ctr.Live()) }
+
+// Put records a mapping entry. When the buffer fills a page, the page is
+// committed to the log tail; when the log passes the GC threshold, head
+// pages are reclaimed. Returns the virtual completion time of any flash
+// writes performed (t if none).
+func (l *Log) Put(t sim.Time, e Entry) (sim.Time, error) {
+	l.bufInsert(e)
+	done := t
+	// Bound the flush loop: GC reinsertion can refill the buffer, and if
+	// every entry in the log is live no amount of cleaning makes progress
+	// — the partition is undersized.
+	for rounds := l.npages + 2; l.bufBytes >= blockdev.PageSize; rounds-- {
+		if rounds <= 0 {
+			return t, ErrLogFull
+		}
+		c, err := l.flushPage(t)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	return done, nil
+}
+
+// bufInsert adds or coalesces an entry in the NVRAM metadata buffer.
+func (l *Log) bufInsert(e Entry) {
+	if prev, ok := l.buf[e.DazPage]; ok {
+		l.bufBytes -= prev.encSize()
+	} else {
+		l.bufOrder = append(l.bufOrder, e.DazPage)
+	}
+	l.buf[e.DazPage] = e
+	l.bufBytes += e.encSize()
+	l.latest[e.DazPage] = inBuffer
+}
+
+// flushPage commits up to EntriesPerPage buffered entries to the tail.
+func (l *Log) flushPage(t sim.Time) (sim.Time, error) {
+	if len(l.buf) == 0 {
+		return t, nil
+	}
+	// Make room first so tail never collides with head.
+	if err := l.maybeGC(t); err != nil {
+		return t, err
+	}
+	var page [blockdev.PageSize]byte
+	var flushed []Entry
+	used := 0
+	full := false
+	kept := l.bufOrder[:0]
+	for _, k := range l.bufOrder {
+		e, ok := l.buf[k]
+		if !ok {
+			continue
+		}
+		if !full && used+e.encSize() <= blockdev.PageSize {
+			used += e.encode(page[used:])
+			flushed = append(flushed, e)
+			delete(l.buf, k)
+			l.bufBytes -= e.encSize()
+		} else {
+			full = true
+			kept = append(kept, k)
+		}
+	}
+	l.bufOrder = kept
+	seq := l.ctr.Tail
+	phys := l.start + int64(seq%uint64(l.npages))
+	var buf []byte
+	if l.dataMode() {
+		buf = page[:]
+	}
+	done, err := l.dev.WritePages(t, phys, 1, buf)
+	if err != nil {
+		return t, err
+	}
+	l.ctr.Tail++
+	l.pageLists[seq] = flushed
+	for _, e := range flushed {
+		l.latest[e.DazPage] = seq
+		l.stats.EntriesLogged++
+	}
+	l.stats.PagesWritten++
+	return done, nil
+}
+
+// Flush commits all buffered entries (final partial page included); used
+// on clean shutdown and before planned failovers.
+func (l *Log) Flush(t sim.Time) (sim.Time, error) {
+	done := t
+	for len(l.buf) > 0 {
+		c, err := l.flushPage(t)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	return done, nil
+}
+
+// maybeGC reclaims head pages while the log is above its threshold.
+// Valid entries of the candidate page are reinserted into the metadata
+// buffer from the in-memory page list — no flash read needed (§III-C).
+func (l *Log) maybeGC(t sim.Time) error {
+	max := int64(float64(l.npages) * l.gcThreshold)
+	if max < 1 {
+		max = 1
+	}
+	guard := l.npages * 2 // bound the work; a full-live log cannot make progress
+	for l.LivePages() >= max {
+		if guard--; guard < 0 {
+			return ErrLogFull
+		}
+		head := l.ctr.Head
+		if head == l.ctr.Tail {
+			return nil
+		}
+		l.stats.GCRuns++
+		for _, e := range l.pageLists[head] {
+			if l.latest[e.DazPage] != head {
+				continue // superseded later; dead
+			}
+			if e.State == StateFree {
+				// Head is the oldest page: no earlier entry can exist that
+				// this free marker must supersede, so it can be dropped.
+				delete(l.latest, e.DazPage)
+				continue
+			}
+			l.bufInsert(e)
+			l.stats.ReinsertedEntries++
+			l.stats.ReinsertedBytes += int64(e.encSize())
+		}
+		delete(l.pageLists, head)
+		l.ctr.Head++
+		// Reinsertions may refill the buffer past a page; the caller's
+		// flush loop handles that.
+		if l.bufBytes >= blockdev.PageSize && l.LivePages() < max {
+			break
+		}
+	}
+	return nil
+}
+
+func (l *Log) dataMode() bool {
+	type storer interface{ Store() *blockdev.MemStore }
+	if s, ok := l.dev.(storer); ok {
+		return s.Store() != nil
+	}
+	return false
+}
+
+// Recover rebuilds a log's volatile structures after a power failure: it
+// re-reads every live metadata page from flash (head to tail), replays
+// the entries in commit order, then overlays the NVRAM buffer. It returns
+// the final surviving mapping entries in replay order so the cache can
+// rebuild its primary map (§III-E1).
+//
+// The receiver must have been constructed with Restore (same device,
+// partition, counters and buffered entries as before the crash).
+func (l *Log) Recover(t sim.Time) ([]Entry, sim.Time, error) {
+	if !l.dataMode() && l.ctr.Live() > 0 {
+		return nil, t, ErrVolatileDevice
+	}
+	l.stats.Recoveries++
+	l.pageLists = make(map[uint64][]Entry)
+	l.latest = make(map[uint32]uint64)
+	var page [blockdev.PageSize]byte
+	done := t
+	var replay []Entry
+	for seq := l.ctr.Head; seq != l.ctr.Tail; seq++ {
+		phys := l.start + int64(seq%uint64(l.npages))
+		var buf []byte
+		if l.dataMode() {
+			buf = page[:]
+		}
+		c, err := l.dev.ReadPages(t, phys, 1, buf)
+		if err != nil {
+			return nil, t, err
+		}
+		done = sim.MaxTime(done, c)
+		var entries []Entry
+		if l.dataMode() {
+			for i := 0; i < blockdev.PageSize; {
+				e, n, ok := decodeEntry(page[i:])
+				if !ok {
+					break
+				}
+				entries = append(entries, e)
+				i += n
+			}
+		}
+		l.pageLists[seq] = entries
+		for _, e := range entries {
+			l.latest[e.DazPage] = seq
+			replay = append(replay, e)
+		}
+	}
+	// Overlay NVRAM buffer (newest state per DazPage).
+	for _, k := range l.bufOrder {
+		if e, ok := l.buf[k]; ok {
+			l.latest[e.DazPage] = inBuffer
+			replay = append(replay, e)
+		}
+	}
+	return replay, done, nil
+}
+
+// Restore reconstructs a Log handle around surviving NVRAM state after a
+// crash: same device and partition, the NVRAM counters, and the NVRAM
+// metadata buffer contents in order. Call Recover next.
+func Restore(dev blockdev.Device, start, npages int64, gcThreshold float64,
+	ctr *nvram.Counters, buffered []Entry) *Log {
+	l := New(dev, start, npages, gcThreshold)
+	l.ctr = ctr
+	for _, e := range buffered {
+		l.bufInsert(e)
+	}
+	return l
+}

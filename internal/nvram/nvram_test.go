@@ -1,0 +1,154 @@
+package nvram
+
+import (
+	"testing"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/delta"
+)
+
+func sd(daz int64, n int) StagedDelta {
+	return StagedDelta{DazPage: daz, RaidLBA: daz * 10, D: delta.Delta{Len: n}}
+}
+
+func TestStagingPutGetDrop(t *testing.T) {
+	s := NewStaging(4 * blockdev.PageSize)
+	s.Put(sd(1, 100))
+	s.Put(sd(2, 200))
+	if s.Len() != 2 || s.Bytes() != 300 {
+		t.Fatalf("len=%d bytes=%d", s.Len(), s.Bytes())
+	}
+	d, ok := s.Get(1)
+	if !ok || d.D.Len != 100 {
+		t.Fatalf("Get(1) = %+v, %v", d, ok)
+	}
+	s.Drop(1)
+	if _, ok := s.Get(1); ok {
+		t.Fatal("dropped delta still present")
+	}
+	if s.Bytes() != 200 || s.Invalidated != 1 {
+		t.Fatalf("bytes=%d invalidated=%d", s.Bytes(), s.Invalidated)
+	}
+	s.Drop(99) // no-op
+}
+
+func TestStagingCoalescing(t *testing.T) {
+	s := NewStaging(4 * blockdev.PageSize)
+	s.Put(sd(7, 500))
+	s.Put(sd(7, 50)) // newer delta replaces older in place
+	if s.Len() != 1 || s.Bytes() != 50 || s.Coalesced != 1 {
+		t.Fatalf("len=%d bytes=%d coalesced=%d", s.Len(), s.Bytes(), s.Coalesced)
+	}
+	d, _ := s.Get(7)
+	if d.D.Len != 50 {
+		t.Fatal("old delta survived coalescing")
+	}
+}
+
+func TestStagingFullAndPackPageFIFO(t *testing.T) {
+	s := NewStaging(blockdev.PageSize)
+	for i := int64(0); i < 5; i++ {
+		s.Put(sd(i, 1000))
+	}
+	if !s.Full() {
+		t.Fatal("buffer should be full")
+	}
+	packed := s.PackPage()
+	// 4 deltas of 1000 bytes fit a 4096-byte page; FIFO order.
+	if len(packed) != 4 {
+		t.Fatalf("packed %d deltas, want 4", len(packed))
+	}
+	for i, d := range packed {
+		if d.DazPage != int64(i) {
+			t.Fatalf("packed out of FIFO order: %v", packed)
+		}
+	}
+	if s.Len() != 1 || s.Bytes() != 1000 {
+		t.Fatalf("leftover len=%d bytes=%d", s.Len(), s.Bytes())
+	}
+}
+
+func TestStagingPackSkipsTombstones(t *testing.T) {
+	s := NewStaging(blockdev.PageSize)
+	s.Put(sd(1, 1000))
+	s.Put(sd(2, 1000))
+	s.Put(sd(3, 1000))
+	s.Drop(2)
+	packed := s.PackPage()
+	if len(packed) != 2 || packed[0].DazPage != 1 || packed[1].DazPage != 3 {
+		t.Fatalf("packed = %+v", packed)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("leftover %d", s.Len())
+	}
+}
+
+func TestStagingPackEmptyReturnsNil(t *testing.T) {
+	s := NewStaging(blockdev.PageSize)
+	if got := s.PackPage(); got != nil {
+		t.Fatalf("PackPage on empty = %v", got)
+	}
+}
+
+func TestStagingOversizeDeltaAlonePerPage(t *testing.T) {
+	s := NewStaging(blockdev.PageSize)
+	s.Put(sd(1, blockdev.PageSize)) // raw full-page delta
+	s.Put(sd(2, 10))
+	packed := s.PackPage()
+	if len(packed) != 1 || packed[0].DazPage != 1 {
+		t.Fatalf("packed = %+v", packed)
+	}
+	packed = s.PackPage()
+	if len(packed) != 1 || packed[0].DazPage != 2 {
+		t.Fatalf("second pack = %+v", packed)
+	}
+}
+
+func TestStagingAllSurvivesForRecovery(t *testing.T) {
+	s := NewStaging(8 * blockdev.PageSize)
+	s.Put(sd(1, 10))
+	s.Put(sd(2, 20))
+	s.Drop(1)
+	all := s.All()
+	if len(all) != 1 || all[0].DazPage != 2 {
+		t.Fatalf("All = %+v", all)
+	}
+}
+
+func TestStagingIndexConsistentAfterPack(t *testing.T) {
+	s := NewStaging(blockdev.PageSize)
+	for i := int64(0); i < 8; i++ {
+		s.Put(sd(i, 700))
+	}
+	s.PackPage()
+	// Remaining deltas must still be addressable and coalescible.
+	for i := int64(0); i < 8; i++ {
+		if d, ok := s.Get(i); ok {
+			s.Put(sd(i, d.D.Len/2))
+		}
+	}
+	if s.Len() == 0 {
+		t.Fatal("expected leftovers after single pack")
+	}
+	for _, d := range s.All() {
+		if got, ok := s.Get(d.DazPage); !ok || got.D.Len != d.D.Len {
+			t.Fatal("index out of sync with fifo")
+		}
+	}
+}
+
+func TestStagingPanicsOnTinyCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStaging(100)
+}
+
+func TestCountersLive(t *testing.T) {
+	c := Counters{Head: 3, Tail: 10}
+	if c.Live() != 7 {
+		t.Fatalf("Live = %d", c.Live())
+	}
+}

@@ -1,0 +1,348 @@
+package raid
+
+import (
+	"errors"
+	"fmt"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/sim"
+)
+
+// Errors returned by the array.
+var (
+	ErrTooManyFailures = errors.New("raid: too many failed disks")
+	ErrStaleParity     = errors.New("raid: degraded read hit a row with stale parity (data loss window)")
+	ErrNeedResync      = errors.New("raid: stale parity rows present; resync before rebuild")
+	ErrNotDegraded     = errors.New("raid: no failed disk to rebuild")
+	ErrBadGeometry     = errors.New("raid: invalid geometry")
+)
+
+// Config describes an array.
+type Config struct {
+	Level      Level
+	ChunkPages int64 // pages per chunk (paper default: 64KB/4KB = 16)
+}
+
+// Stats counts member-disk operations by cause.
+type Stats struct {
+	DataReads    int64 // data-page reads for user requests
+	DataWrites   int64 // data-page writes for user requests
+	ParityReads  int64 // parity reads (RMW)
+	ParityWrites int64 // parity writes
+	RebuildReads int64
+	RebuildWrite int64
+	DegradedRead int64 // reconstruct-on-read operations
+	NoParityWr   int64 // writes issued through WriteNoParity
+	ParityFixes  int64 // deferred parity updates applied
+}
+
+// Array is a parity-protected disk array over member block devices.
+//
+// All member devices must have equal capacity. The array runs in data mode
+// when the members carry real bytes (buffers non-nil), or in timing mode
+// (nil buffers); parity is byte-accurate in data mode.
+type Array struct {
+	cfg    Config
+	geo    layout
+	disks  []*blockdev.FaultDevice
+	stale  map[int64]bool // rows whose parity is stale (delayed updates)
+	failed int            // count of currently failed disks
+	stats  Stats
+}
+
+// New builds an array over the given member devices, wrapping each in a
+// FaultDevice for failure injection.
+func New(cfg Config, members []blockdev.Device) (*Array, error) {
+	n := len(members)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no disks", ErrBadGeometry)
+	}
+	switch cfg.Level {
+	case Level0:
+		if n < 2 {
+			return nil, fmt.Errorf("%w: RAID-0 needs >=2 disks", ErrBadGeometry)
+		}
+	case Level1:
+		if n < 2 {
+			return nil, fmt.Errorf("%w: RAID-1 needs >=2 disks", ErrBadGeometry)
+		}
+	case Level5:
+		if n < 3 {
+			return nil, fmt.Errorf("%w: RAID-5 needs >=3 disks", ErrBadGeometry)
+		}
+	case Level6:
+		if n < 4 {
+			return nil, fmt.Errorf("%w: RAID-6 needs >=4 disks", ErrBadGeometry)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unsupported level %d", ErrBadGeometry, cfg.Level)
+	}
+	if cfg.ChunkPages <= 0 {
+		return nil, fmt.Errorf("%w: chunk must be positive", ErrBadGeometry)
+	}
+	pages := members[0].Pages()
+	for _, m := range members[1:] {
+		if m.Pages() != pages {
+			return nil, fmt.Errorf("%w: member sizes differ", ErrBadGeometry)
+		}
+	}
+	a := &Array{
+		cfg: cfg,
+		geo: layout{
+			level:      cfg.Level,
+			disks:      n,
+			chunkPages: cfg.ChunkPages,
+			diskPages:  pages,
+		},
+		stale: make(map[int64]bool),
+	}
+	for _, m := range members {
+		a.disks = append(a.disks, blockdev.NewFaultDevice(m))
+	}
+	return a, nil
+}
+
+// Name implements blockdev.Device.
+func (a *Array) Name() string { return a.cfg.Level.String() }
+
+// Pages implements blockdev.Device (logical capacity).
+func (a *Array) Pages() int64 { return a.geo.dataPages() }
+
+// Disks returns the number of member disks.
+func (a *Array) Disks() int { return len(a.disks) }
+
+// Member returns the inner device of member disk i (for inspection by
+// tests and tooling; do not issue I/O through it).
+func (a *Array) Member(i int) blockdev.Device { return a.disks[i].Inner }
+
+// Stats returns a snapshot of operation counters.
+func (a *Array) Stats() Stats { return a.stats }
+
+// StaleRows returns the number of rows with stale parity.
+func (a *Array) StaleRows() int { return len(a.stale) }
+
+// Level returns the array's RAID level.
+func (a *Array) Level() Level { return a.cfg.Level }
+
+// ChunkPages returns pages per chunk.
+func (a *Array) ChunkPages() int64 { return a.geo.chunkPages }
+
+// DataChunks returns data chunks per stripe.
+func (a *Array) DataChunks() int { return int(a.geo.dataChunksPerStripe()) }
+
+// StripePages returns logical pages per stripe (the paper's parity-stripe
+// granularity for cache-set alignment).
+func (a *Array) StripePages() int64 {
+	return a.geo.chunkPages * a.geo.dataChunksPerStripe()
+}
+
+// StripeOf returns the stripe number holding the logical page.
+func (a *Array) StripeOf(lba int64) int64 { return lba / a.StripePages() }
+
+// RowPeers returns the logical LBAs that share a parity row with lba
+// (including lba itself), in data-chunk order. A parity row is one page
+// per data chunk at the same disk offset — the unit over which P/Q are
+// computed.
+func (a *Array) RowPeers(lba int64) []int64 {
+	l := a.geo.locate(lba)
+	dc := int(a.geo.dataChunksPerStripe())
+	pic := l.row % a.geo.chunkPages
+	peers := make([]int64, 0, dc)
+	for i := 0; i < dc; i++ {
+		peers = append(peers, a.geo.logicalLBA(l.stripe, i, pic))
+	}
+	return peers
+}
+
+// pageBuf returns the i-th page of buf, or nil in timing mode.
+func pageBuf(buf []byte, i int) []byte {
+	if buf == nil {
+		return nil
+	}
+	return buf[i*blockdev.PageSize : (i+1)*blockdev.PageSize]
+}
+
+// ReadPages implements blockdev.Device. Failed members trigger degraded
+// reconstruction where the level allows it.
+func (a *Array) ReadPages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+	if err := blockdev.CheckRange(lba, count, a.Pages()); err != nil {
+		return t, err
+	}
+	if err := blockdev.CheckBuf(buf, count); err != nil {
+		return t, err
+	}
+	done := t
+	for i := 0; i < count; i++ {
+		c, err := a.readPage(t, lba+int64(i), pageBuf(buf, i))
+		if err != nil {
+			return t, err
+		}
+		if c > done {
+			done = c
+		}
+	}
+	return done, nil
+}
+
+func (a *Array) readPage(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
+	l := a.geo.locate(lba)
+	if a.cfg.Level == Level1 {
+		// Read from the first healthy mirror, rotating by LBA to spread
+		// load.
+		n := len(a.disks)
+		start := int(lba) % n
+		for k := 0; k < n; k++ {
+			d := a.disks[(start+k)%n]
+			if d.Failed() {
+				continue
+			}
+			a.stats.DataReads++
+			return d.ReadPages(t, l.row, 1, buf)
+		}
+		return t, ErrTooManyFailures
+	}
+	if !a.disks[l.disk].Failed() {
+		a.stats.DataReads++
+		return a.disks[l.disk].ReadPages(t, l.row, 1, buf)
+	}
+	return a.degradedRead(t, l, buf)
+}
+
+// WritePages implements blockdev.Device: the conventional write path with
+// immediate parity maintenance. Runs of pages covering an entire parity
+// row use reconstruct-write; single pages use read-modify-write — the two
+// modes named in §III-A.
+func (a *Array) WritePages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+	if err := blockdev.CheckRange(lba, count, a.Pages()); err != nil {
+		return t, err
+	}
+	if err := blockdev.CheckBuf(buf, count); err != nil {
+		return t, err
+	}
+	done := t
+	for i := 0; i < count; i++ {
+		c, err := a.writePage(t, lba+int64(i), pageBuf(buf, i))
+		if err != nil {
+			return t, err
+		}
+		if c > done {
+			done = c
+		}
+	}
+	return done, nil
+}
+
+// writePage performs a small write with parity update.
+func (a *Array) writePage(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
+	l := a.geo.locate(lba)
+	switch a.cfg.Level {
+	case Level0:
+		a.stats.DataWrites++
+		return a.disks[l.disk].WritePages(t, l.row, 1, buf)
+	case Level1:
+		done := t
+		wrote := 0
+		for _, d := range a.disks {
+			if d.Failed() {
+				continue
+			}
+			a.stats.DataWrites++
+			c, err := d.WritePages(t, l.row, 1, buf)
+			if err != nil {
+				return t, err
+			}
+			wrote++
+			if c > done {
+				done = c
+			}
+		}
+		if wrote == 0 {
+			return t, ErrTooManyFailures
+		}
+		return done, nil
+	case Level5, Level6:
+		return a.smallWrite(t, l, buf)
+	}
+	return t, ErrBadGeometry
+}
+
+// smallWrite is the read-modify-write path: read old data and old
+// parity(ies) in parallel, then write new data and new parity(ies) in
+// parallel — "two read and two write disk I/O operations" (§I) for RAID-5.
+func (a *Array) smallWrite(t sim.Time, l loc, buf []byte) (sim.Time, error) {
+	dataDev := a.disks[l.disk]
+	if dataDev.Failed() || a.disks[l.pDisk].Failed() ||
+		(l.qDisk >= 0 && a.disks[l.qDisk].Failed()) {
+		return a.degradedWrite(t, l, buf)
+	}
+
+	var oldData, oldP, oldQ []byte
+	if buf != nil {
+		oldData = make([]byte, blockdev.PageSize)
+		oldP = make([]byte, blockdev.PageSize)
+		if l.qDisk >= 0 {
+			oldQ = make([]byte, blockdev.PageSize)
+		}
+	}
+
+	// Phase 1: parallel reads of old data and parity.
+	phase1 := t
+	a.stats.DataReads++
+	c, err := dataDev.ReadPages(t, l.row, 1, oldData)
+	if err != nil {
+		return t, err
+	}
+	phase1 = sim.MaxTime(phase1, c)
+	a.stats.ParityReads++
+	c, err = a.disks[l.pDisk].ReadPages(t, l.row, 1, oldP)
+	if err != nil {
+		return t, err
+	}
+	phase1 = sim.MaxTime(phase1, c)
+	if l.qDisk >= 0 {
+		a.stats.ParityReads++
+		c, err = a.disks[l.qDisk].ReadPages(t, l.row, 1, oldQ)
+		if err != nil {
+			return t, err
+		}
+		phase1 = sim.MaxTime(phase1, c)
+	}
+
+	// Compute new parity: P' = P ^ old ^ new; Q' = Q ^ g^i·(old ^ new).
+	var newP, newQ []byte
+	if buf != nil {
+		diff := make([]byte, blockdev.PageSize)
+		copy(diff, oldData)
+		xorInto(diff, buf)
+		newP = oldP
+		xorInto(newP, diff)
+		if l.qDisk >= 0 {
+			newQ = oldQ
+			gfMulInto(newQ, diff, gfPow(l.dataIdx))
+		}
+	}
+
+	// Phase 2: parallel writes of new data and parity.
+	done := phase1
+	a.stats.DataWrites++
+	c, err = dataDev.WritePages(phase1, l.row, 1, buf)
+	if err != nil {
+		return t, err
+	}
+	done = sim.MaxTime(done, c)
+	a.stats.ParityWrites++
+	c, err = a.disks[l.pDisk].WritePages(phase1, l.row, 1, newP)
+	if err != nil {
+		return t, err
+	}
+	done = sim.MaxTime(done, c)
+	if l.qDisk >= 0 {
+		a.stats.ParityWrites++
+		c, err = a.disks[l.qDisk].WritePages(phase1, l.row, 1, newQ)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	return done, nil
+}

@@ -1,0 +1,152 @@
+package raid
+
+import "fmt"
+
+// Level identifies the array organisation.
+type Level int
+
+// Supported RAID levels.
+const (
+	Level0 Level = 0
+	Level1 Level = 1
+	Level5 Level = 5
+	Level6 Level = 6
+)
+
+func (l Level) String() string { return fmt.Sprintf("RAID-%d", int(l)) }
+
+// parityDisks returns how many disks per stripe hold parity.
+func (l Level) parityDisks() int {
+	switch l {
+	case Level5:
+		return 1
+	case Level6:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// faultTolerance returns how many simultaneous disk losses are survivable.
+func (l Level) faultTolerance(disks int) int {
+	switch l {
+	case Level1:
+		return disks - 1
+	case Level5:
+		return 1
+	case Level6:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// loc pins one logical page onto the array.
+type loc struct {
+	stripe  int64 // stripe number
+	row     int64 // disk LBA: stripe*chunkPages + pageInChunk
+	dataIdx int   // index of the page's chunk among the stripe's data chunks
+	disk    int   // disk holding the data page
+	pDisk   int   // disk holding P parity for this stripe (-1 if none)
+	qDisk   int   // disk holding Q parity (-1 if none)
+}
+
+// layout computes address mapping for an array.
+type layout struct {
+	level      Level
+	disks      int
+	chunkPages int64
+	diskPages  int64 // capacity of each member disk
+}
+
+// dataChunksPerStripe returns the number of data chunks in one stripe.
+func (g *layout) dataChunksPerStripe() int64 {
+	if g.level == Level1 {
+		return 1
+	}
+	return int64(g.disks - g.level.parityDisks())
+}
+
+// dataPages returns the logical capacity in pages: every disk LBA is one
+// row, and each row carries one page per data chunk.
+func (g *layout) dataPages() int64 {
+	usableRows := g.diskPages - g.diskPages%g.chunkPages // whole chunks only
+	return usableRows * g.dataChunksPerStripe()
+}
+
+// locate maps a logical page number to its physical location.
+// Left-symmetric rotation: parity starts on the last disk and moves left
+// each stripe; data chunks wrap around starting just after the parity
+// (after Q for RAID-6), matching the Linux MD default layout.
+func (g *layout) locate(lba int64) loc {
+	dc := g.dataChunksPerStripe()
+	stripePages := g.chunkPages * dc
+	stripe := lba / stripePages
+	off := lba % stripePages
+	dataIdx := int(off / g.chunkPages)
+	pageInChunk := off % g.chunkPages
+	row := stripe*g.chunkPages + pageInChunk
+
+	l := loc{stripe: stripe, row: row, dataIdx: dataIdx, pDisk: -1, qDisk: -1}
+	switch g.level {
+	case Level0:
+		l.disk = dataIdx
+	case Level1:
+		l.disk = 0 // primary copy; mirrors handled by the array
+	case Level5:
+		p := g.disks - 1 - int(stripe%int64(g.disks))
+		l.pDisk = p
+		l.disk = (p + 1 + dataIdx) % g.disks
+	case Level6:
+		p := g.disks - 1 - int(stripe%int64(g.disks))
+		q := (p + 1) % g.disks
+		l.pDisk = p
+		l.qDisk = q
+		l.disk = (q + 1 + dataIdx) % g.disks
+	}
+	return l
+}
+
+// rowLoc describes a full parity row (same disk LBA across the stripe):
+// which disks hold the data pages (in data-chunk order) and parity.
+type rowLoc struct {
+	row       int64
+	dataDisks []int
+	pDisk     int
+	qDisk     int
+}
+
+// locateRow expands the row containing disk LBA `row` within `stripe`.
+func (g *layout) locateRow(stripe int64) rowLoc {
+	dc := int(g.dataChunksPerStripe())
+	rl := rowLoc{pDisk: -1, qDisk: -1}
+	switch g.level {
+	case Level0:
+		for i := 0; i < dc; i++ {
+			rl.dataDisks = append(rl.dataDisks, i)
+		}
+	case Level1:
+		rl.dataDisks = []int{0}
+	case Level5:
+		p := g.disks - 1 - int(stripe%int64(g.disks))
+		rl.pDisk = p
+		for i := 0; i < dc; i++ {
+			rl.dataDisks = append(rl.dataDisks, (p+1+i)%g.disks)
+		}
+	case Level6:
+		p := g.disks - 1 - int(stripe%int64(g.disks))
+		q := (p + 1) % g.disks
+		rl.pDisk = p
+		rl.qDisk = q
+		for i := 0; i < dc; i++ {
+			rl.dataDisks = append(rl.dataDisks, (q+1+i)%g.disks)
+		}
+	}
+	return rl
+}
+
+// logicalLBA is the inverse of locate for a (stripe, dataIdx, pageInChunk).
+func (g *layout) logicalLBA(stripe int64, dataIdx int, pageInChunk int64) int64 {
+	dc := g.dataChunksPerStripe()
+	return stripe*g.chunkPages*dc + int64(dataIdx)*g.chunkPages + pageInChunk
+}

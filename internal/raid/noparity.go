@@ -1,0 +1,283 @@
+package raid
+
+import (
+	"kddcache/internal/blockdev"
+	"kddcache/internal/sim"
+)
+
+// This file implements the two interfaces the paper adds between the SSD
+// cache and the RAID storage (§III-A): write-without-parity-update and
+// parity-update, plus full-row reconstruct writes.
+
+// WriteNoParity writes count data pages without touching parity, marking
+// the affected rows stale. This is KDD's write-hit fast path: one disk
+// write instead of the 4-I/O read-modify-write.
+func (a *Array) WriteNoParity(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+	if err := blockdev.CheckRange(lba, count, a.Pages()); err != nil {
+		return t, err
+	}
+	if err := blockdev.CheckBuf(buf, count); err != nil {
+		return t, err
+	}
+	if a.cfg.Level != Level5 && a.cfg.Level != Level6 {
+		// Non-parity levels have nothing to delay; fall back.
+		return a.WritePages(t, lba, count, buf)
+	}
+	done := t
+	for i := 0; i < count; i++ {
+		l := a.geo.locate(lba + int64(i))
+		if a.disks[l.disk].Failed() {
+			// Cannot place the data without redundancy; use the degraded
+			// full path instead.
+			c, err := a.degradedWrite(t, l, pageBuf(buf, i))
+			if err != nil {
+				return t, err
+			}
+			done = sim.MaxTime(done, c)
+			continue
+		}
+		a.stats.DataWrites++
+		a.stats.NoParityWr++
+		c, err := a.disks[l.disk].WritePages(t, l.row, 1, pageBuf(buf, i))
+		if err != nil {
+			return t, err
+		}
+		a.stale[a.staleKey(l)] = true
+		done = sim.MaxTime(done, c)
+	}
+	return done, nil
+}
+
+// staleKey identifies a parity row globally: disk row × one entry.
+func (a *Array) staleKey(l loc) int64 { return l.row }
+
+// rowStale reports whether the parity row holding l is stale.
+func (a *Array) rowStale(l loc) bool { return a.stale[l.row] }
+
+// ParityUpdateDelta repairs the parity of lba's row by XOR-ing the
+// decompressed delta (old data ⊕ current data) into the stale parity:
+// the read-modify-write flavour of the paper's background parity update
+// (§III-D). delta may be nil in timing mode. Deltas for several pages of
+// the same row can be applied in one call via lbas/deltas pairs.
+func (a *Array) ParityUpdateDelta(t sim.Time, lbas []int64, deltas [][]byte) (sim.Time, error) {
+	if len(lbas) == 0 {
+		return t, nil
+	}
+	l := a.geo.locate(lbas[0])
+	for _, x := range lbas[1:] {
+		if a.geo.locate(x).row != l.row {
+			panic("raid: ParityUpdateDelta spans multiple rows")
+		}
+	}
+	if a.cfg.Level != Level5 && a.cfg.Level != Level6 {
+		return t, nil
+	}
+	pFailed := a.disks[l.pDisk].Failed()
+	qFailed := l.qDisk >= 0 && a.disks[l.qDisk].Failed()
+	if pFailed && (l.qDisk < 0 || qFailed) {
+		// Every parity device of this row is lost. The data disks hold
+		// the current data (KDD always dispatches data), so the rebuild
+		// will recompute this parity from scratch; nothing to repair now
+		// and no read can consult the dead parity in the meantime.
+		delete(a.stale, l.row)
+		a.stats.ParityFixes++
+		return t, nil
+	}
+	if pFailed || qFailed {
+		// RAID-6 with one parity member lost: fold the deltas into the
+		// surviving one; the dead one is recomputed by rebuild.
+		done := t
+		for i, lbaI := range lbas {
+			var diff []byte
+			if deltas != nil {
+				diff = deltas[i]
+			}
+			li := a.geo.locate(lbaI)
+			rl := a.geo.locateRow(li.stripe)
+			rl.row = li.row
+			c, err := a.applyParityDiff(t, li, rl, diff, !pFailed, !qFailed)
+			if err != nil {
+				return t, err
+			}
+			done = sim.MaxTime(done, c)
+		}
+		delete(a.stale, l.row)
+		a.stats.ParityFixes++
+		return done, nil
+	}
+
+	var p, q []byte
+	data := deltas != nil
+	if data {
+		p = make([]byte, blockdev.PageSize)
+		if l.qDisk >= 0 {
+			q = make([]byte, blockdev.PageSize)
+		}
+	}
+
+	// Read stale parity.
+	phase1 := t
+	a.stats.ParityReads++
+	c, err := a.disks[l.pDisk].ReadPages(t, l.row, 1, p)
+	if err != nil {
+		return t, err
+	}
+	phase1 = sim.MaxTime(phase1, c)
+	if l.qDisk >= 0 {
+		a.stats.ParityReads++
+		c, err = a.disks[l.qDisk].ReadPages(t, l.row, 1, q)
+		if err != nil {
+			return t, err
+		}
+		phase1 = sim.MaxTime(phase1, c)
+	}
+
+	// Fold every delta in.
+	if data {
+		for i, lbaI := range lbas {
+			if deltas[i] == nil {
+				continue
+			}
+			li := a.geo.locate(lbaI)
+			xorInto(p, deltas[i])
+			if q != nil {
+				gfMulInto(q, deltas[i], gfPow(li.dataIdx))
+			}
+		}
+	}
+
+	// Write repaired parity.
+	done := phase1
+	a.stats.ParityWrites++
+	a.stats.ParityFixes++
+	c, err = a.disks[l.pDisk].WritePages(phase1, l.row, 1, p)
+	if err != nil {
+		return t, err
+	}
+	done = sim.MaxTime(done, c)
+	if l.qDisk >= 0 {
+		a.stats.ParityWrites++
+		c, err = a.disks[l.qDisk].WritePages(phase1, l.row, 1, q)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	delete(a.stale, l.row)
+	return done, nil
+}
+
+// ParityUpdateReconstruct recomputes the parity of lba's row from the
+// caller-provided current data pages (one per data chunk, in RowPeers
+// order) and writes it: the reconstruct-write flavour, used when every
+// data block of the stripe is resident in the SSD cache so no disk reads
+// are needed. rowData may be nil in timing mode.
+func (a *Array) ParityUpdateReconstruct(t sim.Time, lba int64, rowData [][]byte) (sim.Time, error) {
+	l := a.geo.locate(lba)
+	if a.cfg.Level != Level5 && a.cfg.Level != Level6 {
+		return t, nil
+	}
+	pOK := !a.disks[l.pDisk].Failed()
+	qOK := l.qDisk >= 0 && !a.disks[l.qDisk].Failed()
+	if !pOK && (l.qDisk < 0 || !qOK) {
+		// All parity members lost: rebuild recomputes from data.
+		delete(a.stale, l.row)
+		a.stats.ParityFixes++
+		return t, nil
+	}
+	var p, q []byte
+	if rowData != nil {
+		dc := int(a.geo.dataChunksPerStripe())
+		if len(rowData) != dc {
+			panic("raid: ParityUpdateReconstruct needs one page per data chunk")
+		}
+		p = make([]byte, blockdev.PageSize)
+		if l.qDisk >= 0 {
+			q = make([]byte, blockdev.PageSize)
+		}
+		for i, d := range rowData {
+			xorInto(p, d)
+			if q != nil {
+				gfMulInto(q, d, gfPow(i))
+			}
+		}
+	}
+	done := t
+	a.stats.ParityFixes++
+	if pOK {
+		a.stats.ParityWrites++
+		c, err := a.disks[l.pDisk].WritePages(t, l.row, 1, p)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	if qOK {
+		a.stats.ParityWrites++
+		c, err := a.disks[l.qDisk].WritePages(t, l.row, 1, q)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	delete(a.stale, l.row)
+	return done, nil
+}
+
+// WriteRow performs a full-row write (one page per data chunk at the same
+// row, in RowPeers order) computing parity inline with no reads: the
+// full-stripe write that NVRAM buffering schemes aim for. buf holds the
+// data pages back to back and may be nil in timing mode.
+func (a *Array) WriteRow(t sim.Time, firstLBA int64, buf []byte) (sim.Time, error) {
+	l := a.geo.locate(firstLBA)
+	rl := a.geo.locateRow(l.stripe)
+	rl.row = l.row
+	dc := len(rl.dataDisks)
+	if err := blockdev.CheckBuf(buf, dc); err != nil {
+		return t, err
+	}
+	var p, q []byte
+	if buf != nil {
+		p = make([]byte, blockdev.PageSize)
+		if rl.qDisk >= 0 {
+			q = make([]byte, blockdev.PageSize)
+		}
+		for i := 0; i < dc; i++ {
+			d := pageBuf(buf, i)
+			xorInto(p, d)
+			if q != nil {
+				gfMulInto(q, d, gfPow(i))
+			}
+		}
+	}
+	done := t
+	for i, disk := range rl.dataDisks {
+		if a.disks[disk].Failed() {
+			continue // reconstructible from parity after rebuild
+		}
+		a.stats.DataWrites++
+		c, err := a.disks[disk].WritePages(t, l.row, 1, pageBuf(buf, i))
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	if rl.pDisk >= 0 && !a.disks[rl.pDisk].Failed() {
+		a.stats.ParityWrites++
+		c, err := a.disks[rl.pDisk].WritePages(t, l.row, 1, p)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	if rl.qDisk >= 0 && !a.disks[rl.qDisk].Failed() {
+		a.stats.ParityWrites++
+		c, err := a.disks[rl.qDisk].WritePages(t, l.row, 1, q)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	delete(a.stale, l.row)
+	return done, nil
+}

@@ -1,0 +1,599 @@
+package raid
+
+import (
+	"fmt"
+	"sort"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/sim"
+)
+
+// This file implements degraded operation, resynchronisation of stale
+// parity, disk replacement and rebuild — the failure-handling behaviours
+// of §III-E: "on an SSD failure, RAID storage can be re-synchronized
+// through reconstruct-write", and "if a HDD fails, KDD first updates all
+// parity blocks ... then triggers the rebuilding process".
+
+// FailDisk marks member disk i as failed.
+func (a *Array) FailDisk(i int) {
+	if !a.disks[i].Failed() {
+		a.disks[i].Fail()
+		a.failed++
+	}
+}
+
+// FailedDisks returns the indices of failed members.
+func (a *Array) FailedDisks() []int {
+	var out []int
+	for i, d := range a.disks {
+		if d.Failed() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Healthy reports whether no member disk is failed.
+func (a *Array) Healthy() bool { return a.failed == 0 }
+
+// Survivable reports whether current failures are within the level's
+// tolerance.
+func (a *Array) Survivable() bool {
+	return a.failed <= a.cfg.Level.faultTolerance(len(a.disks))
+}
+
+// degradedRead reconstructs the data page at l from surviving members.
+func (a *Array) degradedRead(t sim.Time, l loc, buf []byte) (sim.Time, error) {
+	if !a.Survivable() {
+		return t, ErrTooManyFailures
+	}
+	if a.rowStale(l) {
+		// Stale parity cannot reconstruct current data: this is the data
+		// loss window the paper closes by resynchronising before use.
+		return t, ErrStaleParity
+	}
+	a.stats.DegradedRead++
+	rl := a.geo.locateRow(l.stripe)
+	rl.row = l.row
+
+	switch a.cfg.Level {
+	case Level5:
+		return a.reconstructXOR(t, l, rl, buf)
+	case Level6:
+		return a.reconstructRS(t, l, rl, buf)
+	default:
+		return t, ErrTooManyFailures
+	}
+}
+
+// reconstructXOR rebuilds one data page as the XOR of the surviving data
+// pages and P.
+func (a *Array) reconstructXOR(t sim.Time, l loc, rl rowLoc, buf []byte) (sim.Time, error) {
+	done := t
+	if buf != nil {
+		for i := range buf[:blockdev.PageSize] {
+			buf[i] = 0
+		}
+	}
+	tmp := pageScratch(buf != nil)
+	for _, disk := range rl.dataDisks {
+		if disk == l.disk {
+			continue
+		}
+		c, err := a.readMember(t, disk, l.row, tmp)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+		if buf != nil {
+			xorInto(buf, tmp)
+		}
+	}
+	c, err := a.readMember(t, rl.pDisk, l.row, tmp)
+	if err != nil {
+		return t, err
+	}
+	done = sim.MaxTime(done, c)
+	if buf != nil {
+		xorInto(buf, tmp)
+	}
+	return done, nil
+}
+
+// reconstructRS rebuilds one data page on a RAID-6 row with up to two
+// erasures, using P and/or Q as needed.
+func (a *Array) reconstructRS(t sim.Time, l loc, rl rowLoc, buf []byte) (sim.Time, error) {
+	// Identify failures relevant to this row.
+	var failedData []int // data indices
+	for i, disk := range rl.dataDisks {
+		if a.disks[disk].Failed() {
+			failedData = append(failedData, i)
+		}
+	}
+	pOK := !a.disks[rl.pDisk].Failed()
+	qOK := !a.disks[rl.qDisk].Failed()
+
+	// Accumulators (nil in timing mode).
+	data := buf != nil
+	var pAcc, qAcc []byte
+	if data {
+		pAcc = make([]byte, blockdev.PageSize) // P ⊕ Σ surviving D_i
+		qAcc = make([]byte, blockdev.PageSize) // Q ⊕ Σ g^i·surviving D_i
+	}
+	tmp := pageScratch(data)
+	done := t
+
+	// Read surviving data pages.
+	for i, disk := range rl.dataDisks {
+		if a.disks[disk].Failed() {
+			continue
+		}
+		c, err := a.readMember(t, disk, l.row, tmp)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+		if data {
+			xorInto(pAcc, tmp)
+			gfMulInto(qAcc, tmp, gfPow(i))
+		}
+	}
+	if pOK {
+		c, err := a.readMember(t, rl.pDisk, l.row, tmp)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+		if data {
+			xorInto(pAcc, tmp)
+		}
+	}
+	if qOK {
+		c, err := a.readMember(t, rl.qDisk, l.row, tmp)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+		if data {
+			xorInto(qAcc, tmp)
+		}
+	}
+
+	if !data {
+		return done, nil
+	}
+
+	// Solve for the target page (data index l.dataIdx).
+	switch {
+	case len(failedData) == 1 && pOK:
+		// pAcc already equals the missing page.
+		copy(buf, pAcc)
+	case len(failedData) == 1 && !pOK && qOK:
+		// qAcc = g^x · D_x.
+		gfScale(buf, qAcc, gfInv(gfPow(l.dataIdx)))
+	case len(failedData) == 2 && pOK && qOK:
+		x, y := failedData[0], failedData[1]
+		// pAcc = D_x ⊕ D_y ; qAcc = g^x·D_x ⊕ g^y·D_y.
+		gx, gy := gfPow(x), gfPow(y)
+		denom := gx ^ gy
+		dx := make([]byte, blockdev.PageSize)
+		// D_x = (qAcc ⊕ g^y·pAcc) / (g^x ⊕ g^y)
+		gfMulInto(qAcc, pAcc, gy)
+		gfScale(dx, qAcc, gfInv(denom))
+		if l.dataIdx == x {
+			copy(buf, dx)
+		} else {
+			xorInto(pAcc, dx) // D_y = pAcc ⊕ D_x
+			copy(buf, pAcc)
+		}
+	default:
+		return t, ErrTooManyFailures
+	}
+	return done, nil
+}
+
+// degradedWrite services a write when the data disk or a parity disk of
+// the target row has failed, folding the new data into the surviving
+// redundancy.
+func (a *Array) degradedWrite(t sim.Time, l loc, buf []byte) (sim.Time, error) {
+	if !a.Survivable() {
+		return t, ErrTooManyFailures
+	}
+	rl := a.geo.locateRow(l.stripe)
+	rl.row = l.row
+	data := buf != nil
+
+	dataFailed := a.disks[l.disk].Failed()
+	pOK := rl.pDisk >= 0 && !a.disks[rl.pDisk].Failed()
+	qOK := rl.qDisk >= 0 && !a.disks[rl.qDisk].Failed()
+
+	if !dataFailed {
+		// Only parity lost: write the data; surviving parity (if any) is
+		// updated via RMW against that disk alone.
+		done := t
+		var old []byte
+		if data && (pOK || qOK) {
+			old = make([]byte, blockdev.PageSize)
+			c, err := a.readMember(t, l.disk, l.row, old)
+			if err != nil {
+				return t, err
+			}
+			t = sim.MaxTime(t, c)
+		}
+		a.stats.DataWrites++
+		c, err := a.disks[l.disk].WritePages(t, l.row, 1, buf)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+		if pOK || qOK {
+			var diff []byte
+			if data {
+				diff = old
+				xorInto(diff, buf)
+			}
+			c, err := a.applyParityDiff(t, l, rl, diff, pOK, qOK)
+			if err != nil {
+				return t, err
+			}
+			done = sim.MaxTime(done, c)
+		}
+		return done, nil
+	}
+
+	// Data disk failed: fold the new value into parity via reconstruction
+	// from the surviving data pages (reconstruct-write).
+	done := t
+	var p, q []byte
+	if data {
+		p = make([]byte, blockdev.PageSize)
+		copy(p, buf)
+		if qOK {
+			q = make([]byte, blockdev.PageSize)
+			gfMulInto(q, buf, gfPow(l.dataIdx))
+		}
+	}
+	tmp := pageScratch(data)
+	for i, disk := range rl.dataDisks {
+		if disk == l.disk {
+			continue
+		}
+		if a.disks[disk].Failed() {
+			return t, ErrTooManyFailures // second data failure: RAID-6 only via full decode; unsupported write path
+		}
+		c, err := a.readMember(t, disk, l.row, tmp)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+		if data {
+			xorInto(p, tmp)
+			if q != nil {
+				gfMulInto(q, tmp, gfPow(i))
+			}
+		}
+	}
+	phase2 := done
+	if pOK {
+		a.stats.ParityWrites++
+		c, err := a.disks[rl.pDisk].WritePages(phase2, l.row, 1, p)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	if qOK {
+		a.stats.ParityWrites++
+		c, err := a.disks[rl.qDisk].WritePages(phase2, l.row, 1, q)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	if !pOK && !qOK {
+		return t, ErrTooManyFailures
+	}
+	delete(a.stale, l.row)
+	return done, nil
+}
+
+// applyParityDiff RMWs diff (old⊕new of one data page) into surviving
+// parity devices.
+func (a *Array) applyParityDiff(t sim.Time, l loc, rl rowLoc, diff []byte, pOK, qOK bool) (sim.Time, error) {
+	done := t
+	data := diff != nil
+	if pOK {
+		var p []byte
+		if data {
+			p = make([]byte, blockdev.PageSize)
+		}
+		a.stats.ParityReads++
+		c, err := a.disks[rl.pDisk].ReadPages(t, l.row, 1, p)
+		if err != nil {
+			return t, err
+		}
+		if data {
+			xorInto(p, diff)
+		}
+		a.stats.ParityWrites++
+		c, err = a.disks[rl.pDisk].WritePages(c, l.row, 1, p)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	if qOK {
+		var q []byte
+		if data {
+			q = make([]byte, blockdev.PageSize)
+		}
+		a.stats.ParityReads++
+		c, err := a.disks[rl.qDisk].ReadPages(t, l.row, 1, q)
+		if err != nil {
+			return t, err
+		}
+		if data {
+			gfMulInto(q, diff, gfPow(l.dataIdx))
+		}
+		a.stats.ParityWrites++
+		c, err = a.disks[rl.qDisk].WritePages(c, l.row, 1, q)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	return done, nil
+}
+
+// readMember reads one page from a member disk, counting it as a rebuild/
+// reconstruction read.
+func (a *Array) readMember(t sim.Time, disk int, row int64, buf []byte) (sim.Time, error) {
+	a.stats.RebuildReads++
+	return a.disks[disk].ReadPages(t, row, 1, buf)
+}
+
+// Resync recomputes parity for every stale row by reading all data pages
+// and rewriting P (and Q): the reconstruct-write resynchronisation run
+// after an SSD cache failure. It returns the completion time of the last
+// row.
+func (a *Array) Resync(t sim.Time) (sim.Time, error) {
+	if a.cfg.Level != Level5 && a.cfg.Level != Level6 {
+		a.stale = make(map[int64]bool)
+		return t, nil
+	}
+	rows := make([]int64, 0, len(a.stale))
+	for r := range a.stale {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	done := t
+	for _, row := range rows {
+		c, err := a.resyncRow(t, row)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+		t = c // serialize row resyncs; background work, not latency critical
+	}
+	return done, nil
+}
+
+func (a *Array) resyncRow(t sim.Time, row int64) (sim.Time, error) {
+	stripe := row / a.geo.chunkPages
+	rl := a.geo.locateRow(stripe)
+	rl.row = row
+	pOK := !a.disks[rl.pDisk].Failed()
+	qOK := rl.qDisk >= 0 && !a.disks[rl.qDisk].Failed()
+	if !pOK && (rl.qDisk < 0 || !qOK) {
+		// Every parity member of this row is lost; the rebuild recomputes
+		// it from the (current) data, so the row is no longer stale.
+		delete(a.stale, row)
+		return t, nil
+	}
+	dataMode := a.dataMode()
+	var p, q []byte
+	if dataMode {
+		p = make([]byte, blockdev.PageSize)
+		if rl.qDisk >= 0 {
+			q = make([]byte, blockdev.PageSize)
+		}
+	}
+	tmp := pageScratch(dataMode)
+	phase1 := t
+	for i, disk := range rl.dataDisks {
+		if a.disks[disk].Failed() {
+			// A data member is gone AND parity is stale: the row cannot
+			// be resynchronised from data alone.
+			return t, ErrTooManyFailures
+		}
+		c, err := a.readMember(t, disk, row, tmp)
+		if err != nil {
+			return t, err
+		}
+		phase1 = sim.MaxTime(phase1, c)
+		if dataMode {
+			xorInto(p, tmp)
+			if q != nil {
+				gfMulInto(q, tmp, gfPow(i))
+			}
+		}
+	}
+	done := phase1
+	if pOK {
+		a.stats.ParityWrites++
+		c, err := a.disks[rl.pDisk].WritePages(phase1, row, 1, p)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	if qOK {
+		a.stats.ParityWrites++
+		c, err := a.disks[rl.qDisk].WritePages(phase1, row, 1, q)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	delete(a.stale, row)
+	return done, nil
+}
+
+// ReplaceDisk swaps member i for a fresh device and rebuilds its contents
+// from the survivors. Stale parity rows must be resynchronised first
+// (§III-E: parity_update precedes rebuild), otherwise ErrNeedResync.
+func (a *Array) ReplaceDisk(t sim.Time, i int, fresh blockdev.Device) (sim.Time, error) {
+	if !a.disks[i].Failed() {
+		return t, ErrNotDegraded
+	}
+	if len(a.stale) > 0 {
+		return t, ErrNeedResync
+	}
+	if fresh.Pages() != a.geo.diskPages {
+		return t, fmt.Errorf("%w: replacement size mismatch", ErrBadGeometry)
+	}
+	a.disks[i].Repair(fresh)
+	a.failed--
+	return a.rebuildDisk(t, i)
+}
+
+// rebuildDisk reconstructs every row of disk i from the other members.
+func (a *Array) rebuildDisk(t sim.Time, i int) (sim.Time, error) {
+	dataMode := a.dataMode()
+	tmp := pageScratch(dataMode)
+	out := pageScratch(dataMode)
+	done := t
+	for row := int64(0); row < a.geo.diskPages; row++ {
+		stripe := row / a.geo.chunkPages
+		rl := a.geo.locateRow(stripe)
+		rl.row = row
+		var err error
+		var c sim.Time
+		switch a.cfg.Level {
+		case Level1:
+			// Copy from any healthy mirror.
+			src := -1
+			for j, d := range a.disks {
+				if j != i && !d.Failed() {
+					src = j
+					break
+				}
+			}
+			if src == -1 {
+				return t, ErrTooManyFailures
+			}
+			if c, err = a.readMember(t, src, row, out); err != nil {
+				return t, err
+			}
+		case Level5, Level6:
+			c, err = a.reconstructMemberPage(t, i, rl, tmp, out)
+			if err != nil {
+				return t, err
+			}
+		default:
+			return t, ErrTooManyFailures
+		}
+		a.stats.RebuildWrite++
+		c, err = a.disks[i].WritePages(c, row, 1, out)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+		t = c
+	}
+	return done, nil
+}
+
+// reconstructMemberPage rebuilds the page of member disk i at rl.row,
+// whether it holds data, P, or Q there.
+func (a *Array) reconstructMemberPage(t sim.Time, i int, rl rowLoc, tmp, out []byte) (sim.Time, error) {
+	dataMode := out != nil
+	if dataMode {
+		for j := range out {
+			out[j] = 0
+		}
+	}
+	done := t
+	switch {
+	case rl.pDisk == i:
+		// P = Σ D_j.
+		for _, disk := range rl.dataDisks {
+			c, err := a.readMember(t, disk, rl.row, tmp)
+			if err != nil {
+				return t, err
+			}
+			done = sim.MaxTime(done, c)
+			if dataMode {
+				xorInto(out, tmp)
+			}
+		}
+	case rl.qDisk == i:
+		// Q = Σ g^j·D_j.
+		for j, disk := range rl.dataDisks {
+			c, err := a.readMember(t, disk, rl.row, tmp)
+			if err != nil {
+				return t, err
+			}
+			done = sim.MaxTime(done, c)
+			if dataMode {
+				gfMulInto(out, tmp, gfPow(j))
+			}
+		}
+	default:
+		// Data page: XOR of the other data pages and P.
+		dataIdx := -1
+		for j, disk := range rl.dataDisks {
+			if disk == i {
+				dataIdx = j
+				break
+			}
+		}
+		if dataIdx == -1 {
+			// Row does not involve disk i (possible with uneven chunk
+			// tails); leave zeros.
+			return t, nil
+		}
+		for _, disk := range rl.dataDisks {
+			if disk == i {
+				continue
+			}
+			c, err := a.readMember(t, disk, rl.row, tmp)
+			if err != nil {
+				return t, err
+			}
+			done = sim.MaxTime(done, c)
+			if dataMode {
+				xorInto(out, tmp)
+			}
+		}
+		c, err := a.readMember(t, rl.pDisk, rl.row, tmp)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+		if dataMode {
+			xorInto(out, tmp)
+		}
+	}
+	return done, nil
+}
+
+// dataMode sniffs whether members carry real bytes by probing for a
+// MemStore-backed device; arrays are homogeneous in practice.
+func (a *Array) dataMode() bool {
+	type storer interface{ Store() *blockdev.MemStore }
+	if s, ok := a.disks[0].Inner.(storer); ok {
+		return s.Store() != nil
+	}
+	return false
+}
+
+// pageScratch returns a page buffer in data mode or nil in timing mode.
+func pageScratch(data bool) []byte {
+	if !data {
+		return nil
+	}
+	return make([]byte, blockdev.PageSize)
+}
+
+var _ blockdev.Device = (*Array)(nil)

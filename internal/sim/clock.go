@@ -1,0 +1,172 @@
+// Package sim provides a deterministic virtual-time engine used by all
+// timing experiments in this repository.
+//
+// The engine has two cooperating parts:
+//
+//   - a Clock with an event heap, for things that happen at a point in
+//     virtual time (background cleaner wake-ups, idle detection);
+//   - Stations, which model devices as multi-server FIFO queues using
+//     "next free time" bookkeeping, the standard technique for
+//     trace-driven storage simulation.
+//
+// All times are expressed as Time, a nanosecond count since simulation
+// start. Nothing in this package reads the wall clock, so simulations are
+// exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Common durations, also in nanoseconds (Time doubles as a duration).
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis reports t as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Event is a callback scheduled on a Clock.
+type Event struct {
+	when Time
+	seq  uint64 // tie-break so equal-time events fire in schedule order
+	fn   func(now Time)
+
+	index int // heap index; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was cancelled or has already fired.
+func (e *Event) Cancelled() bool { return e.index < 0 }
+
+// When returns the virtual time the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is a virtual clock with an event queue. The zero value is ready to
+// use and starts at time 0.
+type Clock struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward to t, firing any events scheduled at or
+// before t in time order. Advance never moves the clock backwards; if t is
+// in the past it only fires events due at or before the current time.
+func (c *Clock) Advance(t Time) {
+	for len(c.events) > 0 && c.events[0].when <= t {
+		e := heap.Pop(&c.events).(*Event)
+		if e.when > c.now {
+			c.now = e.when
+		}
+		e.fn(c.now)
+	}
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Drain fires every remaining event in time order and leaves the clock at
+// the time of the last event.
+func (c *Clock) Drain() {
+	for len(c.events) > 0 {
+		e := heap.Pop(&c.events).(*Event)
+		if e.when > c.now {
+			c.now = e.when
+		}
+		e.fn(c.now)
+	}
+}
+
+// Pending reports the number of scheduled events.
+func (c *Clock) Pending() int { return len(c.events) }
+
+// NextEvent returns the time of the earliest scheduled event and true, or
+// zero and false if none are scheduled.
+func (c *Clock) NextEvent() (Time, bool) {
+	if len(c.events) == 0 {
+		return 0, false
+	}
+	return c.events[0].when, true
+}
+
+// At schedules fn to run at absolute time t. Times in the past fire on the
+// next Advance. The returned Event may be passed to Cancel.
+func (c *Clock) At(t Time, fn func(now Time)) *Event {
+	e := &Event{when: t, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (c *Clock) After(d Time, fn func(now Time)) *Event {
+	return c.At(c.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already fired
+// is a no-op.
+func (c *Clock) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&c.events, e.index)
+	e.index = -1
+}

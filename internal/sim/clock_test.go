@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestClockAdvanceFiresInOrder(t *testing.T) {
+	var c Clock
+	var got []int
+	c.At(30, func(Time) { got = append(got, 3) })
+	c.At(10, func(Time) { got = append(got, 1) })
+	c.At(20, func(Time) { got = append(got, 2) })
+	c.Advance(25)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+	if c.Now() != 25 {
+		t.Fatalf("Now = %d, want 25", c.Now())
+	}
+	c.Advance(100)
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("got %v, want [1 2 3]", got)
+	}
+}
+
+func TestClockEqualTimeFIFO(t *testing.T) {
+	var c Clock
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(5, func(Time) { got = append(got, i) })
+	}
+	c.Advance(5)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestClockEventTimeSetsNow(t *testing.T) {
+	var c Clock
+	var at Time
+	c.At(42, func(now Time) { at = now })
+	c.Advance(100)
+	if at != 42 {
+		t.Fatalf("event fired at %d, want 42", at)
+	}
+}
+
+func TestClockCancel(t *testing.T) {
+	var c Clock
+	fired := false
+	e := c.At(10, func(Time) { fired = true })
+	c.Cancel(e)
+	c.Advance(20)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event should report cancelled")
+	}
+	c.Cancel(e) // double cancel is a no-op
+	c.Cancel(nil)
+}
+
+func TestClockAfterAndDrain(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	var times []Time
+	c.After(50, func(now Time) { times = append(times, now) })
+	c.After(10, func(now Time) { times = append(times, now) })
+	c.Drain()
+	if len(times) != 2 || times[0] != 110 || times[1] != 150 {
+		t.Fatalf("times = %v, want [110 150]", times)
+	}
+	if c.Now() != 150 {
+		t.Fatalf("Now = %d, want 150", c.Now())
+	}
+}
+
+func TestClockNestedScheduling(t *testing.T) {
+	var c Clock
+	var got []Time
+	c.At(10, func(now Time) {
+		got = append(got, now)
+		c.After(5, func(now Time) { got = append(got, now) })
+	})
+	c.Advance(20)
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Fatalf("got %v, want [10 15]", got)
+	}
+}
+
+func TestClockNextEventAndPending(t *testing.T) {
+	var c Clock
+	if _, ok := c.NextEvent(); ok {
+		t.Fatal("empty clock reported a next event")
+	}
+	c.At(7, func(Time) {})
+	c.At(3, func(Time) {})
+	if n, ok := c.NextEvent(); !ok || n != 3 {
+		t.Fatalf("NextEvent = %d,%v want 3,true", n, ok)
+	}
+	if c.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", c.Pending())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000µs"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestStationFIFOQueueing(t *testing.T) {
+	s := NewStation("disk", 1)
+	d1 := s.Submit(0, 100)
+	d2 := s.Submit(10, 100) // arrives while busy; queues
+	d3 := s.Submit(500, 100)
+	if d1 != 100 || d2 != 200 || d3 != 600 {
+		t.Fatalf("completions = %d,%d,%d want 100,200,600", d1, d2, d3)
+	}
+	if s.Jobs() != 3 || s.BusyTime() != 300 {
+		t.Fatalf("jobs=%d busy=%d", s.Jobs(), s.BusyTime())
+	}
+}
+
+func TestStationParallelServers(t *testing.T) {
+	s := NewStation("ssd", 2)
+	d1 := s.Submit(0, 100)
+	d2 := s.Submit(0, 100) // second server
+	d3 := s.Submit(0, 100) // queues behind the first to free
+	if d1 != 100 || d2 != 100 || d3 != 200 {
+		t.Fatalf("completions = %d,%d,%d want 100,100,200", d1, d2, d3)
+	}
+	// Server 0 took jobs 1 and 3 (free at 200); server 1 frees at 100.
+	if got := s.FreeAt(); got != 100 {
+		t.Fatalf("FreeAt = %d, want 100", got)
+	}
+	if got := s.LastCompletion(); got != 200 {
+		t.Fatalf("LastCompletion = %d, want 200", got)
+	}
+}
+
+func TestStationSubmitAt(t *testing.T) {
+	s := NewStation("chan", 4)
+	d1 := s.SubmitAt(2, 0, 50)
+	d2 := s.SubmitAt(2, 0, 50)
+	d3 := s.SubmitAt(3, 0, 50)
+	if d1 != 50 || d2 != 100 || d3 != 50 {
+		t.Fatalf("completions = %d,%d,%d want 50,100,50", d1, d2, d3)
+	}
+}
+
+func TestStationUtilizationAndReset(t *testing.T) {
+	s := NewStation("d", 2)
+	s.Submit(0, 100)
+	s.Submit(0, 100)
+	if u := s.Utilization(100); u != 1.0 {
+		t.Fatalf("utilization = %f, want 1.0", u)
+	}
+	s.Reset()
+	if s.Jobs() != 0 || s.BusyTime() != 0 || s.FreeAt() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	if u := s.Utilization(0); u != 0 {
+		t.Fatalf("utilization at zero horizon = %f", u)
+	}
+}
+
+func TestStationPanicsOnZeroServers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStation("bad", 0)
+}
+
+func TestMinMaxTime(t *testing.T) {
+	if MaxTime(1, 2) != 2 || MaxTime(2, 1) != 2 {
+		t.Fatal("MaxTime broken")
+	}
+	if MinTime(1, 2) != 1 || MinTime(2, 1) != 1 {
+		t.Fatal("MinTime broken")
+	}
+}

@@ -1,0 +1,165 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, seedable random number generator (xorshift64*).
+// Every stochastic component in the simulator owns its own RNG so that
+// experiments are reproducible and components do not perturb each other's
+// streams. math/rand would work too, but a local implementation keeps the
+// exact stream stable across Go releases.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (0 is remapped to a fixed
+// non-zero constant, since xorshift cannot hold state 0).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). n must be > 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u1 := r.Float64()
+		if u1 == 0 {
+			continue
+		}
+		u2 := r.Float64()
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// Gaussian returns a normal variate with the given mean and standard
+// deviation, clipped to [lo, hi].
+func (r *RNG) Gaussian(mean, stddev, lo, hi float64) float64 {
+	v := mean + stddev*r.NormFloat64()
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// Split derives an independent generator from this one. The child stream is
+// decorrelated from the parent by mixing in a fixed odd constant.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64()*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9)
+}
+
+// Zipf draws from a Zipf distribution over [0, n) with exponent alpha > 0
+// using rejection-inversion (Hörmann/Derflinger), suitable for the large n
+// used by the FIO-style generator.
+type Zipf struct {
+	rng              *RNG
+	n                float64
+	alpha            float64
+	oneMinusQ        float64
+	oneMinusQInv     float64
+	hIntegralX1      float64
+	hIntegralNum     float64
+	s                float64
+	hIntegralXHalfN  float64
+	uniformUpperLimt float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent alpha.
+// alpha must be > 0 and may be arbitrarily close to 1 (the FIO benchmark in
+// the paper uses 1.0001).
+func NewZipf(rng *RNG, alpha float64, n uint64) *Zipf {
+	if alpha <= 0 || n == 0 {
+		panic("sim: invalid Zipf parameters")
+	}
+	z := &Zipf{rng: rng, n: float64(n), alpha: alpha}
+	z.oneMinusQ = 1 - alpha
+	z.oneMinusQInv = 1 / z.oneMinusQ
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralNum = z.hIntegral(z.n + 0.5)
+	z.s = 2 - z.hIntegralInv(z.hIntegral(2.5)-z.h(2))
+	z.hIntegralXHalfN = z.hIntegral(0.5)
+	z.uniformUpperLimt = z.hIntegralNum - z.hIntegralXHalfN
+	return z
+}
+
+func (z *Zipf) h(x float64) float64 { return math.Exp(-z.alpha * math.Log(x)) }
+
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2((1-z.alpha)*logX) * logX
+}
+
+func (z *Zipf) hIntegralInv(x float64) float64 {
+	t := x * z.oneMinusQ
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with a series near zero.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-0.25*x))
+}
+
+// helper2 computes expm1(x)/x with a series near zero.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+0.25*x))
+}
+
+// Next draws the next Zipf variate in [0, n), 0 being the most popular rank.
+func (z *Zipf) Next() uint64 {
+	for {
+		u := z.hIntegralXHalfN + z.rng.Float64()*z.uniformUpperLimt
+		x := z.hIntegralInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > z.n {
+			k = z.n
+		}
+		if k-x <= z.s || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return uint64(k) - 1
+		}
+	}
+}

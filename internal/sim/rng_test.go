@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGZeroSeedRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck stream")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGUint64nPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Uint64n(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(123)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %f, want ~1", variance)
+	}
+}
+
+func TestGaussianClipping(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Gaussian(0.25, 0.25, 0.02, 1.0)
+		if v < 0.02 || v > 1.0 {
+			t.Fatalf("Gaussian escaped clip range: %f", v)
+		}
+	}
+}
+
+func TestGaussianMeanApprox(t *testing.T) {
+	r := NewRNG(77)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Gaussian(0.5, 0.125, 0.02, 1.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("clipped Gaussian mean = %f, want ~0.5", mean)
+	}
+}
+
+func TestSplitDecorrelated(t *testing.T) {
+	parent := NewRNG(42)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("parent and child streams collided %d times", same)
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		z := NewZipf(r, 1.0001, 1000)
+		for i := 0; i < 100; i++ {
+			v := z.Next()
+			if v >= 1000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(99)
+	z := NewZipf(r, 1.0001, 100000)
+	const n = 200000
+	counts := make(map[uint64]int)
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 must be far more popular than a mid-tail rank, and the head
+	// (top 1% of ranks) must hold a dominant share of accesses for this
+	// close-to-1 exponent.
+	if counts[0] < 50*counts[50000]+1 {
+		t.Fatalf("rank 0 count %d not dominant vs rank 50000 count %d",
+			counts[0], counts[50000])
+	}
+	head := 0
+	for k, v := range counts {
+		if k < 1000 {
+			head += v
+		}
+	}
+	if float64(head)/n < 0.3 {
+		t.Fatalf("head share = %f, expected strong skew", float64(head)/n)
+	}
+}
+
+func TestZipfPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewZipf(NewRNG(1), 0, 100)
+}

@@ -1,0 +1,44 @@
+package ssd
+
+import (
+	"testing"
+
+	"kddcache/internal/sim"
+)
+
+// BenchmarkFTLWrite measures the host write path including greedy GC at
+// steady state.
+func BenchmarkFTLWrite(b *testing.B) {
+	d := New("ssd", DefaultConfig(65536))
+	rng := sim.NewRNG(1)
+	// Warm up to steady state so GC is active during measurement.
+	for i := 0; i < 200000; i++ {
+		if _, err := d.WritePages(0, int64(rng.Uint64n(60000)), 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.WritePages(0, int64(rng.Uint64n(60000)), 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(d.Stats().WriteAmplification(), "WA")
+}
+
+// BenchmarkFTLRead measures the host read path.
+func BenchmarkFTLRead(b *testing.B) {
+	d := New("ssd", DefaultConfig(65536))
+	rng := sim.NewRNG(1)
+	for i := 0; i < 60000; i++ {
+		if _, err := d.WritePages(0, int64(i), 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ReadPages(0, int64(rng.Uint64n(60000)), 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

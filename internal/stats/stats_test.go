@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheStatsRatios(t *testing.T) {
+	s := &CacheStats{Reads: 60, Writes: 40, ReadHits: 30, WriteHits: 20}
+	if got := s.Requests(); got != 100 {
+		t.Fatalf("Requests = %d", got)
+	}
+	if got := s.HitRatio(); got != 0.5 {
+		t.Fatalf("HitRatio = %f", got)
+	}
+	if got := s.ReadHitRatio(); got != 0.5 {
+		t.Fatalf("ReadHitRatio = %f", got)
+	}
+}
+
+func TestCacheStatsEmptyRatios(t *testing.T) {
+	var s CacheStats
+	if s.HitRatio() != 0 || s.ReadHitRatio() != 0 || s.MetaShare() != 0 {
+		t.Fatal("empty stats should report zero ratios")
+	}
+}
+
+func TestSSDWritesBreakdown(t *testing.T) {
+	s := &CacheStats{
+		ReadFills: 10, WriteAllocs: 20, DeltaCommits: 5,
+		VersionWrite: 3, MetaWrites: 2, MetaGCWrites: 1,
+	}
+	if got := s.SSDWrites(); got != 41 {
+		t.Fatalf("SSDWrites = %d, want 41", got)
+	}
+	want := 3.0 / 41.0
+	if got := s.MetaShare(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MetaShare = %f, want %f", got, want)
+	}
+}
+
+func TestCacheStatsAdd(t *testing.T) {
+	a := &CacheStats{Reads: 1, Writes: 2, ReadFills: 3, MetaWrites: 4, RAIDReads: 5}
+	b := &CacheStats{Reads: 10, Writes: 20, ReadFills: 30, MetaWrites: 40, RAIDReads: 50}
+	a.Add(b)
+	if a.Reads != 11 || a.Writes != 22 || a.ReadFills != 33 || a.MetaWrites != 44 || a.RAIDReads != 55 {
+		t.Fatalf("Add produced %+v", a)
+	}
+}
+
+func TestCacheStatsString(t *testing.T) {
+	s := &CacheStats{Reads: 1, ReadHits: 1}
+	if !strings.Contains(s.String(), "hit=1.0000") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1024)
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("Mean = %f", got)
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+	p50 := h.Percentile(50)
+	if p50 < 40 || p50 > 60 {
+		t.Fatalf("P50 = %d, want ~50", p50)
+	}
+	if h.Percentile(0) != 1 || h.Percentile(100) != 100 {
+		t.Fatalf("extreme percentiles wrong: %d %d", h.Percentile(0), h.Percentile(100))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Mean() != 0 || h.Min() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramReservoirDecimation(t *testing.T) {
+	h := NewHistogram(128)
+	for i := int64(0); i < 100000; i++ {
+		h.Observe(i)
+	}
+	if len(h.samples) >= 128 {
+		t.Fatalf("reservoir grew to %d, cap 128", len(h.samples))
+	}
+	if h.Count() != 100000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	// Percentiles should remain roughly accurate after decimation.
+	p90 := float64(h.Percentile(90))
+	if p90 < 80000 || p90 > 99999 {
+		t.Fatalf("P90 after decimation = %f", p90)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(1024), NewHistogram(1024)
+	for i := int64(1); i <= 10; i++ {
+		a.Observe(i)
+		b.Observe(i * 100)
+	}
+	a.Merge(b)
+	if a.Count() != 20 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 1000 {
+		t.Fatalf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+	var empty Histogram
+	before := a.Count()
+	a.Merge(&empty)
+	if a.Count() != before {
+		t.Fatal("merging empty histogram changed count")
+	}
+}
+
+func TestHistogramMeanProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		h := NewHistogram(1 << 20)
+		var sum int64
+		for _, v := range vals {
+			h.Observe(int64(v))
+			sum += int64(v)
+		}
+		if len(vals) == 0 {
+			return h.Mean() == 0
+		}
+		want := float64(sum) / float64(len(vals))
+		return math.Abs(h.Mean()-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLifetimeModel(t *testing.T) {
+	m := DefaultLifetimeModel(262144) // 1GB of 4K pages
+	total := m.TotalWritablePages()
+	if total <= 0 {
+		t.Fatal("non-positive writable pages")
+	}
+	days := m.LifetimeDays(total / 30)
+	if math.Abs(days-30) > 1e-9 {
+		t.Fatalf("LifetimeDays = %f, want 30", days)
+	}
+	if m.LifetimeDays(0) != 0 {
+		t.Fatal("zero write rate should yield 0 (undefined) lifetime")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(510, 100); math.Abs(got-5.1) > 1e-9 {
+		t.Fatalf("Improvement = %f, want 5.1", got)
+	}
+	if Improvement(10, 0) != 0 {
+		t.Fatal("division by zero not guarded")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	s := []Series{
+		{Label: "WT", X: []float64{50, 100}, Y: []float64{0.5, 0.6}},
+		{Label: "KDD-25%", X: []float64{50, 100}, Y: []float64{0.45}},
+	}
+	out := Table("Fig 5 (Fin1)", "cache(Kpages)", s)
+	if !strings.Contains(out, "Fig 5 (Fin1)") || !strings.Contains(out, "WT") {
+		t.Fatalf("table missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "0.4500") || !strings.Contains(out, "-") {
+		t.Fatalf("table missing values / placeholder:\n%s", out)
+	}
+	if Table("empty", "x", nil) == "" {
+		t.Fatal("empty table should still include a title")
+	}
+}

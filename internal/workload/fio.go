@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"kddcache/internal/sim"
+	"kddcache/internal/trace"
+)
+
+// FIOSpec mirrors the paper's FIO benchmark configuration (§IV-B3): a
+// closed-loop Zipfian workload over a fixed working set, issued by a
+// bounded pool of threads.
+type FIOSpec struct {
+	// WorkingSetPages is the address span touched (paper: 1.6GB working
+	// set inside a 4GB span).
+	WorkingSetPages int64
+	// TotalPages is the number of request pages to issue (paper: 4GB of
+	// 4KB accesses).
+	TotalPages int64
+	// ReadRate is the fraction of reads in [0,1] (paper sweeps 0–0.75).
+	ReadRate float64
+	// Threads is the closed-loop concurrency (paper: 16).
+	Threads int
+	// Alpha is the Zipf exponent (paper: 1.0001).
+	Alpha float64
+	// Seed seeds the generators.
+	Seed uint64
+}
+
+// DefaultFIO returns the paper's configuration scaled by the given
+// working-set pages (the paper uses 1.6GB = 409,600 pages and issues 4GB
+// = 1,048,576 page accesses).
+func DefaultFIO(readRate float64) FIOSpec {
+	return FIOSpec{
+		WorkingSetPages: 409_600,
+		TotalPages:      1_048_576,
+		ReadRate:        readRate,
+		Threads:         16,
+		Alpha:           1.0001,
+		Seed:            7,
+	}
+}
+
+// Scale shrinks the working set and request count by f, preserving shape.
+func (f FIOSpec) Scale(s float64) FIOSpec {
+	if s <= 0 {
+		panic("workload: non-positive scale")
+	}
+	f.WorkingSetPages = int64(float64(f.WorkingSetPages) * s)
+	if f.WorkingSetPages < 1 {
+		f.WorkingSetPages = 1
+	}
+	f.TotalPages = int64(float64(f.TotalPages) * s)
+	if f.TotalPages < 1 {
+		f.TotalPages = 1
+	}
+	return f
+}
+
+// FIOGen produces the request stream one request at a time; the
+// closed-loop driver calls Next whenever a thread becomes free, so no
+// timestamps are attached here.
+type FIOGen struct {
+	spec FIOSpec
+	rng  *sim.RNG
+	zipf *sim.Zipf
+	perm []int64
+	left int64
+}
+
+// NewFIOGen builds a generator for the spec.
+func NewFIOGen(spec FIOSpec) *FIOGen {
+	if spec.Threads < 1 || spec.WorkingSetPages < 1 || spec.TotalPages < 1 {
+		panic("workload: invalid FIO spec")
+	}
+	rng := sim.NewRNG(spec.Seed)
+	return &FIOGen{
+		spec: spec,
+		rng:  rng.Split(),
+		zipf: sim.NewZipf(rng.Split(), spec.Alpha, uint64(spec.WorkingSetPages)),
+		perm: randomPermutation(rng.Split(), spec.WorkingSetPages),
+		left: spec.TotalPages,
+	}
+}
+
+// Remaining returns how many requests are left.
+func (g *FIOGen) Remaining() int64 { return g.left }
+
+// Next returns the next request, or false when the budget is exhausted.
+// The Time field is left zero — the closed-loop driver assigns issue
+// times.
+func (g *FIOGen) Next() (trace.Request, bool) {
+	if g.left <= 0 {
+		return trace.Request{}, false
+	}
+	g.left--
+	op := trace.Write
+	if g.rng.Float64() < g.spec.ReadRate {
+		op = trace.Read
+	}
+	lba := g.perm[g.zipf.Next()]
+	return trace.Request{Op: op, LBA: lba, Pages: 1}, true
+}

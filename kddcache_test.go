@@ -1,0 +1,203 @@
+package kddcache
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func newDataSystem(t *testing.T, p Policy) *System {
+	t.Helper()
+	sys, err := New(Options{
+		Policy:     p,
+		CachePages: 1024,
+		DiskPages:  16384,
+		DataMode:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSystemReadYourWrites(t *testing.T) {
+	for _, p := range []Policy{Nossd, WT, WA, LeavO, KDD, WB, NVB, PLog} {
+		sys := newDataSystem(t, p)
+		page := make([]byte, PageSize)
+		for i := range page {
+			page[i] = byte(i)
+		}
+		if _, err := sys.Write(50, page); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		page[0] = 0xFF
+		if _, err := sys.Write(50, page); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		got := make([]byte, PageSize)
+		if _, err := sys.Read(50, got); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !bytes.Equal(got, page) {
+			t.Fatalf("%s: read-your-writes violated", p)
+		}
+	}
+}
+
+func TestSystemLatencyReported(t *testing.T) {
+	sys, err := New(Options{Policy: KDD, CachePages: 1024, DiskPages: 16384, Timing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := sys.Write(10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 {
+		t.Fatalf("timing-mode write latency = %v", lat)
+	}
+	if sys.Now() <= 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestSystemFlushAndStaleRows(t *testing.T) {
+	sys := newDataSystem(t, KDD)
+	page := make([]byte, PageSize)
+	sysWrite := func(lba int64) {
+		if _, err := sys.Write(lba, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sysWrite(5)
+	sysWrite(5)
+	if sys.StaleParityRows() == 0 {
+		t.Fatal("write hit should defer parity")
+	}
+	if err := sys.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.StaleParityRows() != 0 {
+		t.Fatal("flush left stale rows")
+	}
+}
+
+func TestSystemCrashAndRecover(t *testing.T) {
+	sys := newDataSystem(t, KDD)
+	page := bytes.Repeat([]byte{7}, PageSize)
+	if _, err := sys.Write(9, page); err != nil {
+		t.Fatal(err)
+	}
+	page[0] = 1
+	if _, err := sys.Write(9, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CrashAndRecover(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if _, err := sys.Read(9, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Fatal("data lost across crash")
+	}
+	// Non-KDD policies reject recovery.
+	if err := newDataSystem(t, WT).CrashAndRecover(); err != ErrNotKDD {
+		t.Fatalf("err = %v, want ErrNotKDD", err)
+	}
+}
+
+func TestSystemDiskFailureFlow(t *testing.T) {
+	sys := newDataSystem(t, KDD)
+	page := bytes.Repeat([]byte{3}, PageSize)
+	for lba := int64(0); lba < 64; lba++ {
+		if _, err := sys.Write(lba, page); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Write(lba, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.FailDisk(1)
+	if err := sys.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RepairDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	for lba := int64(0); lba < 64; lba++ {
+		if _, err := sys.Read(lba, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, page) {
+			t.Fatalf("lba %d lost after rebuild", lba)
+		}
+	}
+}
+
+func TestSystemResyncAfterSSDLoss(t *testing.T) {
+	sys := newDataSystem(t, KDD)
+	page := bytes.Repeat([]byte{9}, PageSize)
+	if _, err := sys.Write(3, page); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Write(3, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ResyncAfterSSDLoss(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.StaleParityRows() != 0 {
+		t.Fatal("resync incomplete")
+	}
+}
+
+func TestSystemStats(t *testing.T) {
+	sys := newDataSystem(t, WT)
+	page := make([]byte, PageSize)
+	if _, err := sys.Write(1, page); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.Writes != 1 {
+		t.Fatalf("stats writes = %d", st.Writes)
+	}
+	if sys.RAIDStats().DataWrites == 0 {
+		t.Fatal("raid stats empty")
+	}
+	if sys.Pages() <= 0 {
+		t.Fatal("capacity missing")
+	}
+}
+
+func TestSystemAdvanceTriggersIdleClean(t *testing.T) {
+	sys := newDataSystem(t, KDD)
+	page := make([]byte, PageSize)
+	for lba := int64(0); lba < 600; lba++ {
+		if _, err := sys.Write(lba%150, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Advance(1_000_000_000) // 1s idle: the cleaner runs
+	if sys.Now() <= 0 {
+		t.Fatal("Advance did not move the clock")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	out, err := RunExperiment("table1", 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Fin1") {
+		t.Fatalf("table1 output malformed:\n%s", out)
+	}
+	if _, err := RunExperiment("nope", 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(Workloads()) != 4 {
+		t.Fatal("workloads facade wrong")
+	}
+}
