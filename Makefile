@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race chaos ci clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race coverage on the packages with concurrency-sensitive state
+# (fault injection, cache core, array repair paths).
+race:
+	$(GO) test -race ./internal/blockdev/ ./internal/core/ ./internal/raid/
+
+# Full chaos run: randomized seeded fault schedules with end-to-end
+# verification; non-zero exit on any violation.
+chaos:
+	$(GO) run ./cmd/kddchaos
+
+ci: vet build test race
+
+clean:
+	$(GO) clean ./...

@@ -49,10 +49,25 @@ func (o Op) String() string {
 	}
 }
 
-// Errors returned by devices.
+// Errors returned by devices. The taxonomy distinguishes three failure
+// scopes so upper layers can react proportionately:
+//
+//   - ErrFailed: the whole device is gone (fail-stop). RAID declares the
+//     member failed and serves degraded until ReplaceDisk.
+//   - ErrMedia: one page (or a small range) is unreadable — a latent
+//     sector error, detected bit-rot, or a transient glitch. The device
+//     as a whole is healthy; RAID reconstructs just the lost page from
+//     redundancy and writes it back (read-repair) instead of failing the
+//     member.
+//   - ErrCrashed: a simulated power-loss point was crossed mid-write;
+//     the in-flight write may have torn (a prefix of its pages, or a
+//     prefix of a page, persisted). The caller treats this as the crash
+//     moment and runs recovery.
 var (
 	ErrOutOfRange = errors.New("blockdev: LBA out of range")
 	ErrFailed     = errors.New("blockdev: device failed")
+	ErrMedia      = errors.New("blockdev: unreadable page (media error)")
+	ErrCrashed    = errors.New("blockdev: device lost power mid-write (crash point)")
 	ErrBadBuffer  = errors.New("blockdev: buffer is not a whole page")
 )
 

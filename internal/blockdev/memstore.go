@@ -1,22 +1,41 @@
 package blockdev
 
+import (
+	"fmt"
+	"hash/crc32"
+)
+
 // MemStore is a sparse in-memory page store used as the backing bytes for
 // data-mode devices. Pages never written read back as all-zero, like a
 // fresh disk.
+//
+// Every stored page carries a CRC32 checksum, computed on write and
+// verified by ReadPageChecked: this is the per-page integrity metadata
+// real drives keep alongside each sector, and it is what turns silent
+// bit-rot into a detectable media error. CorruptPage flips bits without
+// refreshing the checksum (detectable corruption); CorruptPageSilently
+// refreshes it too, modelling corruption the device itself cannot see —
+// only cross-device redundancy checks (parity scrub) can catch that.
 type MemStore struct {
 	pages map[int64][]byte
+	sums  map[int64]uint32
 	cap   int64
 }
 
 // NewMemStore returns a store with the given capacity in pages.
 func NewMemStore(pages int64) *MemStore {
-	return &MemStore{pages: make(map[int64][]byte), cap: pages}
+	return &MemStore{
+		pages: make(map[int64][]byte),
+		sums:  make(map[int64]uint32),
+		cap:   pages,
+	}
 }
 
 // Pages returns the capacity in pages.
 func (m *MemStore) Pages() int64 { return m.cap }
 
-// ReadPage copies page lba into dst (one page).
+// ReadPage copies page lba into dst (one page) without integrity
+// verification. Prefer ReadPageChecked on device read paths.
 func (m *MemStore) ReadPage(lba int64, dst []byte) {
 	if p, ok := m.pages[lba]; ok {
 		copy(dst, p)
@@ -27,7 +46,25 @@ func (m *MemStore) ReadPage(lba int64, dst []byte) {
 	}
 }
 
-// WritePage stores one page at lba.
+// ReadPageChecked copies page lba into dst and verifies its checksum,
+// returning ErrMedia (wrapped with the LBA) when the stored bytes no
+// longer match the checksum recorded at write time.
+func (m *MemStore) ReadPageChecked(lba int64, dst []byte) error {
+	p, ok := m.pages[lba]
+	if !ok {
+		for i := range dst[:PageSize] {
+			dst[i] = 0
+		}
+		return nil
+	}
+	if crc32.ChecksumIEEE(p) != m.sums[lba] {
+		return fmt.Errorf("%w: checksum mismatch at page %d", ErrMedia, lba)
+	}
+	copy(dst, p)
+	return nil
+}
+
+// WritePage stores one page at lba and records its checksum.
 func (m *MemStore) WritePage(lba int64, src []byte) {
 	p, ok := m.pages[lba]
 	if !ok {
@@ -35,15 +72,74 @@ func (m *MemStore) WritePage(lba int64, src []byte) {
 		m.pages[lba] = p
 	}
 	copy(p, src[:PageSize])
+	m.sums[lba] = crc32.ChecksumIEEE(p)
 }
 
 // TrimPage discards the page at lba; subsequent reads return zeros.
 func (m *MemStore) TrimPage(lba int64) {
 	delete(m.pages, lba)
+	delete(m.sums, lba)
 }
 
 // Written returns the number of distinct pages currently stored.
 func (m *MemStore) Written() int { return len(m.pages) }
+
+// VerifyPage reports whether the page at lba passes its checksum
+// (unwritten pages trivially pass).
+func (m *MemStore) VerifyPage(lba int64) bool {
+	p, ok := m.pages[lba]
+	if !ok {
+		return true
+	}
+	return crc32.ChecksumIEEE(p) == m.sums[lba]
+}
+
+// CorruptPage flips one bit of the stored page WITHOUT refreshing the
+// checksum: detectable corruption (bit-rot the drive's per-sector ECC/CRC
+// catches). Reads through ReadPageChecked will return ErrMedia until the
+// page is rewritten. No-op on unwritten pages (they have no bits to rot).
+func (m *MemStore) CorruptPage(lba int64, bit uint) bool {
+	p, ok := m.pages[lba]
+	if !ok {
+		return false
+	}
+	p[(bit/8)%PageSize] ^= 1 << (bit % 8)
+	return true
+}
+
+// CorruptPageSilently flips one bit AND refreshes the checksum, modelling
+// corruption introduced before the checksum was computed (e.g. in a buggy
+// controller's RAM): the device cannot detect it; only a parity scrub
+// across devices can. No-op on unwritten pages.
+func (m *MemStore) CorruptPageSilently(lba int64, bit uint) bool {
+	if !m.CorruptPage(lba, bit) {
+		return false
+	}
+	m.sums[lba] = crc32.ChecksumIEEE(m.pages[lba])
+	return true
+}
+
+// TruncatePage keeps the first keep bytes of the stored page, zeroes the
+// rest, and refreshes the checksum — a torn in-page write that persisted
+// only a prefix (the tail never reached the medium, so the device sees a
+// self-consistent page). No-op on unwritten pages.
+func (m *MemStore) TruncatePage(lba int64, keep int) bool {
+	p, ok := m.pages[lba]
+	if !ok {
+		return false
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > PageSize {
+		keep = PageSize
+	}
+	for i := keep; i < PageSize; i++ {
+		p[i] = 0
+	}
+	m.sums[lba] = crc32.ChecksumIEEE(p)
+	return true
+}
 
 // Clone returns a deep copy (used to snapshot device state for
 // crash-recovery tests).
@@ -53,6 +149,7 @@ func (m *MemStore) Clone() *MemStore {
 		cp := make([]byte, PageSize)
 		copy(cp, p)
 		c.pages[lba] = cp
+		c.sums[lba] = m.sums[lba]
 	}
 	return c
 }

@@ -22,6 +22,11 @@ type Backend interface {
 	// run I/O per member disk (batch reconciliation).
 	ParityUpdateDeltaBatch(t sim.Time, fixes []raid.RowFix) (sim.Time, error)
 	ParityUpdateReconstruct(t sim.Time, lba int64, rowData [][]byte) (sim.Time, error)
+	// ResyncRow recomputes lba's row parity from the current member data
+	// (reconstruct-write), clearing any stale mark. Policies fall back to
+	// it when a pending delta can no longer be applied — e.g. the old
+	// version it XORs against was lost to a media error.
+	ResyncRow(t sim.Time, lba int64) (sim.Time, error)
 	RowPeers(lba int64) []int64
 	StripePages() int64
 	StaleRows() int

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"kddcache/internal/blockdev"
@@ -133,7 +134,18 @@ func (k *KDD) cleanRow(t sim.Time, victim int32) (sim.Time, error) {
 		done, err = k.parityRMW(t, oldPeers)
 	}
 	if err != nil {
-		return t, err
+		if !errors.Is(err, blockdev.ErrMedia) {
+			return t, err
+		}
+		// An old copy or delta page needed for the repair is unreadable:
+		// recompute the parity from the member data instead (the members
+		// always hold the current data), then reclaim as usual.
+		k.st.MediaFallbacks++
+		done, err = k.backend.ResyncRow(t, lba)
+		if err != nil {
+			return t, err
+		}
+		k.st.RowsHealed++
 	}
 
 	// Reclaim the old pages and invalidate their deltas.
@@ -201,7 +213,7 @@ func (k *KDD) parityRMW(t sim.Time, oldPeers []peerInfo) (sim.Time, error) {
 func (k *KDD) readCurrent(t sim.Time, lba int64, slot int32, buf []byte) (sim.Time, error) {
 	switch k.frame.Slot(slot).State {
 	case cache.Clean:
-		return k.ssd.ReadPages(t, k.cacheLBA(slot), 1, buf)
+		return k.ssdRead(t, k.cacheLBA(slot), buf)
 	case cache.Old:
 		return k.readOld(t, lba, slot, buf)
 	default:
@@ -218,14 +230,14 @@ func (k *KDD) expandXor(t sim.Time, slot int32) ([]byte, error) {
 	}
 	var d delta.Delta
 	if od.staged {
-		sd, ok := k.staging.Get(int64(slot))
+		sd, ok := k.staging.Get(k.cacheLBA(slot))
 		if !ok {
 			return nil, fmt.Errorf("%w: staged delta missing for slot %d", ErrNotCombinable, slot)
 		}
 		d = sd.D
 	} else {
 		dezBuf := make([]byte, blockdev.PageSize)
-		if _, err := k.ssd.ReadPages(t, k.cacheLBA(od.dez), 1, dezBuf); err != nil {
+		if _, err := k.ssdRead(t, k.cacheLBA(od.dez), dezBuf); err != nil {
 			return nil, err
 		}
 		d = delta.Delta{Len: od.length, Raw: od.raw, Bytes: dezBuf[od.off : od.off+od.length]}
@@ -234,7 +246,7 @@ func (k *KDD) expandXor(t sim.Time, slot int32) ([]byte, error) {
 	if d.Raw {
 		// xor = old ⊕ new: need the old page.
 		oldBuf := make([]byte, blockdev.PageSize)
-		if _, err := k.ssd.ReadPages(t, k.cacheLBA(slot), 1, oldBuf); err != nil {
+		if _, err := k.ssdRead(t, k.cacheLBA(slot), oldBuf); err != nil {
 			return nil, err
 		}
 		for i := range xor {
@@ -255,7 +267,7 @@ func (k *KDD) reclaimOld(t sim.Time, lba int64, slot int32) (sim.Time, error) {
 	// Invalidate the delta wherever it lives.
 	if od, ok := k.oldDeltas[slot]; ok {
 		if od.staged {
-			k.staging.Drop(int64(slot))
+			k.staging.Drop(k.cacheLBA(slot))
 		} else {
 			k.releaseDez(t, od.dez)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"kddcache/internal/blockdev"
@@ -32,9 +33,17 @@ func (k *KDD) Read(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	k.frame.Touch(slot)
 	switch k.frame.Slot(slot).State {
 	case cache.Clean:
-		return k.ssd.ReadPages(t, k.cacheLBA(slot), 1, buf)
+		done, err := k.ssdRead(t, k.cacheLBA(slot), buf)
+		if errors.Is(err, blockdev.ErrMedia) {
+			return k.recoverHit(t, lba, slot, buf)
+		}
+		return done, err
 	case cache.Old:
-		return k.readOld(t, lba, slot, buf)
+		done, err := k.readOld(t, lba, slot, buf)
+		if errors.Is(err, blockdev.ErrMedia) {
+			return k.recoverHit(t, lba, slot, buf)
+		}
+		return done, err
 	default:
 		return t, fmt.Errorf("core: lookup hit %v slot for lba %d",
 			k.frame.Slot(slot).State, lba)
@@ -52,13 +61,13 @@ func (k *KDD) readOld(t sim.Time, lba int64, slot int32, buf []byte) (sim.Time, 
 		oldBuf = make([]byte, blockdev.PageSize)
 	}
 	// Read the old version from DAZ.
-	done, err := k.ssd.ReadPages(t, k.cacheLBA(slot), 1, oldBuf)
+	done, err := k.ssdRead(t, k.cacheLBA(slot), oldBuf)
 	if err != nil {
 		return t, err
 	}
 	var d delta.Delta
 	if od.staged {
-		sd, ok := k.staging.Get(int64(slot))
+		sd, ok := k.staging.Get(k.cacheLBA(slot))
 		if !ok {
 			return t, fmt.Errorf("%w: staged delta for slot %d missing", ErrNotCombinable, slot)
 		}
@@ -69,7 +78,7 @@ func (k *KDD) readOld(t sim.Time, lba int64, slot int32, buf []byte) (sim.Time, 
 		if k.dataMode && buf != nil {
 			dezBuf = make([]byte, blockdev.PageSize)
 		}
-		c, err := k.ssd.ReadPages(t, k.cacheLBA(od.dez), 1, dezBuf)
+		c, err := k.ssdRead(t, k.cacheLBA(od.dez), dezBuf)
 		if err != nil {
 			return t, err
 		}
@@ -110,10 +119,15 @@ func (k *KDD) fill(done sim.Time, lba int64, buf []byte) {
 	if slot == cache.NoSlot {
 		return
 	}
+	// Bytes on flash BEFORE the mapping: a fill whose write failed (or was
+	// torn by a crash) must stay invisible, or recovery would rebuild a
+	// Clean mapping onto a page that was never written.
+	if _, err := k.ssd.WritePages(done, k.cacheLBA(slot), 1, buf); err != nil {
+		return // slot stays Free; the fill is just skipped
+	}
 	k.frame.Insert(lba, slot, cache.Clean)
 	k.st.ReadFills++
-	k.ssd.WritePages(done, k.cacheLBA(slot), 1, buf) //nolint:errcheck // background fill
-	k.logPut(done, k.cleanEntry(slot, lba))          //nolint:errcheck // surfaces on next op
+	k.logPut(done, k.cleanEntry(slot, lba)) //nolint:errcheck // surfaces on next op
 }
 
 // Write implements cache.Policy (§III-A).
@@ -125,6 +139,21 @@ func (k *KDD) fill(done sim.Time, lba int64, buf []byte) {
 // generation overlaps the (much slower) disk write (§IV-B2).
 func (k *KDD) Write(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	k.st.Writes++
+
+	// While the array is degraded, deferring parity would widen the data
+	// loss window, so fold every pending delta up front (§III-E repairs
+	// parity BEFORE rebuild) and operate write-through until redundancy
+	// returns. The immediate fold also keeps deltas from going silently
+	// obsolete: a degraded write to a failed member recomputes that row's
+	// parity from the survivors, and a delta staged earlier for the row
+	// would corrupt the fresh parity if it were still around to be folded
+	// after a later write re-marked the row stale.
+	if !k.backend.Healthy() && len(k.oldDeltas) > 0 {
+		if _, err := k.Clean(t, true); err != nil {
+			return t, err
+		}
+	}
+
 	slot := k.frame.Lookup(lba)
 	if slot == cache.NoSlot {
 		return k.writeMiss(t, lba, buf)
@@ -132,21 +161,14 @@ func (k *KDD) Write(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	k.st.WriteHits++
 	k.frame.Touch(slot)
 
-	// While the array is degraded, deferring parity would widen the data
-	// loss window (§III-E repairs parity BEFORE rebuild); write hits on
-	// Clean pages degrade to write-through instead.
-	if !k.backend.Healthy() && k.frame.Slot(slot).State == cache.Clean {
-		k.st.WriteAllocs++
-		ssdDone, err := k.ssd.WritePages(t, k.cacheLBA(slot), 1, buf)
-		if err != nil {
+	// Degraded write hits take the conventional path. Never in place: the
+	// old binding is retired first, then the page re-admitted like a miss
+	// (overwriting a mapped page with different bytes is not crash-safe).
+	if !k.backend.Healthy() {
+		if err := k.retireSlot(t, slot); err != nil {
 			return t, err
 		}
-		k.st.RAIDWrites++
-		raidDone, err := k.backend.WritePages(t, lba, 1, buf)
-		if err != nil {
-			return t, err
-		}
-		return sim.MaxTime(ssdDone, raidDone), nil
+		return k.writeAllocate(t, lba, buf)
 	}
 
 	// Generate the delta against the version parity still reflects: the
@@ -157,7 +179,12 @@ func (k *KDD) Write(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	var d delta.Delta
 	if k.dataMode && buf != nil {
 		oldBuf := make([]byte, blockdev.PageSize)
-		if _, err := k.ssd.ReadPages(t, k.cacheLBA(slot), 1, oldBuf); err != nil {
+		if _, err := k.ssdRead(t, k.cacheLBA(slot), oldBuf); err != nil {
+			if errors.Is(err, blockdev.ErrMedia) {
+				// The old version is gone: no delta can describe this
+				// update, so heal the row and take the conventional path.
+				return k.writeHitHeal(t, lba, slot, buf)
+			}
 			return t, err
 		}
 		d = k.codec.Encode(oldBuf, buf)
@@ -172,7 +199,7 @@ func (k *KDD) Write(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	if od, ok := k.oldDeltas[slot]; ok && !od.staged {
 		k.releaseDez(t, od.dez)
 	}
-	k.staging.Put(nvram.StagedDelta{DazPage: int64(slot), RaidLBA: lba, D: d})
+	k.staging.Put(nvram.StagedDelta{DazPage: k.cacheLBA(slot), RaidLBA: lba, D: d})
 	k.oldDeltas[slot] = oldDelta{staged: true}
 	if k.frame.Slot(slot).State == cache.Clean {
 		k.frame.Transition(slot, cache.Old)
@@ -201,22 +228,31 @@ func (k *KDD) Write(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 // writeMiss admits the page and performs a conventional parity write.
 func (k *KDD) writeMiss(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	k.st.WriteMiss++
+	if !k.admitMiss(lba) {
+		k.st.RAIDWrites++
+		return k.backend.WritePages(t, lba, 1, buf)
+	}
+	return k.writeAllocate(t, lba, buf)
+}
+
+// writeAllocate is the conventional write path: RAID write with immediate
+// parity maintenance, plus a fresh cache copy that is mapped (and its
+// mapping logged) only once its bytes are on flash — so a failed or torn
+// allocation write leaves no trace for recovery to trust.
+func (k *KDD) writeAllocate(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	k.st.RAIDWrites++
 	raidDone, err := k.backend.WritePages(t, lba, 1, buf)
 	if err != nil {
 		return t, err
 	}
-	if !k.admitMiss(lba) {
-		return raidDone, nil
-	}
 	var ssdDone sim.Time
 	if slot := k.allocDAZ(t, lba); slot != cache.NoSlot {
-		k.frame.Insert(lba, slot, cache.Clean)
-		k.st.WriteAllocs++
 		ssdDone, err = k.ssd.WritePages(t, k.cacheLBA(slot), 1, buf)
 		if err != nil {
 			return t, err
 		}
+		k.frame.Insert(lba, slot, cache.Clean)
+		k.st.WriteAllocs++
 		if _, err := k.logPut(t, k.cleanEntry(slot, lba)); err != nil {
 			return t, err
 		}
@@ -252,42 +288,67 @@ func (k *KDD) commitDez(t sim.Time) (sim.Time, error) {
 	if k.dataMode {
 		image = make([]byte, blockdev.PageSize)
 	}
-	dp := &dezPage{}
-	k.dezPages[dezSlot] = dp
+	offs := make([]int, len(packed))
 	off := 0
-	done := t
-	for _, sd := range packed {
-		slot := int32(sd.DazPage)
+	for i, sd := range packed {
 		if image != nil && sd.D.Bytes != nil {
 			copy(image[off:], sd.D.Bytes)
 		}
-		k.oldDeltas[slot] = oldDelta{
-			dez: dezSlot, off: off, length: sd.D.Len, raw: sd.D.Raw,
-		}
-		dp.valid++
-		dp.used += sd.D.Len
+		offs[i] = off
 		off += sd.D.Len
+	}
+
+	// The DEZ page must be durable BEFORE any mapping entry points at it:
+	// a crash between the two would leave Old entries referencing a page
+	// that was never written.
+	done, err := k.ssd.WritePages(t, k.cacheLBA(dezSlot), 1, image)
+	if err != nil {
+		// Undo: the deltas were only drained into this aborted page, so
+		// they go back to NVRAM staging and the slot back to the free pool.
+		for _, sd := range packed {
+			k.staging.Put(sd)
+		}
+		k.frame.Release(dezSlot, false)
+		k.trimSlot(t, dezSlot)
+		return t, err
+	}
+	dp := &dezPage{}
+	k.dezPages[dezSlot] = dp
+	for i, sd := range packed {
+		slot := k.slotOf(sd.DazPage)
 		e := metalog.Entry{
 			State:   metalog.StateOld,
 			DazPage: uint32(k.cacheLBA(slot)),
 			RaidLBA: uint32(sd.RaidLBA),
 			DezPage: uint32(k.cacheLBA(dezSlot)),
-			DezOff:  uint16(k.oldDeltas[slot].off),
+			DezOff:  uint16(offs[i]),
 			DezLen:  uint16(sd.D.Len),
 			DezRaw:  sd.D.Raw,
 		}
 		c, err := k.logPut(t, e)
 		if err != nil {
+			// The unlogged suffix keeps its deltas staged in NVRAM (their
+			// in-memory records still say staged); the logged prefix
+			// already points into the durable DEZ page and stands.
+			for _, rest := range packed[i:] {
+				k.staging.Put(rest)
+			}
+			if dp.valid == 0 {
+				delete(k.dezPages, dezSlot)
+				k.frame.Release(dezSlot, false)
+				k.trimSlot(t, dezSlot)
+			}
 			return t, err
 		}
+		k.oldDeltas[slot] = oldDelta{
+			dez: dezSlot, off: offs[i], length: sd.D.Len, raw: sd.D.Raw,
+		}
+		dp.valid++
+		dp.used += sd.D.Len
 		done = sim.MaxTime(done, c)
 	}
 	k.st.DeltaCommits++
-	c, err := k.ssd.WritePages(t, k.cacheLBA(dezSlot), 1, image)
-	if err != nil {
-		return t, err
-	}
-	return sim.MaxTime(done, c), nil
+	return done, nil
 }
 
 // releaseDez invalidates one delta in a DEZ page, freeing the page when

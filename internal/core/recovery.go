@@ -52,10 +52,14 @@ func Restore(cfg Config, t sim.Time, ctr *nvram.Counters,
 	}
 
 	// 2. Overlay the staging buffer: deltas not yet committed to DEZ.
+	// StagedDelta.DazPage holds the SSD cache page — the same persistent
+	// naming the metadata log uses — so it must go through slotOf, exactly
+	// like applyEntry; casting it to a slot directly is wrong whenever the
+	// cache data partition does not start at SSD page 0.
 	if staging != nil {
 		k.staging = staging
 		for _, sd := range staging.All() {
-			slot := int32(sd.DazPage)
+			slot := k.slotOf(sd.DazPage)
 			if int(slot) < 0 || int64(slot) >= k.frame.Pages() {
 				return nil, t, fmt.Errorf("core: staged delta references slot %d out of range", slot)
 			}
@@ -153,7 +157,7 @@ func (k *KDD) CheckInvariants() error {
 				return fmt.Errorf("core: old slot %d lacks a delta record", i)
 			}
 			if od.staged {
-				if _, ok := k.staging.Get(int64(i)); !ok {
+				if _, ok := k.staging.Get(k.cacheLBA(i)); !ok {
 					return fmt.Errorf("core: old slot %d claims staged delta but buffer has none", i)
 				}
 			} else if k.frame.Slot(od.dez).State != cache.Delta {

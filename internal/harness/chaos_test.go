@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaos runs the full default chaos suite: at least 20 distinct
+// seeded fault schedules, each executed twice (determinism), with zero
+// invariant violations and zero undetected corruption.
+func TestChaos(t *testing.T) {
+	rep := Chaos(ChaosOpts{})
+	if len(rep.Results) < 20 {
+		t.Fatalf("want >= 20 schedules, got %d", len(rep.Results))
+	}
+	if v := rep.Violations(); len(v) != 0 {
+		t.Fatalf("%d violations:\n%s", len(v), strings.Join(v, "\n"))
+	}
+
+	kinds := make(map[string]bool)
+	var crashes, unrec int
+	var detected, repaired int64
+	for _, res := range rep.Results {
+		kinds[res.Kind] = true
+		crashes += res.Crashes
+		detected += res.Detected
+		repaired += res.Repaired
+		unrec += res.Unrecoverable
+		if res.Unrecoverable > 0 && res.Kind != "unrecoverable" {
+			t.Errorf("schedule %d (%s): unexpected unrecoverable rows", res.Schedule, res.Kind)
+		}
+	}
+	for _, plan := range chaosPlans {
+		if !kinds[plan.kind] {
+			t.Errorf("plan %q never ran", plan.kind)
+		}
+	}
+	if crashes == 0 {
+		t.Error("no crash was injected across all schedules")
+	}
+	if detected == 0 {
+		t.Error("no media error was detected across all schedules")
+	}
+	if repaired == 0 {
+		t.Error("nothing was repaired across all schedules")
+	}
+	if unrec == 0 {
+		t.Error("the unrecoverable plan reported no unrecoverable rows")
+	}
+}
+
+// TestChaosSeedSensitivity checks that different master seeds change the
+// schedule fingerprints (the fault streams really are seed-driven).
+func TestChaosSeedSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two extra chaos runs")
+	}
+	a := Chaos(ChaosOpts{Schedules: len(chaosPlans), Seed: 1})
+	b := Chaos(ChaosOpts{Schedules: len(chaosPlans), Seed: 2})
+	same := 0
+	for i := range a.Results {
+		if a.Results[i].Fingerprint == b.Results[i].Fingerprint {
+			same++
+		}
+	}
+	if same == len(a.Results) {
+		t.Error("fingerprints identical across different master seeds")
+	}
+}

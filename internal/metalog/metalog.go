@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"kddcache/internal/blockdev"
 	"kddcache/internal/nvram"
@@ -78,6 +79,27 @@ const EntriesPerPage = blockdev.PageSize / 20
 // ErrLogFull is returned when the circular log cannot reclaim space
 // because every entry is live; the partition is undersized.
 var ErrLogFull = errors.New("metalog: log full of live entries; metadata partition too small")
+
+// ErrLogCorrupt is returned by Recover when a committed metadata page
+// fails validation (bad magic, impossible length, or checksum mismatch).
+// Recovery NEVER silently drops or guesses around such a page: the
+// primary map rebuilt from it would be wrong, which is worse than
+// failing the recovery and falling back to a full resync.
+var ErrLogCorrupt = errors.New("metalog: corrupt metadata page")
+
+// Each committed metadata page carries an 8-byte header so recovery can
+// tell a genuine log page from garbage and can detect corruption the
+// device-level checksum cannot: silent bit-flips (checksummed after the
+// damage) and torn in-page writes that persisted only a prefix.
+//
+//	bytes 0-1  magic
+//	bytes 2-3  used: encoded entry bytes following the header
+//	bytes 4-7  CRC-32 (IEEE) of those entry bytes
+const (
+	logPageMagic   = 0x4C4B // "KL"
+	logPageHdrLen  = 8
+	logPagePayload = blockdev.PageSize - logPageHdrLen
+)
 
 // ErrVolatileDevice is returned by Recover when the SSD device carries no
 // bytes (timing-only mode): committed metadata pages cannot be read back,
@@ -294,24 +316,21 @@ func (l *Log) flushPage(t sim.Time) (sim.Time, error) {
 	var page [blockdev.PageSize]byte
 	var flushed []Entry
 	used := 0
-	full := false
-	kept := l.bufOrder[:0]
 	for _, k := range l.bufOrder {
 		e, ok := l.buf[k]
 		if !ok {
 			continue
 		}
-		if !full && used+e.encSize() <= blockdev.PageSize {
-			used += e.encode(page[used:])
-			flushed = append(flushed, e)
-			delete(l.buf, k)
-			l.bufBytes -= e.encSize()
-		} else {
-			full = true
-			kept = append(kept, k)
+		if used+e.encSize() > logPagePayload {
+			break
 		}
+		used += e.encode(page[logPageHdrLen+used:])
+		flushed = append(flushed, e)
 	}
-	l.bufOrder = kept
+	binary.LittleEndian.PutUint16(page[0:], logPageMagic)
+	binary.LittleEndian.PutUint16(page[2:], uint16(used))
+	binary.LittleEndian.PutUint32(page[4:],
+		crc32.ChecksumIEEE(page[logPageHdrLen:logPageHdrLen+used]))
 	seq := l.ctr.Tail
 	phys := l.start + int64(seq%uint64(l.npages))
 	var buf []byte
@@ -320,9 +339,24 @@ func (l *Log) flushPage(t sim.Time) (sim.Time, error) {
 	}
 	done, err := l.dev.WritePages(t, phys, 1, buf)
 	if err != nil {
+		// The page never acked. The entries stay in the NVRAM buffer and
+		// the tail counter untouched, so a crash here is repaired from
+		// NVRAM alone — committing an entry to Put is atomic-in-NVRAM.
 		return t, err
 	}
 	l.ctr.Tail++
+	// Only now that the page is durable do the entries leave NVRAM.
+	for _, e := range flushed {
+		delete(l.buf, e.DazPage)
+		l.bufBytes -= e.encSize()
+	}
+	kept := l.bufOrder[:0]
+	for _, k := range l.bufOrder {
+		if _, ok := l.buf[k]; ok {
+			kept = append(kept, k)
+		}
+	}
+	l.bufOrder = kept
 	l.pageLists[seq] = flushed
 	for _, e := range flushed {
 		l.latest[e.DazPage] = seq
@@ -423,18 +457,16 @@ func (l *Log) Recover(t sim.Time) ([]Entry, sim.Time, error) {
 		}
 		c, err := l.dev.ReadPages(t, phys, 1, buf)
 		if err != nil {
-			return nil, t, err
+			// A detectable media error on a log page is unrecoverable from
+			// this replica; surface it with enough context to act on.
+			return nil, t, fmt.Errorf("metalog: recovery read of log seq %d (ssd page %d): %w", seq, phys, err)
 		}
 		done = sim.MaxTime(done, c)
 		var entries []Entry
 		if l.dataMode() {
-			for i := 0; i < blockdev.PageSize; {
-				e, n, ok := decodeEntry(page[i:])
-				if !ok {
-					break
-				}
-				entries = append(entries, e)
-				i += n
+			entries, err = decodePage(page[:], seq, phys)
+			if err != nil {
+				return nil, t, err
 			}
 		}
 		l.pageLists[seq] = entries
@@ -451,6 +483,34 @@ func (l *Log) Recover(t sim.Time) ([]Entry, sim.Time, error) {
 		}
 	}
 	return replay, done, nil
+}
+
+// decodePage validates one committed metadata page (header magic, length
+// bound, payload checksum) and decodes its entries. Any mismatch is a
+// loud ErrLogCorrupt carrying the page's log sequence and SSD address.
+func decodePage(page []byte, seq uint64, phys int64) ([]Entry, error) {
+	if binary.LittleEndian.Uint16(page[0:]) != logPageMagic {
+		return nil, fmt.Errorf("%w: log seq %d (ssd page %d): bad magic", ErrLogCorrupt, seq, phys)
+	}
+	used := int(binary.LittleEndian.Uint16(page[2:]))
+	if used > logPagePayload {
+		return nil, fmt.Errorf("%w: log seq %d (ssd page %d): entry bytes %d overflow the page",
+			ErrLogCorrupt, seq, phys, used)
+	}
+	if got := crc32.ChecksumIEEE(page[logPageHdrLen : logPageHdrLen+used]); got != binary.LittleEndian.Uint32(page[4:]) {
+		return nil, fmt.Errorf("%w: log seq %d (ssd page %d): checksum mismatch", ErrLogCorrupt, seq, phys)
+	}
+	var entries []Entry
+	for i := 0; i < used; {
+		e, n, ok := decodeEntry(page[logPageHdrLen+i : logPageHdrLen+used])
+		if !ok {
+			return nil, fmt.Errorf("%w: log seq %d (ssd page %d): undecodable entry at offset %d",
+				ErrLogCorrupt, seq, phys, i)
+		}
+		entries = append(entries, e)
+		i += n
+	}
+	return entries, nil
 }
 
 // Restore reconstructs a Log handle around surviving NVRAM state after a

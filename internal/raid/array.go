@@ -15,6 +15,10 @@ var (
 	ErrNeedResync      = errors.New("raid: stale parity rows present; resync before rebuild")
 	ErrNotDegraded     = errors.New("raid: no failed disk to rebuild")
 	ErrBadGeometry     = errors.New("raid: invalid geometry")
+	// ErrUnrecoverable marks a page whose media error cannot be repaired:
+	// the row's redundancy is exhausted (or the level has none). It is
+	// reported loudly — never served as zeros.
+	ErrUnrecoverable = errors.New("raid: page unrecoverable (redundancy exhausted)")
 )
 
 // Config describes an array.
@@ -34,6 +38,8 @@ type Stats struct {
 	DegradedRead int64 // reconstruct-on-read operations
 	NoParityWr   int64 // writes issued through WriteNoParity
 	ParityFixes  int64 // deferred parity updates applied
+	MediaErrors  int64 // member reads that returned blockdev.ErrMedia
+	ReadRepairs  int64 // single pages reconstructed and rewritten in place
 }
 
 // Array is a parity-protected disk array over member block devices.
@@ -113,7 +119,12 @@ func (a *Array) Disks() int { return len(a.disks) }
 
 // Member returns the inner device of member disk i (for inspection by
 // tests and tooling; do not issue I/O through it).
-func (a *Array) Member(i int) blockdev.Device { return a.disks[i].Inner }
+func (a *Array) Member(i int) blockdev.Device { return a.disks[i].Inner() }
+
+// Injector returns the fault injector wrapping member disk i, so tests
+// and the chaos harness can arm per-page faults, crash points, and
+// probabilistic profiles on individual members.
+func (a *Array) Injector(i int) *blockdev.FaultInjector { return a.disks[i] }
 
 // Stats returns a snapshot of operation counters.
 func (a *Array) Stats() Stats { return a.stats }
@@ -154,6 +165,25 @@ func (a *Array) RowPeers(lba int64) []int64 {
 	return peers
 }
 
+// DataLocation returns the member disk and member-local page holding
+// lba's data, so tooling (the chaos harness, scrub tests) can aim
+// per-member faults at a specific logical page.
+func (a *Array) DataLocation(lba int64) (disk int, page int64) {
+	l := a.geo.locate(lba)
+	return l.disk, l.row
+}
+
+// ParityLocation returns the member disks holding the P (and, for
+// RAID-6, Q) parity of lba's row, plus the member-local page. qDisk is
+// -1 on single-parity levels; pDisk is -1 on levels without parity.
+func (a *Array) ParityLocation(lba int64) (pDisk, qDisk int, page int64) {
+	l := a.geo.locate(lba)
+	if a.cfg.Level != Level5 && a.cfg.Level != Level6 {
+		return -1, -1, l.row
+	}
+	return l.pDisk, l.qDisk, l.row
+}
+
 // pageBuf returns the i-th page of buf, or nil in timing mode.
 func pageBuf(buf []byte, i int) []byte {
 	if buf == nil {
@@ -184,28 +214,81 @@ func (a *Array) ReadPages(t sim.Time, lba int64, count int, buf []byte) (sim.Tim
 	return done, nil
 }
 
+// mediaRetries bounds re-reads of a member page after ErrMedia before
+// redundancy is consulted: transient glitches clear on a retry, latent
+// faults and detected bit-rot do not.
+const mediaRetries = 2
+
+// memberRead reads one page from member disk with bounded retry on media
+// errors, so a transient glitch never escalates into a reconstruction
+// (or, worse, aborts one already in progress).
+func (a *Array) memberRead(t sim.Time, disk int, row int64, buf []byte) (sim.Time, error) {
+	done, err := a.disks[disk].ReadPages(t, row, 1, buf)
+	for r := 0; err != nil && errors.Is(err, blockdev.ErrMedia) && r < mediaRetries; r++ {
+		done, err = a.disks[disk].ReadPages(done, row, 1, buf)
+	}
+	return done, err
+}
+
 func (a *Array) readPage(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	l := a.geo.locate(lba)
 	if a.cfg.Level == Level1 {
-		// Read from the first healthy mirror, rotating by LBA to spread
-		// load.
-		n := len(a.disks)
-		start := int(lba) % n
-		for k := 0; k < n; k++ {
-			d := a.disks[(start+k)%n]
-			if d.Failed() {
-				continue
-			}
-			a.stats.DataReads++
-			return d.ReadPages(t, l.row, 1, buf)
-		}
-		return t, ErrTooManyFailures
+		return a.mirrorRead(t, lba, l, buf)
 	}
 	if !a.disks[l.disk].Failed() {
 		a.stats.DataReads++
-		return a.disks[l.disk].ReadPages(t, l.row, 1, buf)
+		c, err := a.memberRead(t, l.disk, l.row, buf)
+		if err == nil {
+			return c, nil
+		}
+		if !errors.Is(err, blockdev.ErrMedia) {
+			return t, err
+		}
+		// One page of an otherwise healthy member is unreadable: repair
+		// just that page from redundancy instead of failing the disk.
+		a.stats.MediaErrors++
+		return a.readRepair(t, l, buf)
 	}
 	return a.degradedRead(t, l, buf)
+}
+
+// mirrorRead serves a RAID-1 read from the first healthy mirror (rotating
+// by LBA to spread load), skipping over mirrors with media errors and
+// repairing them from the copy that finally answered.
+func (a *Array) mirrorRead(t sim.Time, lba int64, l loc, buf []byte) (sim.Time, error) {
+	n := len(a.disks)
+	start := int(lba) % n
+	var bad []int // mirrors that returned ErrMedia for this page
+	anyHealthy := false
+	for k := 0; k < n; k++ {
+		d := a.disks[(start+k)%n]
+		if d.Failed() {
+			continue
+		}
+		anyHealthy = true
+		a.stats.DataReads++
+		c, err := d.ReadPages(t, l.row, 1, buf)
+		if err == nil {
+			// Re-silver any mirror whose copy was unreadable.
+			for _, i := range bad {
+				a.stats.ReadRepairs++
+				if wc, werr := a.disks[i].WritePages(c, l.row, 1, buf); werr == nil {
+					c = sim.MaxTime(c, wc)
+				}
+			}
+			return c, nil
+		}
+		if errors.Is(err, blockdev.ErrMedia) {
+			a.stats.MediaErrors++
+			bad = append(bad, (start+k)%n)
+			continue
+		}
+		return t, err
+	}
+	if !anyHealthy {
+		return t, ErrTooManyFailures
+	}
+	return t, fmt.Errorf("%w: page %d unreadable on every mirror", ErrUnrecoverable, lba)
 }
 
 // WritePages implements blockdev.Device: the conventional write path with
@@ -285,25 +368,38 @@ func (a *Array) smallWrite(t sim.Time, l loc, buf []byte) (sim.Time, error) {
 		}
 	}
 
-	// Phase 1: parallel reads of old data and parity.
+	// Phase 1: parallel reads of old data and parity. A latent media
+	// error on any of these pages must not fail the write (let alone the
+	// member): the old data is reconstructible from the row, and lost
+	// parity can be recomputed from the members before folding the diff.
 	phase1 := t
 	a.stats.DataReads++
-	c, err := dataDev.ReadPages(t, l.row, 1, oldData)
+	c, err := a.memberRead(t, l.disk, l.row, oldData)
 	if err != nil {
-		return t, err
+		if !errors.Is(err, blockdev.ErrMedia) {
+			return t, err
+		}
+		a.stats.MediaErrors++
+		if c, err = a.readRepair(t, l, oldData); err != nil {
+			return t, err
+		}
 	}
 	phase1 = sim.MaxTime(phase1, c)
 	a.stats.ParityReads++
-	c, err = a.disks[l.pDisk].ReadPages(t, l.row, 1, oldP)
+	c, err = a.memberRead(t, l.pDisk, l.row, oldP)
 	if err != nil {
-		return t, err
+		if c, err = a.rereadParity(t, l.pDisk, l, oldP, err); err != nil {
+			return t, err
+		}
 	}
 	phase1 = sim.MaxTime(phase1, c)
 	if l.qDisk >= 0 {
 		a.stats.ParityReads++
-		c, err = a.disks[l.qDisk].ReadPages(t, l.row, 1, oldQ)
+		c, err = a.memberRead(t, l.qDisk, l.row, oldQ)
 		if err != nil {
-			return t, err
+			if c, err = a.rereadParity(t, l.qDisk, l, oldQ, err); err != nil {
+				return t, err
+			}
 		}
 		phase1 = sim.MaxTime(phase1, c)
 	}
@@ -345,4 +441,25 @@ func (a *Array) smallWrite(t sim.Time, l loc, buf []byte) (sim.Time, error) {
 		done = sim.MaxTime(done, c)
 	}
 	return done, nil
+}
+
+// rereadParity recovers from a media error on a parity page read inside
+// the RMW path: the parity is recomputed from the member data (the write
+// heals the latent page and clears any stale mark) and read back. Any
+// error other than ErrMedia is passed through untouched.
+func (a *Array) rereadParity(t sim.Time, disk int, l loc, buf []byte, readErr error) (sim.Time, error) {
+	if !errors.Is(readErr, blockdev.ErrMedia) {
+		return t, readErr
+	}
+	a.stats.MediaErrors++
+	done, err := a.resyncRow(t, l.row)
+	if err != nil {
+		return t, err
+	}
+	a.stats.ParityFixes++
+	c, err := a.disks[disk].ReadPages(done, l.row, 1, buf)
+	if err != nil {
+		return t, err
+	}
+	return sim.MaxTime(done, c), nil
 }

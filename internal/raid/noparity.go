@@ -1,6 +1,8 @@
 package raid
 
 import (
+	"errors"
+
 	"kddcache/internal/blockdev"
 	"kddcache/internal/sim"
 )
@@ -72,6 +74,13 @@ func (a *Array) ParityUpdateDelta(t sim.Time, lbas []int64, deltas [][]byte) (si
 	if a.cfg.Level != Level5 && a.cfg.Level != Level6 {
 		return t, nil
 	}
+	if !a.rowStale(l) {
+		// Parity already reflects the member data — a resync healed the
+		// row after a media error (or a crash interrupted the cleanup that
+		// follows one). Folding old⊕new deltas into fresh parity would
+		// corrupt it; the deltas are simply obsolete.
+		return t, nil
+	}
 	pFailed := a.disks[l.pDisk].Failed()
 	qFailed := l.qDisk >= 0 && a.disks[l.qDisk].Failed()
 	if pFailed && (l.qDisk < 0 || qFailed) {
@@ -115,22 +124,32 @@ func (a *Array) ParityUpdateDelta(t sim.Time, lbas []int64, deltas [][]byte) (si
 		}
 	}
 
-	// Read stale parity.
+	// Read stale parity. If the parity page itself is lost to a media
+	// error, the fold target is gone — recompute parity from the current
+	// member data instead (the members always hold the current bytes,
+	// so the resync result IS the state the deltas were driving toward;
+	// they become obsolete and the stale mark is cleared by the resync).
 	phase1 := t
 	a.stats.ParityReads++
-	c, err := a.disks[l.pDisk].ReadPages(t, l.row, 1, p)
-	if err != nil {
-		return t, err
-	}
-	phase1 = sim.MaxTime(phase1, c)
-	if l.qDisk >= 0 {
+	c, err := a.memberRead(t, l.pDisk, l.row, p)
+	if err == nil && l.qDisk >= 0 {
+		phase1 = sim.MaxTime(phase1, c)
 		a.stats.ParityReads++
-		c, err = a.disks[l.qDisk].ReadPages(t, l.row, 1, q)
+		c, err = a.memberRead(t, l.qDisk, l.row, q)
+	}
+	if err != nil {
+		if !errors.Is(err, blockdev.ErrMedia) {
+			return t, err
+		}
+		a.stats.MediaErrors++
+		done, err := a.resyncRow(t, l.row)
 		if err != nil {
 			return t, err
 		}
-		phase1 = sim.MaxTime(phase1, c)
+		a.stats.ParityFixes++
+		return done, nil
 	}
+	phase1 = sim.MaxTime(phase1, c)
 
 	// Fold every delta in.
 	if data {

@@ -311,7 +311,7 @@ func TestWriteNoParityMarksStaleAndDeltaRepairs(t *testing.T) {
 func mirrorOf(t *testing.T, a *Array, i int) blockdev.Device {
 	t.Helper()
 	type storer interface{ Store() *blockdev.MemStore }
-	s, ok := a.disks[i].Inner.(storer)
+	s, ok := a.disks[i].Inner().(storer)
 	if !ok || s.Store() == nil {
 		t.Fatal("mirrorOf requires data mode")
 	}

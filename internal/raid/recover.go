@@ -349,7 +349,7 @@ func (a *Array) applyParityDiff(t sim.Time, l loc, rl rowLoc, diff []byte, pOK, 
 // reconstruction read.
 func (a *Array) readMember(t sim.Time, disk int, row int64, buf []byte) (sim.Time, error) {
 	a.stats.RebuildReads++
-	return a.disks[disk].ReadPages(t, row, 1, buf)
+	return a.memberRead(t, disk, row, buf)
 }
 
 // Resync recomputes parity for every stale row by reading all data pages
@@ -582,7 +582,7 @@ func (a *Array) reconstructMemberPage(t sim.Time, i int, rl rowLoc, tmp, out []b
 // MemStore-backed device; arrays are homogeneous in practice.
 func (a *Array) dataMode() bool {
 	type storer interface{ Store() *blockdev.MemStore }
-	if s, ok := a.disks[0].Inner.(storer); ok {
+	if s, ok := a.disks[0].Inner().(storer); ok {
 		return s.Store() != nil
 	}
 	return false

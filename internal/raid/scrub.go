@@ -1,0 +1,430 @@
+package raid
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/sim"
+)
+
+// This file implements partial-fault handling: read-repair of single
+// unreadable pages and the background patrol scrub. Whole-device loss is
+// handled in recover.go; here the device is healthy but individual pages
+// are not — latent sector errors, bit-rot, torn writes — the fault regime
+// parity RAID must survive between full rebuilds.
+
+// ScrubReport summarises one patrol pass over the array.
+type ScrubReport struct {
+	RowsScanned   int64   // parity rows examined
+	RowsSkipped   int64   // stale-parity rows left for the cleaner
+	MediaRepaired int64   // unreadable pages reconstructed and rewritten
+	ParityFixed   int64   // parity/mirror pages recomputed after a mismatch
+	Unrecoverable []int64 // disk rows whose redundancy was exhausted
+}
+
+// rowState holds one parity row's pages as read from the members, plus
+// which of them could not be read.
+type rowState struct {
+	rl       rowLoc
+	data     [][]byte // per data index; nil when missing or timing mode
+	p, q     []byte
+	missingD []int // data indices that could not be read
+	missingP bool
+	missingQ bool
+	media    map[int]bool // member disks whose page failed with ErrMedia
+}
+
+// readRow reads every member page of row rl. Failed disks and disks in
+// knownBad are treated as missing without issuing I/O; per-page media
+// errors mark the page missing and the disk media-bad. Any other error
+// aborts.
+func (a *Array) readRow(t sim.Time, rl rowLoc, knownBad map[int]bool) (*rowState, sim.Time, error) {
+	dataMode := a.dataMode()
+	st := &rowState{
+		rl:    rl,
+		data:  make([][]byte, len(rl.dataDisks)),
+		media: make(map[int]bool),
+	}
+	done := t
+	read := func(disk int) ([]byte, bool, error) {
+		if knownBad[disk] {
+			st.media[disk] = true
+			return nil, false, nil
+		}
+		if a.disks[disk].Failed() {
+			return nil, false, nil
+		}
+		buf := pageScratch(dataMode)
+		c, err := a.memberRead(t, disk, rl.row, buf)
+		if err != nil {
+			if errors.Is(err, blockdev.ErrMedia) {
+				a.stats.MediaErrors++
+				st.media[disk] = true
+				return nil, false, nil
+			}
+			return nil, false, err
+		}
+		done = sim.MaxTime(done, c)
+		return buf, true, nil
+	}
+	for i, disk := range rl.dataDisks {
+		buf, ok, err := read(disk)
+		if err != nil {
+			return nil, t, err
+		}
+		if !ok {
+			st.missingD = append(st.missingD, i)
+			continue
+		}
+		st.data[i] = buf
+	}
+	if rl.pDisk >= 0 {
+		buf, ok, err := read(rl.pDisk)
+		if err != nil {
+			return nil, t, err
+		}
+		st.missingP = !ok
+		st.p = buf
+	}
+	if rl.qDisk >= 0 {
+		buf, ok, err := read(rl.qDisk)
+		if err != nil {
+			return nil, t, err
+		}
+		st.missingQ = !ok
+		st.q = buf
+	}
+	return st, done, nil
+}
+
+// recoverable reports whether the row's erasures fit within the level's
+// tolerance.
+func (a *Array) recoverable(st *rowState) bool {
+	er := len(st.missingD)
+	if st.rl.pDisk >= 0 && st.missingP {
+		er++
+	}
+	if st.rl.qDisk >= 0 && st.missingQ {
+		er++
+	}
+	switch a.cfg.Level {
+	case Level5:
+		return er <= 1
+	case Level6:
+		return er <= 2
+	default:
+		return er == 0
+	}
+}
+
+// solveRow reconstructs every missing page of the row in place (data mode
+// only). The caller has already checked recoverable().
+func (a *Array) solveRow(st *rowState) error {
+	dc := len(st.rl.dataDisks)
+	switch len(st.missingD) {
+	case 0:
+		// All data present; missing parity is recomputed below.
+	case 1:
+		x := st.missingD[0]
+		dx := make([]byte, blockdev.PageSize)
+		switch {
+		case st.rl.pDisk >= 0 && !st.missingP:
+			// D_x = P ⊕ Σ_{i≠x} D_i.
+			copy(dx, st.p)
+			for i := 0; i < dc; i++ {
+				if i != x {
+					xorInto(dx, st.data[i])
+				}
+			}
+		case st.rl.qDisk >= 0 && !st.missingQ:
+			// D_x = (Q ⊕ Σ_{i≠x} g^i·D_i) / g^x.
+			acc := make([]byte, blockdev.PageSize)
+			copy(acc, st.q)
+			for i := 0; i < dc; i++ {
+				if i != x {
+					gfMulInto(acc, st.data[i], gfPow(i))
+				}
+			}
+			gfScale(dx, acc, gfInv(gfPow(x)))
+		default:
+			return ErrUnrecoverable
+		}
+		st.data[x] = dx
+	case 2:
+		// Two data erasures need both P and Q (RAID-6 decode).
+		if st.rl.qDisk < 0 || st.missingP || st.missingQ {
+			return ErrUnrecoverable
+		}
+		x, y := st.missingD[0], st.missingD[1]
+		pAcc := make([]byte, blockdev.PageSize)
+		qAcc := make([]byte, blockdev.PageSize)
+		copy(pAcc, st.p)
+		copy(qAcc, st.q)
+		for i := 0; i < dc; i++ {
+			if i != x && i != y {
+				xorInto(pAcc, st.data[i])
+				gfMulInto(qAcc, st.data[i], gfPow(i))
+			}
+		}
+		// pAcc = D_x ⊕ D_y ; qAcc = g^x·D_x ⊕ g^y·D_y.
+		gx, gy := gfPow(x), gfPow(y)
+		gfMulInto(qAcc, pAcc, gy) // qAcc = (g^x ⊕ g^y)·D_x
+		dx := make([]byte, blockdev.PageSize)
+		gfScale(dx, qAcc, gfInv(gx^gy))
+		dy := make([]byte, blockdev.PageSize)
+		copy(dy, pAcc)
+		xorInto(dy, dx)
+		st.data[x], st.data[y] = dx, dy
+	default:
+		return ErrUnrecoverable
+	}
+	if st.rl.pDisk >= 0 && st.missingP {
+		st.p = make([]byte, blockdev.PageSize)
+		for i := 0; i < dc; i++ {
+			xorInto(st.p, st.data[i])
+		}
+	}
+	if st.rl.qDisk >= 0 && st.missingQ {
+		st.q = make([]byte, blockdev.PageSize)
+		for i := 0; i < dc; i++ {
+			gfMulInto(st.q, st.data[i], gfPow(i))
+		}
+	}
+	return nil
+}
+
+// readRepair reconstructs the single unreadable data page at l from the
+// surviving members of its row and writes it back in place, so one latent
+// sector error is healed without declaring the member disk failed.
+func (a *Array) readRepair(t sim.Time, l loc, buf []byte) (sim.Time, error) {
+	if a.cfg.Level != Level5 && a.cfg.Level != Level6 {
+		return t, fmt.Errorf("%w: logical page %d (level %s has no parity)",
+			ErrUnrecoverable, a.geo.logicalLBA(l.stripe, l.dataIdx, l.row%a.geo.chunkPages), a.cfg.Level)
+	}
+	if a.rowStale(l) {
+		// Parity of this row is stale (WriteNoParity window): it cannot
+		// reconstruct the lost page. This is the unrecoverable corner the
+		// paper's delayed-parity scheme accepts between write and cleaning.
+		return t, fmt.Errorf("%w: media error on row %d while its parity is stale", ErrStaleParity, l.row)
+	}
+	rl := a.geo.locateRow(l.stripe)
+	rl.row = l.row
+	st, done, err := a.readRow(t, rl, map[int]bool{l.disk: true})
+	if err != nil {
+		return t, err
+	}
+	if !a.recoverable(st) {
+		return t, fmt.Errorf("%w: row %d has more erasures than the level tolerates", ErrUnrecoverable, l.row)
+	}
+	var page []byte
+	if a.dataMode() {
+		if err := a.solveRow(st); err != nil {
+			return t, fmt.Errorf("%w: row %d", err, l.row)
+		}
+		page = st.data[l.dataIdx]
+		if buf != nil {
+			copy(buf, page)
+		}
+	}
+	a.stats.ReadRepairs++
+	c, err := a.disks[l.disk].WritePages(done, l.row, 1, page)
+	if err != nil {
+		// The data is reconstructed and served even if the write-back
+		// fails; the page stays bad and the next scrub retries.
+		return done, nil //nolint:nilerr // serving reconstructed data is the point
+	}
+	return sim.MaxTime(done, c), nil
+}
+
+// Scrub walks every parity row of the array under virtual time, verifying
+// that each member page is readable and (in data mode) that parity
+// matches the data. Unreadable pages are reconstructed from redundancy
+// and rewritten; mismatched parity is recomputed from the data pages
+// (data is trusted — it is what the host wrote and re-reads). Rows whose
+// parity is deliberately stale are skipped: the cleaner owns them and
+// will fold the staged deltas in later. Rows with more erasures than the
+// level tolerates are reported in the ScrubReport, never silently
+// patched.
+func (a *Array) Scrub(t sim.Time) (sim.Time, ScrubReport, error) {
+	var rep ScrubReport
+	usable := a.geo.diskPages - a.geo.diskPages%a.geo.chunkPages
+	done := t
+	for row := int64(0); row < usable; row++ {
+		if a.stale[row] {
+			rep.RowsSkipped++
+			continue
+		}
+		rep.RowsScanned++
+		stripe := row / a.geo.chunkPages
+		rl := a.geo.locateRow(stripe)
+		rl.row = row
+		var c sim.Time
+		var err error
+		if a.cfg.Level == Level1 {
+			c, err = a.scrubMirrorRow(t, rl, &rep)
+		} else {
+			c, err = a.scrubParityRow(t, rl, &rep)
+		}
+		if err != nil {
+			return t, rep, err
+		}
+		done = sim.MaxTime(done, c)
+		t = c // patrol runs serialized in the background
+	}
+	return done, rep, nil
+}
+
+// scrubParityRow verifies and repairs one RAID-0/5/6 row.
+func (a *Array) scrubParityRow(t sim.Time, rl rowLoc, rep *ScrubReport) (sim.Time, error) {
+	st, done, err := a.readRow(t, rl, nil)
+	if err != nil {
+		return t, err
+	}
+	anyMissing := len(st.missingD) > 0 || (rl.pDisk >= 0 && st.missingP) || (rl.qDisk >= 0 && st.missingQ)
+	if anyMissing {
+		if !a.recoverable(st) {
+			rep.Unrecoverable = append(rep.Unrecoverable, rl.row)
+			return done, nil
+		}
+		if a.dataMode() {
+			if err := a.solveRow(st); err != nil {
+				rep.Unrecoverable = append(rep.Unrecoverable, rl.row)
+				return done, nil
+			}
+		}
+		// Write reconstructed pages back, but only onto media-bad disks:
+		// pages missing because the whole member failed are the rebuild's
+		// job, not the scrub's.
+		for i, disk := range rl.dataDisks {
+			if st.media[disk] {
+				if c, werr := a.disks[disk].WritePages(done, rl.row, 1, st.data[i]); werr == nil {
+					done = sim.MaxTime(done, c)
+					rep.MediaRepaired++
+				}
+			}
+		}
+		if rl.pDisk >= 0 && st.media[rl.pDisk] {
+			if c, werr := a.disks[rl.pDisk].WritePages(done, rl.row, 1, st.p); werr == nil {
+				done = sim.MaxTime(done, c)
+				rep.MediaRepaired++
+			}
+		}
+		if rl.qDisk >= 0 && st.media[rl.qDisk] {
+			if c, werr := a.disks[rl.qDisk].WritePages(done, rl.row, 1, st.q); werr == nil {
+				done = sim.MaxTime(done, c)
+				rep.MediaRepaired++
+			}
+		}
+		return done, nil
+	}
+	// All pages readable: cross-check parity against data (data mode only
+	// — timing mode has no bytes to compare).
+	if !a.dataMode() || rl.pDisk < 0 {
+		return done, nil
+	}
+	expP := make([]byte, blockdev.PageSize)
+	var expQ []byte
+	if rl.qDisk >= 0 {
+		expQ = make([]byte, blockdev.PageSize)
+	}
+	for i := range st.data {
+		xorInto(expP, st.data[i])
+		if expQ != nil {
+			gfMulInto(expQ, st.data[i], gfPow(i))
+		}
+	}
+	if !bytes.Equal(expP, st.p) {
+		if c, werr := a.disks[rl.pDisk].WritePages(done, rl.row, 1, expP); werr == nil {
+			done = sim.MaxTime(done, c)
+		}
+		rep.ParityFixed++
+	}
+	if expQ != nil && !bytes.Equal(expQ, st.q) {
+		if c, werr := a.disks[rl.qDisk].WritePages(done, rl.row, 1, expQ); werr == nil {
+			done = sim.MaxTime(done, c)
+		}
+		rep.ParityFixed++
+	}
+	return done, nil
+}
+
+// scrubMirrorRow verifies one RAID-1 row: every healthy mirror must hold
+// a readable, identical copy. Unreadable copies are re-silvered from the
+// first mirror that answers; divergent copies are overwritten by it (the
+// first readable mirror is the tie-break authority — with two-way
+// mirrors there is no majority to consult).
+func (a *Array) scrubMirrorRow(t sim.Time, rl rowLoc, rep *ScrubReport) (sim.Time, error) {
+	dataMode := a.dataMode()
+	done := t
+	var good []byte
+	goodAt := -1
+	type copyInfo struct {
+		disk int
+		buf  []byte
+	}
+	var bad []int      // mirrors with media errors
+	var rest []copyInfo // readable mirrors after the first
+	anyHealthy := false
+	for i, d := range a.disks {
+		if d.Failed() {
+			continue
+		}
+		anyHealthy = true
+		buf := pageScratch(dataMode)
+		c, err := a.memberRead(t, i, rl.row, buf)
+		if err != nil {
+			if errors.Is(err, blockdev.ErrMedia) {
+				a.stats.MediaErrors++
+				bad = append(bad, i)
+				continue
+			}
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+		if goodAt == -1 {
+			good, goodAt = buf, i
+		} else {
+			rest = append(rest, copyInfo{disk: i, buf: buf})
+		}
+	}
+	if goodAt == -1 {
+		if anyHealthy {
+			rep.Unrecoverable = append(rep.Unrecoverable, rl.row)
+		}
+		return done, nil
+	}
+	for _, i := range bad {
+		if c, werr := a.disks[i].WritePages(done, rl.row, 1, good); werr == nil {
+			done = sim.MaxTime(done, c)
+			rep.MediaRepaired++
+		}
+	}
+	if dataMode {
+		for _, ci := range rest {
+			if !bytes.Equal(ci.buf, good) {
+				if c, werr := a.disks[ci.disk].WritePages(done, rl.row, 1, good); werr == nil {
+					done = sim.MaxTime(done, c)
+				}
+				rep.ParityFixed++
+			}
+		}
+	}
+	return done, nil
+}
+
+// ResyncRow recomputes the parity of lba's row from the current data
+// members (reconstruct-write), clearing any stale mark. The KDD core
+// falls back to it when a staged delta can no longer be applied — e.g.
+// the old page the delta XORs against was lost to a media error. The
+// data members always hold the current data (KDD dispatches every write
+// to RAID), so recomputing from them is always safe, just costlier than
+// the delta RMW.
+func (a *Array) ResyncRow(t sim.Time, lba int64) (sim.Time, error) {
+	if a.cfg.Level != Level5 && a.cfg.Level != Level6 {
+		return t, nil
+	}
+	l := a.geo.locate(lba)
+	return a.resyncRow(t, l.row)
+}

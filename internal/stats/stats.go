@@ -39,6 +39,12 @@ type CacheStats struct {
 	RAIDWrites       int64
 	ParityUpdates    int64 // deferred parity repairs performed
 	SmallWritesSaved int64 // writes that skipped the parity update
+
+	// Partial-fault handling (media errors on the cache device).
+	MediaRetries   int64 // SSD reads retried after a transient media error
+	SSDMediaErrors int64 // SSD media errors that persisted past the retries
+	MediaFallbacks int64 // operations served from RAID after losing SSD pages
+	RowsHealed     int64 // rows re-materialised and resynced after media loss
 }
 
 // Requests returns the total number of request pages processed.
@@ -102,6 +108,10 @@ func (s *CacheStats) Add(o *CacheStats) {
 	s.RAIDWrites += o.RAIDWrites
 	s.ParityUpdates += o.ParityUpdates
 	s.SmallWritesSaved += o.SmallWritesSaved
+	s.MediaRetries += o.MediaRetries
+	s.SSDMediaErrors += o.SSDMediaErrors
+	s.MediaFallbacks += o.MediaFallbacks
+	s.RowsHealed += o.RowsHealed
 }
 
 func (s *CacheStats) String() string {
