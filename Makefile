@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos ci clean
+.PHONY: all build vet test race chaos bench-harness ci clean
 
 all: ci
 
@@ -14,16 +14,24 @@ test:
 	$(GO) test ./...
 
 # Race coverage on the packages with concurrency-sensitive state
-# (fault injection, cache core, array repair paths).
+# (fault injection, cache core, array repair paths) plus the harness's
+# parallel fan-out runner and its determinism tests.
 race:
 	$(GO) test -race ./internal/blockdev/ ./internal/core/ ./internal/raid/
+	$(GO) test -race -run 'FanOut|Deterministic|ParallelismKnob' ./internal/harness/
 
 # Full chaos run: randomized seeded fault schedules with end-to-end
 # verification; non-zero exit on any violation.
 chaos:
 	$(GO) run ./cmd/kddchaos
 
+# Serial vs parallel wall-clock of the experiment harness; asserts the
+# outputs are byte-identical and writes BENCH_harness.json.
+bench-harness:
+	$(GO) run ./cmd/harnessbench -scale $(or $(BENCH_SCALE),0.01) -o BENCH_harness.json
+
 ci: vet build test race
 
 clean:
 	$(GO) clean ./...
+	rm -f BENCH_harness.json

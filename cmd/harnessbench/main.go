@@ -1,0 +1,127 @@
+// Command harnessbench measures the experiment harness's serial vs
+// parallel wall clock and verifies the outputs are byte-identical at both
+// widths — the determinism contract of the fan-out runner. Results go to
+// a JSON file (BENCH_harness.json by default) so CI can archive the perf
+// trajectory.
+//
+//	harnessbench -scale 0.01 -o BENCH_harness.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"kddcache/internal/harness"
+)
+
+// experimentResult is one serial-vs-parallel comparison.
+type experimentResult struct {
+	Name        string  `json:"name"`
+	SerialSec   float64 `json:"serial_sec"`
+	ParallelSec float64 `json:"parallel_sec"`
+	Speedup     float64 `json:"speedup"`
+	Identical   bool    `json:"identical"`
+}
+
+// benchReport is the BENCH_harness.json schema.
+type benchReport struct {
+	Scale       float64            `json:"scale"`
+	Parallel    int                `json:"parallel"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Experiments []experimentResult `json:"experiments"`
+}
+
+func main() {
+	var (
+		scale     = flag.Float64("scale", 0.01, "experiment scale factor")
+		out       = flag.String("o", "BENCH_harness.json", "output JSON file")
+		parallel  = flag.Int("parallel", 0, "parallel pool width to compare against serial (0 = GOMAXPROCS)")
+		schedules = flag.Int("chaos-schedules", 8, "chaos schedules for the chaos comparison")
+		ops       = flag.Int("chaos-ops", 300, "ops per chaos schedule")
+	)
+	flag.Parse()
+
+	width := *parallel
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	rep := benchReport{Scale: *scale, Parallel: width, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	runs := []struct {
+		name string
+		run  func(par int) (string, error)
+	}{
+		{"fig6", func(par int) (string, error) {
+			harness.SetParallelism(par)
+			defer harness.SetParallelism(0)
+			return harness.Fig6(*scale)
+		}},
+		{"fig5", func(par int) (string, error) {
+			harness.SetParallelism(par)
+			defer harness.SetParallelism(0)
+			return harness.Fig5(*scale)
+		}},
+		{"chaos", func(par int) (string, error) {
+			r := harness.Chaos(harness.ChaosOpts{
+				Schedules: *schedules, Ops: *ops, Parallel: par,
+			})
+			return r.Table(), nil
+		}},
+	}
+
+	allIdentical := true
+	for _, ex := range runs {
+		serialOut, serialSec, err := timed(ex.run, 1)
+		if err != nil {
+			fatal(fmt.Errorf("%s serial: %w", ex.name, err))
+		}
+		parOut, parSec, err := timed(ex.run, width)
+		if err != nil {
+			fatal(fmt.Errorf("%s parallel: %w", ex.name, err))
+		}
+		r := experimentResult{
+			Name:        ex.name,
+			SerialSec:   serialSec,
+			ParallelSec: parSec,
+			Speedup:     serialSec / parSec,
+			Identical:   serialOut == parOut,
+		}
+		allIdentical = allIdentical && r.Identical
+		fmt.Printf("%-8s serial %6.2fs  parallel(%d) %6.2fs  speedup %.2fx  identical=%v\n",
+			r.Name, r.SerialSec, width, r.ParallelSec, r.Speedup, r.Identical)
+		rep.Experiments = append(rep.Experiments, r)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	if !allIdentical {
+		fatal(fmt.Errorf("parallel output differs from serial output"))
+	}
+}
+
+// timed runs f at the given pool width and returns its output and seconds.
+func timed(f func(par int) (string, error), par int) (string, float64, error) {
+	start := time.Now()
+	out, err := f(par)
+	return out, time.Since(start).Seconds(), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "harnessbench:", err)
+	os.Exit(1)
+}

@@ -27,6 +27,7 @@ func main() {
 		footprint = flag.Int64("footprint", 0, "distinct LBAs touched (0 = default 640)")
 		cache     = flag.Int64("cachepages", 0, "SSD cache data pages (0 = default 512)")
 		seed      = flag.Uint64("seed", 0, "master seed (0 = default)")
+		parallel  = flag.Int("parallel", 0, "worker-pool width for schedules; report is identical at any width (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 	for _, v := range []struct {
@@ -48,6 +49,7 @@ func main() {
 		Footprint:  *footprint,
 		CachePages: *cache,
 		Seed:       *seed,
+		Parallel:   *parallel,
 	})
 	fmt.Print(rep.Table())
 	if len(rep.Violations()) > 0 {

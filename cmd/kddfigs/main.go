@@ -1,7 +1,8 @@
 // Command kddfigs regenerates the paper's complete evaluation — every
 // table, figure, ablation and extension experiment — writing the text
 // tables (and CSV series where available) into a directory. Experiments
-// are independent and run on a worker pool (-j).
+// are independent and run on a worker pool (-j); within each experiment
+// the individual simulations run on the harness pool (-parallel).
 //
 //	kddfigs -scale 0.02 -o results/ -j 4
 package main
@@ -36,8 +37,14 @@ func main() {
 		out     = flag.String("o", "results", "output directory")
 		only    = flag.String("only", "", "name prefix filter, e.g. 'fig' or 'ablation'")
 		workers = flag.Int("j", runtime.NumCPU()/2+1, "parallel experiments")
+		// Default 1: -j already keeps every core busy across experiments;
+		// stacking a per-experiment pool on top oversubscribes. Raise it
+		// (or set -j 1 -parallel 0) to parallelize within experiments
+		// instead — useful when regenerating a single slow figure.
+		parallel = flag.Int("parallel", 1, "worker-pool width inside each experiment; output is identical at any width (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	kddcache.SetParallelism(*parallel)
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)

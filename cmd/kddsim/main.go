@@ -39,8 +39,10 @@ func main() {
 		format     = flag.String("format", "uniform", "trace format: uniform,spc,msr")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		csvOut     = flag.String("csv", "", "with -experiment fig4/9/10/11: also write the series as CSV to this file")
+		parallel   = flag.Int("parallel", 0, "worker-pool width for experiment simulations; output is identical at any width (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+	kddcache.SetParallelism(*parallel)
 
 	if *list {
 		var names []string

@@ -78,6 +78,9 @@ func (k *KDD) Clean(t sim.Time, force bool) (sim.Time, error) {
 // "KDD first updates all parity blocks using the parity_update interface
 // and then triggers the rebuilding process").
 func (k *KDD) Flush(t sim.Time) (sim.Time, error) {
+	if err := k.takeSticky(); err != nil {
+		return t, err
+	}
 	done, err := k.Clean(t, true)
 	if err != nil {
 		return t, err

@@ -130,10 +130,21 @@ type KDD struct {
 
 	ghost *ghostLRU // nil unless SelectiveAdmission
 
+	// metaErr records a metadata-log failure from a path that cannot
+	// return it (eviction, best-effort cleaning); the next top-level
+	// operation surfaces and clears it, keeping the RPO-zero claim honest.
+	metaErr error
+
 	st       stats.CacheStats
 	dataMode bool
 	cleaning bool
 }
+
+// maxMetaAddressable is the page-address ceiling imposed by the metadata
+// log's uint32 on-flash encoding (Entry.DazPage / Entry.RaidLBA): 2^32
+// pages, i.e. 16 TiB at 4 KiB pages. Geometries beyond it would silently
+// truncate recovery metadata.
+const maxMetaAddressable = int64(1) << 32
 
 // New builds a KDD cache.
 func New(cfg Config) (*KDD, error) {
@@ -153,6 +164,14 @@ func New(cfg Config) (*KDD, error) {
 	}
 	if cfg.LowWater >= cfg.HighWater {
 		return nil, fmt.Errorf("core: cleaner watermarks inverted")
+	}
+	if !cfg.DisableMetaLog {
+		if end := cfg.MetaStart + cfg.MetaPages + cfg.CachePages; end > maxMetaAddressable {
+			return nil, fmt.Errorf("core: SSD cache end page %d exceeds the metadata log's uint32 address space (%d pages); shrink the cache or disable the metadata log", end, maxMetaAddressable)
+		}
+		if bp := cfg.Backend.Pages(); bp > maxMetaAddressable {
+			return nil, fmt.Errorf("core: backend of %d pages exceeds the metadata log's uint32 address space (%d pages); shrink the array or disable the metadata log", bp, maxMetaAddressable)
+		}
 	}
 	k := &KDD{
 		cfg:       cfg,
@@ -235,6 +254,23 @@ func (k *KDD) cacheLBA(slot int32) int64 { return k.dataStart + int64(slot) }
 // slotOf maps an SSD page back to a slot index (recovery).
 func (k *KDD) slotOf(ssdPage int64) int32 { return int32(ssdPage - k.dataStart) }
 
+// stick records a metadata failure for later surfacing; the first error
+// wins (later ones are usually consequences of the first).
+func (k *KDD) stick(err error) {
+	if err != nil && k.metaErr == nil {
+		k.metaErr = err
+	}
+}
+
+// takeSticky returns and clears any recorded metadata failure. Entries
+// stay buffered in NVRAM when a flush fails, so once the error has been
+// surfaced the log is still coherent and the instance may continue.
+func (k *KDD) takeSticky() error {
+	err := k.metaErr
+	k.metaErr = nil
+	return err
+}
+
 // logPut appends a metadata entry unless the log is disabled.
 func (k *KDD) logPut(t sim.Time, e metalog.Entry) (sim.Time, error) {
 	if k.log == nil {
@@ -279,7 +315,9 @@ func (k *KDD) evictClean(t sim.Time, set int) int32 {
 	k.st.Evictions++
 	k.frame.Release(s, true)
 	k.trimSlot(t, s)
-	k.logPut(t, k.freeEntry(s)) //nolint:errcheck // metadata flush failure surfaces on next op
+	if _, err := k.logPut(t, k.freeEntry(s)); err != nil {
+		k.stick(fmt.Errorf("core: logging eviction of slot %d: %w", s, err))
+	}
 	return s
 }
 
@@ -295,7 +333,9 @@ func (k *KDD) allocDAZ(t sim.Time, lba int64) int32 {
 	}
 	// Set is all old/delta pages: a cleaning trigger ("when the SSD cache
 	// is full", §III-B).
-	k.Clean(t, false) //nolint:errcheck // best effort; next op surfaces errors
+	if _, err := k.Clean(t, false); err != nil {
+		k.stick(fmt.Errorf("core: cleaning on full set: %w", err))
+	}
 	if s := k.frame.AllocFree(set); s != cache.NoSlot {
 		return s
 	}

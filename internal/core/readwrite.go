@@ -17,6 +17,9 @@ import (
 // old version with the newest delta — read concurrently from DAZ and DEZ
 // thanks to the SSD's internal parallelism.
 func (k *KDD) Read(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
+	if err := k.takeSticky(); err != nil {
+		return t, err
+	}
 	k.st.Reads++
 	slot := k.frame.Lookup(lba)
 	if slot == cache.NoSlot {
@@ -127,7 +130,9 @@ func (k *KDD) fill(done sim.Time, lba int64, buf []byte) {
 	}
 	k.frame.Insert(lba, slot, cache.Clean)
 	k.st.ReadFills++
-	k.logPut(done, k.cleanEntry(slot, lba)) //nolint:errcheck // surfaces on next op
+	if _, err := k.logPut(done, k.cleanEntry(slot, lba)); err != nil {
+		k.stick(fmt.Errorf("core: logging read-fill of lba %d: %w", lba, err))
+	}
 }
 
 // Write implements cache.Policy (§III-A).
@@ -138,6 +143,9 @@ func (k *KDD) fill(done sim.Time, lba int64, buf []byte) {
 // DEZ. The response completes when the RAID data write completes — delta
 // generation overlaps the (much slower) disk write (§IV-B2).
 func (k *KDD) Write(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
+	if err := k.takeSticky(); err != nil {
+		return t, err
+	}
 	k.st.Writes++
 
 	// While the array is degraded, deferring parity would widen the data

@@ -5,10 +5,13 @@ import (
 	"strings"
 
 	"kddcache/internal/stats"
+	"kddcache/internal/trace"
 	"kddcache/internal/workload"
 )
 
-// Ablation benches for the design decisions DESIGN.md calls out.
+// Ablation benches for the design decisions DESIGN.md calls out. Each
+// config point is an independent simulation, fanned over the worker pool;
+// tables are assembled in config order after the pool drains.
 
 // AblationPartition compares KDD's dynamic DAZ/DEZ mixing against a fixed
 // partition reserving a share of the sets for deltas (§III-B argues the
@@ -19,8 +22,7 @@ func AblationPartition(scale float64) (string, error) {
 	cachePages := roundWays(int64(0.15*float64(spec.UniqueTotal)), 256)
 	nsets := int(cachePages / 256)
 
-	var series []stats.Series
-	configs := []struct {
+	all := []struct {
 		label   string
 		dezSets int
 	}{
@@ -29,27 +31,40 @@ func AblationPartition(scale float64) (string, error) {
 		{"fixed-12%", nsets * 12 / 100},
 		{"fixed-25%", nsets / 4},
 	}
+	// Tiny scales can round a fixed share down to zero sets, which would
+	// alias the dynamic config; skip those points.
+	configs := all[:0]
+	for _, c := range all {
+		if c.dezSets == 0 && c.label != "dynamic" {
+			continue
+		}
+		configs = append(configs, c)
+	}
+	results, err := fanOut(len(configs), func(i int) (*Result, error) {
+		r, err := runSim(spec, tr, StackOpts{
+			Policy: PolicyKDD, DeltaMean: 0.25,
+			CachePages: cachePages, FixedDEZSets: configs[i].dezSets,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation partition %s: %w", configs[i].label, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return "", err
+	}
 	hit := stats.Series{Label: "hit ratio"}
 	wr := stats.Series{Label: "SSD writes(Kpg)"}
 	var labels []string
 	for i, c := range configs {
-		if c.dezSets == 0 && c.label != "dynamic" {
-			continue
-		}
-		r, err := runSim(spec, tr, StackOpts{
-			Policy: PolicyKDD, DeltaMean: 0.25,
-			CachePages: cachePages, FixedDEZSets: c.dezSets,
-		})
-		if err != nil {
-			return "", fmt.Errorf("ablation partition %s: %w", c.label, err)
-		}
+		r := results[i]
 		hit.X = append(hit.X, float64(i))
 		hit.Y = append(hit.Y, r.Cache.HitRatio())
 		wr.X = append(wr.X, float64(i))
 		wr.Y = append(wr.Y, float64(r.Cache.SSDWrites())/1000)
 		labels = append(labels, c.label)
 	}
-	series = append(series, hit, wr)
+	series := []stats.Series{hit, wr}
 	var b strings.Builder
 	b.WriteString("== Ablation: dynamic vs fixed DAZ/DEZ partition (Fin1, KDD-25%) ==\n")
 	fmt.Fprintf(&b, "configs: %s\n", strings.Join(labels, ", "))
@@ -66,20 +81,28 @@ func AblationReclaim(scale float64) (string, error) {
 	tr := workload.Synthesize(spec)
 	cachePages := roundWays(int64(0.15*float64(spec.UniqueTotal)), 256)
 
+	configs := []struct {
+		label       string
+		materialise bool
+	}{{"2:drop", false}, {"1:materialise", true}}
+	results, err := fanOut(len(configs), func(i int) (*Result, error) {
+		r, err := runSim(spec, tr, StackOpts{
+			Policy: PolicyKDD, DeltaMean: 0.25,
+			CachePages: cachePages, ReclaimMaterialize: configs[i].materialise,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation reclaim %s: %w", configs[i].label, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	b.WriteString("== Ablation: reclaim scheme 2 (drop) vs scheme 1 (materialise) — Fin1, KDD-25% ==\n")
 	fmt.Fprintf(&b, "%-14s %12s %16s %12s\n", "scheme", "hit ratio", "SSD writes(Kpg)", "reclaims")
-	for _, c := range []struct {
-		label       string
-		materialise bool
-	}{{"2:drop", false}, {"1:materialise", true}} {
-		r, err := runSim(spec, tr, StackOpts{
-			Policy: PolicyKDD, DeltaMean: 0.25,
-			CachePages: cachePages, ReclaimMaterialize: c.materialise,
-		})
-		if err != nil {
-			return "", fmt.Errorf("ablation reclaim %s: %w", c.label, err)
-		}
+	for i, c := range configs {
+		r := results[i]
 		fmt.Fprintf(&b, "%-14s %12.4f %16.1f %12d\n",
 			c.label, r.Cache.HitRatio(), float64(r.Cache.SSDWrites())/1000, r.Cache.Reclaims)
 	}
@@ -94,21 +117,29 @@ func AblationMetaLog(scale float64) (string, error) {
 	tr := workload.Synthesize(spec)
 	cachePages := roundWays(int64(0.15*float64(spec.UniqueTotal)), 256)
 
-	var b strings.Builder
-	b.WriteString("== Ablation: metadata persistence (Fin1) ==\n")
-	fmt.Fprintf(&b, "%-22s %14s %14s %12s\n", "config", "meta(Kpg)", "total(Kpg)", "meta share")
-	for _, c := range []struct {
+	configs := []struct {
 		label string
 		opts  StackOpts
 	}{
 		{"KDD circular log", StackOpts{Policy: PolicyKDD, DeltaMean: 0.25, CachePages: cachePages}},
 		{"KDD no persistence", StackOpts{Policy: PolicyKDD, DeltaMean: 0.25, CachePages: cachePages, DisableMetaLog: true}},
 		{"LeavO per-update", StackOpts{Policy: PolicyLeavO, CachePages: cachePages}},
-	} {
-		r, err := runSim(spec, tr, c.opts)
+	}
+	results, err := fanOut(len(configs), func(i int) (*Result, error) {
+		r, err := runSim(spec, tr, configs[i].opts)
 		if err != nil {
-			return "", fmt.Errorf("ablation metalog %s: %w", c.label, err)
+			return nil, fmt.Errorf("ablation metalog %s: %w", configs[i].label, err)
 		}
+		return r, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("== Ablation: metadata persistence (Fin1) ==\n")
+	fmt.Fprintf(&b, "%-22s %14s %14s %12s\n", "config", "meta(Kpg)", "total(Kpg)", "meta share")
+	for i, c := range configs {
+		r := results[i]
 		meta := r.Cache.MetaWrites + r.Cache.MetaGCWrites
 		fmt.Fprintf(&b, "%-22s %14.1f %14.1f %11.2f%%\n",
 			c.label, float64(meta)/1000, float64(r.Cache.SSDWrites())/1000,
@@ -121,31 +152,53 @@ func AblationMetaLog(scale float64) (string, error) {
 // admission filter in front of KDD, which trims one-touch allocation
 // writes at some hit-ratio cost.
 func AblationAdmission(scale float64) (string, error) {
+	specs := []workload.Spec{workload.Fin1.Scale(scale), workload.Web0.Scale(scale)}
+	traces, err := fanOut(len(specs), func(i int) (*workloadTrace, error) {
+		return &workloadTrace{spec: specs[i], tr: workload.Synthesize(specs[i])}, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	modes := []bool{false, true}
+	results, err := fanOut(len(specs)*len(modes), func(i int) (*Result, error) {
+		wt := traces[i/len(modes)]
+		sel := modes[i%len(modes)]
+		cachePages := roundWays(int64(0.15*float64(wt.spec.UniqueTotal)), 256)
+		r, err := runSim(wt.spec, wt.tr, StackOpts{
+			Policy: PolicyKDD, DeltaMean: 0.25,
+			CachePages: cachePages, SelectiveAdmission: sel,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation admission: %w", err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	b.WriteString("== Extension: LARC-style selective admission on KDD-25% ==\n")
 	fmt.Fprintf(&b, "%-12s %-12s %10s %14s %12s %12s\n",
 		"workload", "admission", "hit", "SSD writes", "allocs", "rejects")
-	for _, spec := range []workload.Spec{workload.Fin1.Scale(scale), workload.Web0.Scale(scale)} {
-		tr := workload.Synthesize(spec)
-		cachePages := roundWays(int64(0.15*float64(spec.UniqueTotal)), 256)
-		for _, sel := range []bool{false, true} {
-			r, err := runSim(spec, tr, StackOpts{
-				Policy: PolicyKDD, DeltaMean: 0.25,
-				CachePages: cachePages, SelectiveAdmission: sel,
-			})
-			if err != nil {
-				return "", fmt.Errorf("ablation admission: %w", err)
-			}
+	for si, wt := range traces {
+		for mi, sel := range modes {
+			r := results[si*len(modes)+mi]
 			mode := "always"
 			if sel {
 				mode = "LARC"
 			}
 			fmt.Fprintf(&b, "%-12s %-12s %10.4f %14d %12d %12d\n",
-				spec.Name, mode, r.Cache.HitRatio(), r.Cache.SSDWrites(),
+				wt.spec.Name, mode, r.Cache.HitRatio(), r.Cache.SSDWrites(),
 				r.Cache.ReadFills+r.Cache.WriteAllocs, r.Cache.AdmissionRejects)
 		}
 	}
 	return b.String(), nil
+}
+
+// workloadTrace pairs a scaled spec with its synthesized trace.
+type workloadTrace struct {
+	spec workload.Spec
+	tr   *trace.Trace
 }
 
 // LifetimeSummary reports the headline endurance result: SSD write
@@ -158,19 +211,24 @@ func LifetimeSummary(scale float64) (string, error) {
 	// where write hits dominate and LeavO pays a whole page per update.
 	cachePages := roundWays(int64(0.8*float64(spec.UniqueTotal)), 256)
 
-	writes := map[string]int64{}
-	order := []string{}
-	for _, po := range Policies(false, true, KDDLevels) {
-		label := string(po.Policy)
-		if po.Policy == PolicyKDD {
-			label = fmt.Sprintf("KDD-%d%%", int(po.DeltaMean*100+0.5))
-		}
+	lineup := Policies(false, true, KDDLevels)
+	counts, err := fanOut(len(lineup), func(i int) (int64, error) {
+		po := lineup[i]
 		po.CachePages = cachePages
 		r, err := runSim(spec, tr, po)
 		if err != nil {
-			return "", fmt.Errorf("lifetime %s: %w", label, err)
+			return 0, fmt.Errorf("lifetime %s: %w", policyLabel(po), err)
 		}
-		writes[label] = r.Cache.SSDWrites()
+		return r.Cache.SSDWrites(), nil
+	})
+	if err != nil {
+		return "", err
+	}
+	writes := map[string]int64{}
+	order := []string{}
+	for i, po := range lineup {
+		label := policyLabel(po)
+		writes[label] = counts[i]
 		order = append(order, label)
 	}
 	var b strings.Builder

@@ -44,6 +44,7 @@ type ChaosOpts struct {
 	Footprint  int64  // distinct LBAs touched (default 640)
 	CachePages int64  // SSD cache data pages (default 512)
 	Seed       uint64 // master seed (default 0xC0FFEE)
+	Parallel   int    // worker-pool width for schedules (0 = harness default)
 }
 
 func (o ChaosOpts) withDefaults() ChaosOpts {
@@ -134,10 +135,15 @@ func (r *ChaosReport) Table() string {
 
 // Chaos runs every schedule twice (same seed) and reports the results.
 // Determinism failures are recorded as violations on the first run.
+// Schedules are independent (each builds its own rig, devices, and RNG
+// streams from the derived seed), so they execute on the shared worker
+// pool; results land in schedule order regardless of completion order.
 func Chaos(o ChaosOpts) *ChaosReport {
 	o = o.withDefaults()
 	rep := &ChaosReport{Opts: o}
-	for i := 0; i < o.Schedules; i++ {
+	// Schedule jobs never return errors: violations are data, recorded in
+	// the per-schedule result, so one bad schedule can't mask the rest.
+	results, _ := fanOutN(o.Parallel, o.Schedules, func(i int) (ChaosScheduleResult, error) {
 		plan := chaosPlans[i%len(chaosPlans)]
 		seed := o.Seed + uint64(i)*0x9E3779B97F4A7C15
 		res := runChaosSchedule(plan, seed, o)
@@ -148,8 +154,9 @@ func Chaos(o ChaosOpts) *ChaosReport {
 				res.Fingerprint, rerun.Fingerprint))
 		}
 		res.Schedule = i
-		rep.Results = append(rep.Results, *res)
-	}
+		return *res, nil
+	})
+	rep.Results = results
 	return rep
 }
 

@@ -43,6 +43,14 @@ func roundWays(pages int64, ways int) int64 {
 	return pages - pages%int64(ways)
 }
 
+// policyLabel is the sweep-figure legend label for a lineup entry.
+func policyLabel(po StackOpts) string {
+	if po.Policy == PolicyKDD {
+		return fmt.Sprintf("KDD-%d%%", int(po.DeltaMean*100+0.5))
+	}
+	return string(po.Policy)
+}
+
 // runSim replays a synthesized workload through one policy and returns
 // the result.
 func runSim(spec workload.Spec, tr *trace.Trace, o StackOpts) (*Result, error) {
@@ -67,17 +75,34 @@ func runSim(spec workload.Spec, tr *trace.Trace, o StackOpts) (*Result, error) {
 	return r, nil
 }
 
+// synthesizeAll scales and synthesizes every workload concurrently. The
+// returned traces are read-only and safe to share across jobs.
+func synthesizeAll(specs []workload.Spec, scale float64) ([]workload.Spec, []*trace.Trace, error) {
+	scaled := make([]workload.Spec, len(specs))
+	traces, err := fanOut(len(specs), func(i int) (*trace.Trace, error) {
+		scaled[i] = specs[i].Scale(scale)
+		return workload.Synthesize(scaled[i]), nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return scaled, traces, nil
+}
+
 // TableI formats the synthesized workload characteristics next to the
 // paper's Table I targets.
 func TableI(scale float64) (string, error) {
+	specs := workload.TableI()
+	_, traces, err := synthesizeAll(specs, scale)
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "== Table I: workload characteristics (scale %.3g) ==\n", scale)
 	fmt.Fprintf(&b, "%-12s %14s %14s %14s %12s %12s %10s\n",
 		"Workload", "Unique(tot)", "Unique(rd)", "Unique(wr)", "Reads", "Writes", "RdRatio")
-	for _, spec := range workload.TableI() {
-		s := spec.Scale(scale)
-		tr := workload.Synthesize(s)
-		st := tr.Stats()
+	for i, spec := range specs {
+		st := traces[i].Stats()
 		fmt.Fprintf(&b, "%-12s %14d %14d %14d %12d %12d %10.2f\n",
 			spec.Name, st.UniqueTotal, st.UniqueRead, st.UniqueWrite,
 			st.ReadPages, st.WritePages, st.ReadRatio)
@@ -95,22 +120,34 @@ func TableI(scale float64) (string, error) {
 // SSD, per workload, at a representative cache size. KDD-25%.
 func Fig4(scale float64) (string, []stats.Series, error) {
 	fractions := []float64{0.0039, 0.0059, 0.0078, 0.0098}
+	specs := workload.TableI()
+	scaled, traces, err := synthesizeAll(specs, scale)
+	if err != nil {
+		return "", nil, err
+	}
+	nf := len(fractions)
+	ys, err := fanOut(len(specs)*nf, func(i int) (float64, error) {
+		si, fi := i/nf, i%nf
+		s, mf := scaled[si], fractions[fi]
+		cachePages := roundWays(int64(0.2*float64(s.UniqueTotal)), 256)
+		r, err := runSim(s, traces[si], StackOpts{
+			Policy: PolicyKDD, DeltaMean: 0.25,
+			CachePages: cachePages, MetaFrac: mf,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("fig4 %s mf=%.4f: %w", specs[si].Name, mf, err)
+		}
+		return r.Cache.MetaShare() * 100, nil
+	})
+	if err != nil {
+		return "", nil, err
+	}
 	var series []stats.Series
-	for _, spec := range workload.TableI() {
-		s := spec.Scale(scale)
-		tr := workload.Synthesize(s)
+	for si, spec := range specs {
 		se := stats.Series{Label: spec.Name}
-		for _, mf := range fractions {
-			cachePages := roundWays(int64(0.2*float64(s.UniqueTotal)), 256)
-			r, err := runSim(s, tr, StackOpts{
-				Policy: PolicyKDD, DeltaMean: 0.25,
-				CachePages: cachePages, MetaFrac: mf,
-			})
-			if err != nil {
-				return "", nil, fmt.Errorf("fig4 %s mf=%.4f: %w", spec.Name, mf, err)
-			}
+		for fi, mf := range fractions {
 			se.X = append(se.X, mf*100)
-			se.Y = append(se.Y, r.Cache.MetaShare()*100)
+			se.Y = append(se.Y, ys[si*nf+fi])
 		}
 		series = append(series, se)
 	}
@@ -125,37 +162,70 @@ type sweepResult struct {
 	traffic  []stats.Series // SSD writes (pages) per policy
 }
 
-// sweep runs a cache-size sweep of all policies over one workload.
-func sweep(spec workload.Spec, scale float64, withWA bool) (*sweepResult, error) {
-	s := spec.Scale(scale)
-	tr := workload.Synthesize(s)
-	out := &sweepResult{workload: spec.Name}
+// sweepPoint is one (policy × cache size) measurement.
+type sweepPoint struct {
+	x, hit, traffic float64
+}
 
+// sweepAll runs the cache-size sweep of all policies over every workload,
+// fanning the independent (workload × policy × size) points over the
+// worker pool in one flat batch.
+func sweepAll(specs []workload.Spec, scale float64, withWA bool) ([]*sweepResult, error) {
+	scaled, traces, err := synthesizeAll(specs, scale)
+	if err != nil {
+		return nil, err
+	}
 	lineup := Policies(false, withWA, KDDLevels)
-	for _, po := range lineup {
-		label := string(po.Policy)
-		if po.Policy == PolicyKDD {
-			label = fmt.Sprintf("KDD-%d%%", int(po.DeltaMean*100+0.5))
+	nf := len(cacheFractions)
+	perSpec := len(lineup) * nf
+	pts, err := fanOut(len(specs)*perSpec, func(i int) (sweepPoint, error) {
+		si := i / perSpec
+		po := lineup[(i%perSpec)/nf]
+		frac := cacheFractions[i%nf]
+		s := scaled[si]
+		po.CachePages = roundWays(int64(frac*float64(s.UniqueTotal)), 256)
+		r, err := runSim(s, traces[si], po)
+		if err != nil {
+			return sweepPoint{}, fmt.Errorf("sweep %s %s: %w", specs[si].Name, policyLabel(po), err)
 		}
-		hit := stats.Series{Label: label}
-		traffic := stats.Series{Label: label}
-		for _, frac := range cacheFractions {
-			cachePages := roundWays(int64(frac*float64(s.UniqueTotal)), 256)
-			po.CachePages = cachePages
-			r, err := runSim(s, tr, po)
-			if err != nil {
-				return nil, fmt.Errorf("sweep %s %s: %w", spec.Name, label, err)
+		return sweepPoint{
+			x:       float64(po.CachePages) / 1000,
+			hit:     r.Cache.HitRatio(),
+			traffic: float64(r.Cache.SSDWrites()) / 1000,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*sweepResult, len(specs))
+	for si, spec := range specs {
+		sr := &sweepResult{workload: spec.Name}
+		for pi, po := range lineup {
+			label := policyLabel(po)
+			hit := stats.Series{Label: label}
+			traffic := stats.Series{Label: label}
+			for fi := range cacheFractions {
+				p := pts[si*perSpec+pi*nf+fi]
+				hit.X = append(hit.X, p.x)
+				hit.Y = append(hit.Y, p.hit)
+				traffic.X = append(traffic.X, p.x)
+				traffic.Y = append(traffic.Y, p.traffic)
 			}
-			x := float64(cachePages) / 1000
-			hit.X = append(hit.X, x)
-			hit.Y = append(hit.Y, r.Cache.HitRatio())
-			traffic.X = append(traffic.X, x)
-			traffic.Y = append(traffic.Y, float64(r.Cache.SSDWrites())/1000)
+			sr.hit = append(sr.hit, hit)
+			sr.traffic = append(sr.traffic, traffic)
 		}
-		out.hit = append(out.hit, hit)
-		out.traffic = append(out.traffic, traffic)
+		out[si] = sr
 	}
 	return out, nil
+}
+
+// sweep runs a cache-size sweep of all policies over one workload.
+func sweep(spec workload.Spec, scale float64, withWA bool) (*sweepResult, error) {
+	srs, err := sweepAll([]workload.Spec{spec}, scale, withWA)
+	if err != nil {
+		return nil, err
+	}
+	return srs[0], nil
 }
 
 // hitOnly filters WA out of hit-ratio figures (the paper omits WA there:
@@ -176,30 +246,30 @@ func hitOnly(sr *sweepResult) []stats.Series {
 // FigHitRatio renders a hit-ratio figure (Fig. 5 or 7) for the given
 // workloads.
 func FigHitRatio(title string, specs []workload.Spec, scale float64) (string, error) {
+	srs, err := sweepAll(specs, scale, true)
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
-	for _, spec := range specs {
-		sr, err := sweep(spec, scale, true)
-		if err != nil {
-			return "", err
-		}
+	for i, spec := range specs {
 		b.WriteString(stats.Table(
 			fmt.Sprintf("%s — %s: hit ratio vs cache size (Kpages)", title, spec.Name),
-			"cache(Kpg)", hitOnly(sr)))
+			"cache(Kpg)", hitOnly(srs[i])))
 	}
 	return b.String(), nil
 }
 
 // FigWriteTraffic renders an SSD write-traffic figure (Fig. 6 or 8).
 func FigWriteTraffic(title string, specs []workload.Spec, scale float64) (string, error) {
+	srs, err := sweepAll(specs, scale, true)
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
-	for _, spec := range specs {
-		sr, err := sweep(spec, scale, true)
-		if err != nil {
-			return "", err
-		}
+	for i, spec := range specs {
 		b.WriteString(stats.Table(
 			fmt.Sprintf("%s — %s: SSD writes (Kpages) vs cache size (Kpages)", title, spec.Name),
-			"cache(Kpg)", sr.traffic))
+			"cache(Kpg)", srs[i].traffic))
 	}
 	return b.String(), nil
 }
@@ -235,32 +305,45 @@ var replayIOPS = map[string]float64{
 // timing stack (HDD models + flash model): the prototype experiment of
 // §IV-B2. KDD runs at medium content locality (25%), like the paper.
 func Fig9(scale float64) (string, []stats.Series, error) {
-	var series []stats.Series
 	lineup := Policies(true, true, []float64{0.25})
-	for _, po := range lineup {
+	specs := workload.TableI()
+	nw := len(specs)
+	ys, err := fanOut(len(lineup)*nw, func(i int) (float64, error) {
+		po, spec := lineup[i/nw], specs[i%nw]
+		label := string(po.Policy)
+		if po.Policy == PolicyKDD {
+			label = "KDD"
+		}
+		s := spec.Scale(scale)
+		s.MeanIOPS = replayIOPS[spec.Name]
+		tr := workload.Synthesize(s)
+		o := simOpts(s, roundWays(int64(0.25*float64(s.UniqueTotal)), 256))
+		o.Policy = po.Policy
+		o.DeltaMean = po.DeltaMean
+		o.Timing = true
+		st, err := Build(o)
+		if err != nil {
+			return 0, err
+		}
+		r, err := RunTrace(st, tr)
+		if err != nil {
+			return 0, fmt.Errorf("fig9 %s %s: %w", spec.Name, label, err)
+		}
+		return r.MeanResponseMs(), nil
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	var series []stats.Series
+	for pi, po := range lineup {
 		label := string(po.Policy)
 		if po.Policy == PolicyKDD {
 			label = "KDD"
 		}
 		se := stats.Series{Label: label}
-		for wi, spec := range workload.TableI() {
-			s := spec.Scale(scale)
-			s.MeanIOPS = replayIOPS[spec.Name]
-			tr := workload.Synthesize(s)
-			o := simOpts(s, roundWays(int64(0.25*float64(s.UniqueTotal)), 256))
-			o.Policy = po.Policy
-			o.DeltaMean = po.DeltaMean
-			o.Timing = true
-			st, err := Build(o)
-			if err != nil {
-				return "", nil, err
-			}
-			r, err := RunTrace(st, tr)
-			if err != nil {
-				return "", nil, fmt.Errorf("fig9 %s %s: %w", spec.Name, label, err)
-			}
+		for wi := range specs {
 			se.X = append(se.X, float64(wi))
-			se.Y = append(se.Y, r.MeanResponseMs())
+			se.Y = append(se.Y, ys[pi*nw+wi])
 		}
 		series = append(series, se)
 	}
@@ -295,23 +378,49 @@ func runFIO(po StackOpts, readRate, scale float64) (*Result, error) {
 	return RunClosedLoop(st, spec)
 }
 
+// fioSweep fans the (policy × read rate) closed-loop grid over the worker
+// pool and returns results indexed [policy][read rate].
+func fioSweep(lineup []StackOpts, scale float64, figure string) ([][]*Result, error) {
+	nr := len(fioReadRates)
+	flat, err := fanOut(len(lineup)*nr, func(i int) (*Result, error) {
+		po, rr := lineup[i/nr], fioReadRates[i%nr]
+		label := string(po.Policy)
+		if po.Policy == PolicyKDD {
+			label = "KDD"
+		}
+		r, err := runFIO(po, rr, scale)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s rr=%.2f: %w", figure, label, rr, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*Result, len(lineup))
+	for pi := range lineup {
+		out[pi] = flat[pi*nr : (pi+1)*nr]
+	}
+	return out, nil
+}
+
 // Fig10 is the closed-loop average response time sweep over read rates.
 func Fig10(scale float64) (string, []stats.Series, error) {
 	lineup := Policies(true, true, []float64{0.25})
+	results, err := fioSweep(lineup, scale, "fig10")
+	if err != nil {
+		return "", nil, err
+	}
 	var series []stats.Series
-	for _, po := range lineup {
+	for pi, po := range lineup {
 		label := string(po.Policy)
 		if po.Policy == PolicyKDD {
 			label = "KDD"
 		}
 		se := stats.Series{Label: label}
-		for _, rr := range fioReadRates {
-			r, err := runFIO(po, rr, scale)
-			if err != nil {
-				return "", nil, fmt.Errorf("fig10 %s rr=%.2f: %w", label, rr, err)
-			}
+		for ri, rr := range fioReadRates {
 			se.X = append(se.X, rr*100)
-			se.Y = append(se.Y, r.MeanResponseMs())
+			se.Y = append(se.Y, results[pi][ri].MeanResponseMs())
 		}
 		series = append(series, se)
 	}
@@ -322,20 +431,20 @@ func Fig10(scale float64) (string, []stats.Series, error) {
 // Fig11 is the closed-loop SSD write traffic sweep over read rates.
 func Fig11(scale float64) (string, []stats.Series, error) {
 	lineup := Policies(false, true, []float64{0.25})
+	results, err := fioSweep(lineup, scale, "fig11")
+	if err != nil {
+		return "", nil, err
+	}
 	var series []stats.Series
-	for _, po := range lineup {
+	for pi, po := range lineup {
 		label := string(po.Policy)
 		if po.Policy == PolicyKDD {
 			label = "KDD"
 		}
 		se := stats.Series{Label: label}
-		for _, rr := range fioReadRates {
-			r, err := runFIO(po, rr, scale)
-			if err != nil {
-				return "", nil, fmt.Errorf("fig11 %s rr=%.2f: %w", label, rr, err)
-			}
+		for ri, rr := range fioReadRates {
 			se.X = append(se.X, rr*100)
-			se.Y = append(se.Y, float64(r.Cache.SSDWrites())/1000)
+			se.Y = append(se.Y, float64(results[pi][ri].Cache.SSDWrites())/1000)
 		}
 		series = append(series, se)
 	}
@@ -351,17 +460,21 @@ func TableII(scale float64) (string, error) {
 		latency float64
 		writes  int64
 	}
-	var rows []row
-	for _, po := range Policies(false, true, []float64{0.25}) {
+	lineup := Policies(false, true, []float64{0.25})
+	rows, err := fanOut(len(lineup), func(i int) (row, error) {
+		po := lineup[i]
 		label := string(po.Policy)
 		if po.Policy == PolicyKDD {
 			label = "KDD"
 		}
 		r, err := runFIO(po, 0.25, scale)
 		if err != nil {
-			return "", err
+			return row{}, err
 		}
-		rows = append(rows, row{label, r.MeanResponseMs(), r.Cache.SSDWrites()})
+		return row{label, r.MeanResponseMs(), r.Cache.SSDWrites()}, nil
+	})
+	if err != nil {
+		return "", err
 	}
 	// Latency is "Low" if within 1.3x of the best; endurance is "Good" if
 	// SSD writes within 2x of the fewest (WA's read-fill-only floor).

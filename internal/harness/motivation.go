@@ -21,10 +21,7 @@ func Motivation(scale float64) (string, error) {
 	diskPages -= diskPages % 16
 	cachePages := roundWays(int64(0.25*float64(spec.UniqueTotal)), 256)
 
-	var b strings.Builder
-	b.WriteString("== Motivation (§I): why NVRAM buffering is not enough ==\n")
-	fmt.Fprintf(&b, "%-14s %14s %14s %16s\n", "policy", "mean (ms)", "p95 (ms)", "full stripes")
-	for _, c := range []struct {
+	configs := []struct {
 		label string
 		opts  StackOpts
 	}{
@@ -37,8 +34,9 @@ func Motivation(scale float64) (string, error) {
 		{"NVB-2%", StackOpts{Policy: PolicyNVB, NVBPages: int(spec.UniqueTotal / 50)}},
 		{"WB", StackOpts{Policy: PolicyWB, CachePages: cachePages}},
 		{"KDD", StackOpts{Policy: PolicyKDD, DeltaMean: 0.25, CachePages: cachePages}},
-	} {
-		o := c.opts
+	}
+	results, err := fanOut(len(configs), func(i int) (*Result, error) {
+		o := configs[i].opts
 		o.DiskPages = diskPages
 		o.Timing = true
 		o.Seed = spec.Seed
@@ -47,16 +45,25 @@ func Motivation(scale float64) (string, error) {
 		}
 		st, err := Build(o)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		r, err := RunTrace(st, tr)
 		if err != nil {
-			return "", fmt.Errorf("motivation %s: %w", c.label, err)
+			return nil, fmt.Errorf("motivation %s: %w", configs[i].label, err)
 		}
-		fullStripes := r.Cache.SmallWritesSaved
+		return r, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("== Motivation (§I): why NVRAM buffering is not enough ==\n")
+	fmt.Fprintf(&b, "%-14s %14s %14s %16s\n", "policy", "mean (ms)", "p95 (ms)", "full stripes")
+	for i, c := range configs {
+		r := results[i]
 		fmt.Fprintf(&b, "%-14s %14.2f %14.2f %16d\n",
 			c.label, r.MeanResponseMs(),
-			float64(r.Latency.Percentile(95))/1e6, fullStripes)
+			float64(r.Latency.Percentile(95))/1e6, r.Cache.SmallWritesSaved)
 	}
 	b.WriteString("\nNVB (§I) helps only marginally: poor disk-level locality keeps full stripes\n")
 	b.WriteString("rare, so sustained writes still pay the small-write penalty. Parity logging\n")

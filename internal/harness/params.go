@@ -22,17 +22,25 @@ func AblationAssociativity(scale float64) (string, error) {
 	tr := workload.Synthesize(spec)
 	cachePages := roundWays(int64(0.15*float64(spec.UniqueTotal)), 1024)
 
+	waySizes := []int{32, 64, 256, 1024}
+	results, err := fanOut(len(waySizes), func(i int) (*Result, error) {
+		r, err := runSim(spec, tr, StackOpts{
+			Policy: PolicyKDD, DeltaMean: 0.25,
+			CachePages: cachePages, Ways: waySizes[i],
+		})
+		if err != nil {
+			return nil, fmt.Errorf("associativity %d: %w", waySizes[i], err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	b.WriteString("== Parameter sweep: set associativity (Fin1, KDD-25%) ==\n")
 	fmt.Fprintf(&b, "%-8s %10s %14s %12s\n", "ways", "hit", "SSD writes", "evictions")
-	for _, ways := range []int{32, 64, 256, 1024} {
-		r, err := runSim(spec, tr, StackOpts{
-			Policy: PolicyKDD, DeltaMean: 0.25,
-			CachePages: cachePages, Ways: ways,
-		})
-		if err != nil {
-			return "", fmt.Errorf("associativity %d: %w", ways, err)
-		}
+	for i, ways := range waySizes {
+		r := results[i]
 		fmt.Fprintf(&b, "%-8d %10.4f %14d %12d\n",
 			ways, r.Cache.HitRatio(), r.Cache.SSDWrites(), r.Cache.Evictions)
 	}
@@ -49,25 +57,41 @@ func AblationStaging(scale float64) (string, error) {
 	diskPages := spec.UniqueTotal/4 + 4096
 	diskPages -= diskPages % 16
 
-	var b strings.Builder
-	b.WriteString("== Parameter sweep: NVRAM staging buffer (Fin1, KDD-25%) ==\n")
-	fmt.Fprintf(&b, "%-12s %14s %14s %12s\n", "staging", "DEZ commits", "SSD writes", "coalesced")
-	for _, pages := range []int{1, 4, 16, 64} {
-		st, err := buildKDDWithStaging(cachePages, diskPages, pages, spec.Seed)
+	type stagingPoint struct {
+		deltaCommits int64
+		ssdWrites    int64
+		coalesced    int64
+	}
+	sizes := []int{1, 4, 16, 64}
+	points, err := fanOut(len(sizes), func(i int) (stagingPoint, error) {
+		st, err := buildKDDWithStaging(cachePages, diskPages, sizes[i], spec.Seed)
 		if err != nil {
-			return "", err
+			return stagingPoint{}, err
 		}
 		r, err := RunTrace(st, tr)
 		if err != nil {
-			return "", fmt.Errorf("staging %d: %w", pages, err)
+			return stagingPoint{}, fmt.Errorf("staging %d: %w", sizes[i], err)
 		}
 		if _, err := st.Policy.Flush(r.Duration); err != nil {
-			return "", err
+			return stagingPoint{}, err
 		}
 		k := st.Policy.(*core.KDD)
+		return stagingPoint{
+			deltaCommits: k.Stats().DeltaCommits,
+			ssdWrites:    k.Stats().SSDWrites(),
+			coalesced:    k.Staging().Coalesced,
+		}, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("== Parameter sweep: NVRAM staging buffer (Fin1, KDD-25%) ==\n")
+	fmt.Fprintf(&b, "%-12s %14s %14s %12s\n", "staging", "DEZ commits", "SSD writes", "coalesced")
+	for i, pages := range sizes {
 		fmt.Fprintf(&b, "%-12s %14d %14d %12d\n",
 			fmt.Sprintf("%dKB", pages*4),
-			k.Stats().DeltaCommits, k.Stats().SSDWrites(), k.Staging().Coalesced)
+			points[i].deltaCommits, points[i].ssdWrites, points[i].coalesced)
 	}
 	b.WriteString("\nBigger buffers coalesce more repeat updates before committing a DEZ page.\n")
 	return b.String(), nil

@@ -22,22 +22,26 @@ func RecoveryTradeoff(scale float64) (string, error) {
 	diskPages := spec.UniqueTotal/4 + 8192
 	diskPages -= diskPages % 16
 
-	var b strings.Builder
-	b.WriteString("== Recovery tradeoff: metadata partition size vs GC cost and crash-recovery time ==\n")
-	fmt.Fprintf(&b, "%-12s %12s %12s %14s %16s\n",
-		"partition", "meta pages", "GC pages", "live log pages", "recovery time")
-	for _, mf := range []float64{0.0039, 0.0059, 0.0098, 0.0197, 0.0394} {
+	type tradeoffPoint struct {
+		pagesWritten int64
+		gcPages      int64
+		livePages    int64
+		recovery     sim.Time
+	}
+	fracs := []float64{0.0039, 0.0059, 0.0098, 0.0197, 0.0394}
+	points, err := fanOut(len(fracs), func(i int) (tradeoffPoint, error) {
+		mf := fracs[i]
 		st, err := Build(StackOpts{
 			Policy: PolicyKDD, DeltaMean: 0.25,
 			CachePages: cachePages, MetaFrac: mf,
 			DiskPages: diskPages, Timing: true, SSDData: true, Seed: spec.Seed,
 		})
 		if err != nil {
-			return "", err
+			return tradeoffPoint{}, err
 		}
 		r, err := RunTrace(st, tr)
 		if err != nil {
-			return "", fmt.Errorf("recovery tradeoff mf=%.4f: %w", mf, err)
+			return tradeoffPoint{}, fmt.Errorf("recovery tradeoff mf=%.4f: %w", mf, err)
 		}
 		k := st.Policy.(*core.KDD)
 		ls := k.Log().Stats()
@@ -46,13 +50,26 @@ func RecoveryTradeoff(scale float64) (string, error) {
 		_, done, err := core.Restore(st.KDDConfig, r.Duration,
 			k.Log().Counters(), k.Log().BufferedEntries(), k.Staging())
 		if err != nil {
-			return "", fmt.Errorf("restore mf=%.4f: %w", mf, err)
+			return tradeoffPoint{}, fmt.Errorf("restore mf=%.4f: %w", mf, err)
 		}
-		recovery := done - r.Duration
+		return tradeoffPoint{
+			pagesWritten: ls.PagesWritten,
+			gcPages:      ls.GCPageEquivalent(),
+			livePages:    k.Log().LivePages(),
+			recovery:     done - r.Duration,
+		}, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("== Recovery tradeoff: metadata partition size vs GC cost and crash-recovery time ==\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s %14s %16s\n",
+		"partition", "meta pages", "GC pages", "live log pages", "recovery time")
+	for i, mf := range fracs {
+		p := points[i]
 		fmt.Fprintf(&b, "%11.2f%% %12d %12d %14d %16v\n",
-			mf*100, ls.PagesWritten, ls.GCPageEquivalent(),
-			k.Log().LivePages(), recovery)
-		_ = sim.Time(0)
+			mf*100, p.pagesWritten, p.gcPages, p.livePages, p.recovery)
 	}
 	b.WriteString("\nBigger partitions cut GC relogging but lengthen the head-to-tail recovery scan.\n")
 	return b.String(), nil
@@ -73,17 +90,20 @@ func DegradedPerformance(scale float64) (string, error) {
 	// Split the trace into three equal phases.
 	third := len(tr.Requests) / 3
 
-	var b strings.Builder
-	b.WriteString("== Degraded-mode performance: mean response time (ms) by array state ==\n")
-	fmt.Fprintf(&b, "%-8s %12s %12s %14s\n", "policy", "healthy", "degraded", "post-rebuild")
-	for _, pk := range []PolicyKind{PolicyWT, PolicyKDD} {
+	type degradedRow struct {
+		name                    string
+		healthy, degraded, post float64
+	}
+	kinds := []PolicyKind{PolicyWT, PolicyKDD}
+	rows, err := fanOut(len(kinds), func(i int) (degradedRow, error) {
+		pk := kinds[i]
 		st, err := Build(StackOpts{
 			Policy: pk, DeltaMean: 0.25,
 			CachePages: cachePages, DiskPages: diskPages,
 			Timing: true, Seed: spec.Seed,
 		})
 		if err != nil {
-			return "", err
+			return degradedRow{}, err
 		}
 		phase := func(reqs int, from int) (float64, sim.Time, error) {
 			cp := *tr
@@ -96,26 +116,35 @@ func DegradedPerformance(scale float64) (string, error) {
 		}
 		healthy, end1, err := phase(third, 0)
 		if err != nil {
-			return "", err
+			return degradedRow{}, err
 		}
 		st.Array.FailDisk(2)
 		if _, err := st.Policy.Flush(end1); err != nil {
-			return "", err
+			return degradedRow{}, err
 		}
 		degraded, end2, err := phase(third, third)
 		if err != nil {
-			return "", err
+			return degradedRow{}, err
 		}
 		// Rebuild onto a fresh disk, then measure the final phase.
 		fresh := freshMember(st, diskPages)
 		if _, err := st.Array.ReplaceDisk(end2, 2, fresh); err != nil {
-			return "", fmt.Errorf("%s rebuild: %w", pk, err)
+			return degradedRow{}, fmt.Errorf("%s rebuild: %w", pk, err)
 		}
 		post, _, err := phase(len(tr.Requests)-2*third, 2*third)
 		if err != nil {
-			return "", err
+			return degradedRow{}, err
 		}
-		fmt.Fprintf(&b, "%-8s %12.2f %12.2f %14.2f\n", st.Policy.Name(), healthy, degraded, post)
+		return degradedRow{name: st.Policy.Name(), healthy: healthy, degraded: degraded, post: post}, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("== Degraded-mode performance: mean response time (ms) by array state ==\n")
+	fmt.Fprintf(&b, "%-8s %12s %12s %14s\n", "policy", "healthy", "degraded", "post-rebuild")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-8s %12.2f %12.2f %14.2f\n", row.name, row.healthy, row.degraded, row.post)
 	}
 	b.WriteString("\nDegraded reads pay full-row reconstruction; caching absorbs part of the hit.\n")
 	return b.String(), nil

@@ -32,8 +32,11 @@ const IdleCleanGap = 200 * sim.Millisecond
 func RunTrace(st *Stack, tr *trace.Trace) (*Result, error) {
 	res := &Result{Policy: st.Policy.Name(), Latency: stats.NewHistogram(1 << 16)}
 	var prev sim.Time
-	for _, req := range tr.Requests {
-		if req.Time-prev > IdleCleanGap {
+	for i, req := range tr.Requests {
+		// Idle cleaning only fires between consecutive requests: prev is
+		// zero before the first request, and a trace that starts late must
+		// not trigger a cleaner pass before any request has been issued.
+		if i > 0 && req.Time-prev > IdleCleanGap {
 			if _, err := st.Policy.Clean(prev, false); err != nil {
 				return nil, fmt.Errorf("idle clean: %w", err)
 			}

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the deterministic fan-out runner every experiment
+// driver is built on. An experiment is a set of fully independent jobs —
+// one (workload × policy × sweep point) simulation each, every job
+// building its own stack, devices, and RNG streams from StackOpts.Seed —
+// so they can execute concurrently on a bounded worker pool while the
+// rendered tables and CSVs stay byte-identical to a serial run: results
+// are collected into a slice indexed by submission order, and all
+// assembly/formatting happens after the pool drains.
+//
+// Error semantics: the first failure observed cancels all not-yet-started
+// jobs; jobs already in flight run to completion. After the pool drains,
+// the error of the lowest-numbered failed job is returned, which is the
+// same error a serial run would report whenever a single job is at fault.
+
+// maxParallel is the configured pool width; 0 selects GOMAXPROCS.
+var maxParallel atomic.Int64
+
+// SetParallelism sets the worker-pool width used by every experiment
+// driver (figures, tables, ablations, chaos schedules). n <= 0 restores
+// the default, GOMAXPROCS.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	maxParallel.Store(int64(n))
+}
+
+// Parallelism returns the effective worker-pool width.
+func Parallelism() int {
+	if n := int(maxParallel.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// fanOutN runs n independent jobs f(0..n-1) on a pool of at most parallel
+// workers (parallel <= 0 selects Parallelism()) and returns their results
+// in index order. Jobs must be self-contained: they may share read-only
+// inputs (a synthesized trace, a workload spec slice) but must not write
+// to anything another job reads.
+func fanOutN[T any](parallel, n int, f func(i int) (T, error)) ([]T, error) {
+	if parallel <= 0 {
+		parallel = Parallelism()
+	}
+	if parallel > n {
+		parallel = n
+	}
+	out := make([]T, n)
+	if parallel <= 1 {
+		// Serial fast path: identical scheduling to the pre-parallel
+		// drivers, stopping at the first error.
+		for i := 0; i < n; i++ {
+			v, err := f(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := f(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// fanOut is fanOutN at the configured Parallelism().
+func fanOut[T any](n int, f func(i int) (T, error)) ([]T, error) {
+	return fanOutN[T](0, n, f)
+}

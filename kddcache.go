@@ -246,6 +246,12 @@ func (s *System) Trace(tr *trace.Trace) (*harness.Result, error) {
 // paper-sized runs use 1.0 via the cmd tools).
 const ExperimentScale = 0.02
 
+// SetParallelism sets the worker-pool width used by every experiment
+// driver. Each experiment fans its independent (workload × policy × sweep
+// point) simulations over the pool; outputs are byte-identical at any
+// width. n <= 0 restores the default, GOMAXPROCS.
+func SetParallelism(n int) { harness.SetParallelism(n) }
+
 // Experiments maps experiment names to their runners, each returning the
 // formatted table the paper's figure/table corresponds to.
 var Experiments = map[string]func(scale float64) (string, error){
