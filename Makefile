@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build vet test race chaos bench-harness ci clean
+.PHONY: all build vet test race chaos check mutate fuzz cover bench-harness ci clean
 
 all: ci
 
@@ -19,19 +20,52 @@ test:
 race:
 	$(GO) test -race ./internal/blockdev/ ./internal/core/ ./internal/raid/
 	$(GO) test -race -run 'FanOut|Deterministic|ParallelismKnob' ./internal/harness/
+	$(GO) test -race -short ./internal/check/ ./internal/model/
 
 # Full chaos run: randomized seeded fault schedules with end-to-end
 # verification; non-zero exit on any violation.
 chaos:
 	$(GO) run ./cmd/kddchaos
 
+# Model-based crash-consistency checker, deterministic CI mode: every
+# crash point and media-fault site enumerated from the profile trace is
+# explored for two fixed seeds; non-zero exit on any violation.
+check:
+	$(GO) run ./cmd/kddcheck -ci
+
+# Mutation self-test: the kddbug build tag compiles in a DEZ
+# log-before-durable ordering bug; the checker must catch it, proving the
+# crash exploration has teeth.
+mutate:
+	$(GO) test -tags kddbug -run TestMutationCaught -v ./internal/check/
+
+# Native Go fuzzing over the trace parsers and metadata-log decoders,
+# $(FUZZTIME) per target (one target per invocation, as go test requires).
+fuzz:
+	$(GO) test -fuzz '^FuzzParseSPC$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace/
+	$(GO) test -fuzz '^FuzzParseMSR$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace/
+	$(GO) test -fuzz '^FuzzParseUniform$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace/
+	$(GO) test -fuzz '^FuzzEntryDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/metalog/
+	$(GO) test -fuzz '^FuzzPageDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/metalog/
+
+# Coverage ratchet: total statement coverage may not drop more than 0.5
+# points below the committed baseline in COVERAGE.txt. Raise the baseline
+# when coverage genuinely improves.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	base=$$(cat COVERAGE.txt); \
+	echo "total coverage: $$total% (baseline $$base%)"; \
+	awk -v t="$$total" -v b="$$base" 'BEGIN { if (t + 0.5 < b) { \
+		print "FAIL: coverage " t "% is more than 0.5 points below baseline " b "%"; exit 1 } }'
+
 # Serial vs parallel wall-clock of the experiment harness; asserts the
 # outputs are byte-identical and writes BENCH_harness.json.
 bench-harness:
 	$(GO) run ./cmd/harnessbench -scale $(or $(BENCH_SCALE),0.01) -o BENCH_harness.json
 
-ci: vet build test race
+ci: vet build test race check mutate cover
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_harness.json
+	rm -f BENCH_harness.json coverage.out

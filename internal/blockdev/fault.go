@@ -56,6 +56,10 @@ type FaultInjector struct {
 	tornKeep int   // whole pages of the torn write to persist
 	tornByte int   // extra bytes of the following page to persist
 
+	// Op-trace recording for fault-site enumeration (faultsite.go).
+	recording bool
+	recorded  []OpRecord
+
 	mediaErrs atomic.Int64
 }
 
@@ -271,6 +275,7 @@ func (f *FaultInjector) ReadPages(t sim.Time, lba int64, count int, buf []byte) 
 	if err := f.step(); err != nil {
 		return t, err
 	}
+	f.record(false, lba, count)
 	if err := f.readFault(lba, count); err != nil {
 		return t, err
 	}
@@ -282,6 +287,7 @@ func (f *FaultInjector) WritePages(t sim.Time, lba int64, count int, buf []byte)
 	if err := f.step(); err != nil {
 		return t, err
 	}
+	f.record(true, lba, count)
 	torn, tornBytes, err := f.writeFault(lba, count)
 	if err == nil {
 		return f.Inner().WritePages(t, lba, count, buf)
@@ -316,6 +322,14 @@ func (f *FaultInjector) tearWrite(t sim.Time, lba int64, count int, buf []byte, 
 func (f *FaultInjector) TrimPages(t sim.Time, lba int64, count int) (sim.Time, error) {
 	if err := f.step(); err != nil {
 		return t, err
+	}
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		// Power is off: a trim past the crash point must not reach the
+		// medium, or "durable" state would mutate after the power loss.
+		return t, ErrCrashed
 	}
 	if tr, ok := f.Inner().(Trimmer); ok {
 		return tr.TrimPages(t, lba, count)

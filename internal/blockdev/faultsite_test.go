@@ -1,0 +1,134 @@
+package blockdev
+
+import (
+	"errors"
+	"testing"
+)
+
+// Recording captures exactly the ops issued while enabled, in order.
+func TestRecordOpsCapturesTrace(t *testing.T) {
+	f := NewFaultInjector(NewNullDataDevice("d", 64), 1)
+	buf := make([]byte, PageSize)
+	f.WritePages(0, 3, 1, buf) // before recording: ignored
+	f.RecordOps(true)
+	f.WritePages(0, 5, 1, buf)
+	f.ReadPages(0, 5, 1, buf)
+	f.WritePages(0, 7, 1, buf)
+	f.RecordOps(false)
+	f.ReadPages(0, 7, 1, buf) // after recording: ignored
+	want := []OpRecord{
+		{Write: true, LBA: 5, Count: 1},
+		{Write: false, LBA: 5, Count: 1},
+		{Write: true, LBA: 7, Count: 1},
+	}
+	got := f.Recorded()
+	if len(got) != len(want) {
+		t.Fatalf("recorded %d ops, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("op %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// Enumeration yields one crash site per write ordinal and a latent plus a
+// transient site per distinct page, deterministically for a given seed.
+func TestEnumerateSites(t *testing.T) {
+	trace := []OpRecord{
+		{Write: true, LBA: 10, Count: 2}, // pages 10, 11
+		{Write: false, LBA: 11, Count: 1},
+		{Write: true, LBA: 20, Count: 1},
+	}
+	sites := EnumerateSites(trace, 42)
+	// 2 crash sites (writes) + 3 distinct pages x {latent, transient}.
+	if len(sites) != 2+3*2 {
+		t.Fatalf("enumerated %d sites, want 8", len(sites))
+	}
+	if sites[0].Kind != FaultCrashTorn || sites[0].WriteOp != 0 {
+		t.Errorf("site 0 = %v, want crash at write 0", sites[0])
+	}
+	if sites[1].Kind != FaultCrashTorn || sites[1].WriteOp != 1 {
+		t.Errorf("site 1 = %v, want crash at write 1", sites[1])
+	}
+	wantPages := []int64{10, 10, 11, 11, 20, 20}
+	for i, s := range sites[2:] {
+		if s.LBA != wantPages[i] {
+			t.Errorf("media site %d at page %d, want %d", i, s.LBA, wantPages[i])
+		}
+		wantKind := FaultLatent
+		if i%2 == 1 {
+			wantKind = FaultTransient
+		}
+		if s.Kind != wantKind {
+			t.Errorf("media site %d kind %v, want %v", i, s.Kind, wantKind)
+		}
+	}
+	again := EnumerateSites(trace, 42)
+	for i := range sites {
+		if sites[i] != again[i] {
+			t.Fatalf("enumeration not deterministic at site %d: %v vs %v",
+				i, sites[i], again[i])
+		}
+	}
+}
+
+// Arm dispatches each site kind to the matching injection primitive.
+func TestArmDispatch(t *testing.T) {
+	buf := make([]byte, PageSize)
+
+	f := NewFaultInjector(NewNullDataDevice("d", 64), 1)
+	f.Arm(FaultSite{Kind: FaultLatent, LBA: 9})
+	if _, err := f.ReadPages(0, 9, 1, buf); !errors.Is(err, ErrMedia) {
+		t.Fatalf("latent site read: %v, want ErrMedia", err)
+	}
+	if _, err := f.ReadPages(0, 9, 1, buf); !errors.Is(err, ErrMedia) {
+		t.Fatalf("latent persists until rewritten; got %v", err)
+	}
+
+	f = NewFaultInjector(NewNullDataDevice("d", 64), 1)
+	f.Arm(FaultSite{Kind: FaultTransient, LBA: 4, Fails: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := f.ReadPages(0, 4, 1, buf); !errors.Is(err, ErrMedia) {
+			t.Fatalf("transient read %d: %v, want ErrMedia", i, err)
+		}
+	}
+	if _, err := f.ReadPages(0, 4, 1, buf); err != nil {
+		t.Fatalf("transient should clear after %d fails: %v", 2, err)
+	}
+
+	f = NewFaultInjector(NewNullDataDevice("d", 64), 1)
+	f.Arm(FaultSite{Kind: FaultCrashTorn, WriteOp: 1, TornPages: 0, TornBytes: 0})
+	if _, err := f.WritePages(0, 0, 1, buf); err != nil {
+		t.Fatalf("write before crash ordinal: %v", err)
+	}
+	if _, err := f.WritePages(0, 1, 1, buf); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write at crash ordinal: %v, want ErrCrashed", err)
+	}
+	if !f.Crashed() {
+		t.Fatal("injector not crashed after site fired")
+	}
+}
+
+// A trim issued after the crash point must not reach the medium.
+func TestTrimBlockedWhileCrashed(t *testing.T) {
+	inner := NewNullDataDevice("d", 64)
+	f := NewFaultInjector(inner, 1)
+	buf := make([]byte, PageSize)
+	buf[0] = 0xAB
+	f.WritePages(0, 5, 1, buf)
+	f.ArmCrash(0, 0, 0)
+	if _, err := f.WritePages(0, 6, 1, buf); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("arming write: %v, want ErrCrashed", err)
+	}
+	if _, err := f.TrimPages(0, 5, 1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash trim: %v, want ErrCrashed", err)
+	}
+	got := make([]byte, PageSize)
+	if err := inner.Store().ReadPageChecked(5, got); err != nil {
+		t.Fatalf("page 5 after blocked trim: %v", err)
+	}
+	if got[0] != 0xAB {
+		t.Fatal("blocked trim still mutated durable state")
+	}
+}

@@ -1,0 +1,56 @@
+//go:build !kddbug
+
+package check
+
+import "testing"
+
+// TestCheckerCIMode is the deterministic CI sweep: two seeds, every crash
+// point and media-fault site enumerated from the profile trace, zero
+// violations expected. It also asserts the sweep had teeth — sites were
+// actually enumerated and every armed crash point actually fired.
+func TestCheckerCIMode(t *testing.T) {
+	o := Options{Seeds: 2, Ops: 120, Footprint: 48}
+	if testing.Short() {
+		// One seed and a smaller workload: the -race sweep in CI runs with
+		// -short, where the full site fan-out is ~20x slower than native.
+		o = Options{Seeds: 1, Ops: 80, Footprint: 32}
+	}
+	rep := Run(o)
+	if v := rep.Violations(); len(v) > 0 {
+		max := len(v)
+		if max > 10 {
+			max = 10
+		}
+		t.Fatalf("%d violations (showing %d):\n%s", len(v), max, joinLines(v[:max]))
+	}
+	for _, res := range rep.Results {
+		if res.CrashSites == 0 {
+			t.Errorf("seed %#x: no crash sites enumerated", res.Seed)
+		}
+		if res.MediaSites == 0 {
+			t.Errorf("seed %#x: no media-fault sites enumerated", res.Seed)
+		}
+		if res.Crashes != res.CrashSites {
+			t.Errorf("seed %#x: %d crashes recovered but %d crash sites armed",
+				res.Seed, res.Crashes, res.CrashSites)
+		}
+	}
+}
+
+// TestCheckerDeterministic: the same options must produce the identical
+// report — the replay-from-seed promise printed on failure depends on it.
+func TestCheckerDeterministic(t *testing.T) {
+	o := Options{Seeds: 1, Ops: 60, Footprint: 32}
+	a, b := Run(o), Run(o)
+	if a.Table() != b.Table() {
+		t.Fatalf("reports diverge:\n--- first\n%s--- second\n%s", a.Table(), b.Table())
+	}
+}
+
+func joinLines(v []string) string {
+	out := ""
+	for _, s := range v {
+		out += "  " + s + "\n"
+	}
+	return out
+}

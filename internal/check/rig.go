@@ -1,0 +1,324 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/core"
+	"kddcache/internal/delta"
+	"kddcache/internal/model"
+	"kddcache/internal/raid"
+	"kddcache/internal/sim"
+)
+
+// Checker stack geometry: deliberately smaller than the chaos harness so
+// the per-site replay runs (hundreds per seed) stay cheap, while still
+// exercising eviction, DEZ packing, cleaning, and parity maintenance.
+const (
+	checkDisks     = 4
+	checkDiskPages = 256
+	checkChunk     = 4
+	checkWays      = 16
+	checkMetaPages = 32
+)
+
+// rig is one run's stack: the real KDD+RAID-5 engine on one side, the
+// reference model on the other, driven through an identical op stream.
+// All rig state is built from the seed, so a run is a pure function of
+// (seed, options, armed site) — replaying a violation needs only those.
+type rig struct {
+	o    Options
+	rng  *sim.RNG
+	mut  *delta.Mutator
+	mdl  *model.Model
+	halt bool
+
+	members []*blockdev.NullDevice
+	arr     *raid.Array
+	inj     *blockdev.FaultInjector // SSD-side injector
+	cfg     core.Config
+	kdd     *core.KDD
+
+	pendingLBA int64 // lba of the write in flight at a crash; -1 none
+	crashes    int
+	violations []string
+}
+
+func newRig(seed uint64, o Options) *rig {
+	r := &rig{
+		o:          o,
+		rng:        sim.NewRNG(seed),
+		mut:        delta.NewMutator(seed^0xD00D, 0.25),
+		mdl:        model.New(),
+		pendingLBA: -1,
+	}
+	var members []blockdev.Device
+	for i := 0; i < checkDisks; i++ {
+		d := blockdev.NewNullDataDevice(fmt.Sprintf("d%d", i), checkDiskPages)
+		r.members = append(r.members, d)
+		members = append(members, d)
+	}
+	arr, err := raid.New(raid.Config{Level: raid.Level5, ChunkPages: checkChunk}, members)
+	if err != nil {
+		panic(err) // static geometry; cannot fail
+	}
+	r.arr = arr
+	inner := blockdev.NewNullDataDevice("ssd", checkMetaPages+o.CachePages)
+	r.inj = blockdev.NewFaultInjector(inner, seed^0xFA17)
+	r.cfg = core.Config{
+		SSD:        r.inj,
+		Backend:    arr,
+		CachePages: o.CachePages,
+		Ways:       checkWays,
+		MetaStart:  0,
+		MetaPages:  checkMetaPages,
+		Codec:      delta.ZRLE{},
+	}
+	k, err := core.New(r.cfg)
+	if err != nil {
+		panic(err)
+	}
+	r.kdd = k
+	return r
+}
+
+func (r *rig) violf(format string, args ...any) {
+	r.violations = append(r.violations, fmt.Sprintf(format, args...))
+}
+
+// pickLBA draws from the footprint with a hot front eighth; the draw
+// count is fixed, keeping the op stream in lockstep with the profile run
+// regardless of which fault site is armed.
+func (r *rig) pickLBA() int64 {
+	hot := r.rng.Float64() < 0.5
+	n := r.rng.Uint64n(uint64(r.o.Footprint))
+	if hot {
+		return int64(n) / 8
+	}
+	return int64(n)
+}
+
+// runOps replays the seeded workload, recovering whenever the armed
+// crash site fires.
+func (r *rig) runOps() {
+	for i := 0; i < r.o.Ops && !r.halt; i++ {
+		lba := r.pickLBA()
+		if r.rng.Float64() < 0.6 {
+			r.doWrite(lba)
+		} else {
+			r.doRead(lba)
+		}
+		if r.inj.Crashed() {
+			r.restore()
+		}
+	}
+}
+
+// foldRetry reports whether err is the loud stale-parity refusal, folding
+// the pending deltas so the caller can retry.
+func (r *rig) foldRetry(err error) bool {
+	if !errors.Is(err, raid.ErrStaleParity) {
+		return false
+	}
+	if _, cerr := r.kdd.Clean(0, true); cerr != nil {
+		r.violf("fold after stale-parity refusal: %v", cerr)
+		return false
+	}
+	return true
+}
+
+// doWrite writes the next version of lba: a mutation of the model's
+// current content, or a fresh random page for first touches. Mutate and
+// FillRandom consume fixed draw counts, so content generation stays
+// deterministic across sites even after an old-or-new pin diverges the
+// page's bytes from the profile run.
+func (r *rig) doWrite(lba int64) {
+	if _, ok := r.mdl.Value(lba); !ok {
+		// An unresolved in-flight write should have been pinned by the
+		// post-recovery read; reaching here is a checker bug.
+		r.violf("write %d while the model is unresolved", lba)
+		return
+	}
+	page := make([]byte, blockdev.PageSize)
+	if v, _ := r.mdl.Value(lba); v != nil {
+		copy(page, v)
+		r.mut.Mutate(page)
+	} else {
+		r.mut.FillRandom(page)
+	}
+	_, err := r.kdd.Write(0, lba, page)
+	if err != nil && r.foldRetry(err) {
+		_, err = r.kdd.Write(0, lba, page)
+	}
+	if err == nil {
+		r.mdl.Write(lba, page)
+		return
+	}
+	if r.inj.Crashed() {
+		// The crash hit mid-write: the page may legally resolve to either
+		// version, pinned at the first post-recovery read.
+		r.mdl.CrashWrite(lba, page)
+		r.pendingLBA = lba
+		return
+	}
+	r.violf("write %d failed: %v", lba, err)
+}
+
+// doRead reads lba through the cache and cross-checks the model (pinning
+// any in-flight write to the observed version).
+func (r *rig) doRead(lba int64) {
+	buf := make([]byte, blockdev.PageSize)
+	_, err := r.kdd.Read(0, lba, buf)
+	if err != nil && r.foldRetry(err) {
+		_, err = r.kdd.Read(0, lba, buf)
+	}
+	if err != nil {
+		if r.inj.Crashed() {
+			return // the crash interrupted the read; recovery handles it
+		}
+		r.violf("read %d failed: %v", lba, err)
+		return
+	}
+	if err := r.mdl.Check(lba, buf); err != nil {
+		r.violf("read %d: %v", lba, err)
+	}
+}
+
+// restore recovers from the fired crash point: snapshot the NVRAM state,
+// restore TWICE from the identical snapshot and compare state digests
+// (metadata-log replay must be idempotent), then pin the interrupted
+// write via its first post-recovery read.
+func (r *rig) restore() {
+	r.crashes++
+	ctr := r.kdd.Log().Counters()
+	buffered := r.kdd.Log().BufferedEntries()
+	staging := r.kdd.Staging()
+	r.inj.ClearCrash()
+	k1, _, err := core.Restore(r.cfg, 0, ctr, buffered, staging)
+	if err != nil {
+		r.violf("restore after crash: %v", err)
+		r.halt = true
+		return
+	}
+	k2, _, err := core.Restore(r.cfg, 0, ctr, buffered, staging)
+	if err != nil {
+		r.violf("second restore from the same NVRAM snapshot: %v", err)
+		r.halt = true
+		return
+	}
+	if d1, d2 := k1.StateDigest(), k2.StateDigest(); d1 != d2 {
+		r.violf("recovery not idempotent: state digest %016x vs %016x", d1, d2)
+	}
+	r.kdd = k2
+	if err := r.kdd.CheckInvariants(); err != nil {
+		r.violf("post-restore invariants: %v", err)
+	}
+	if lba := r.pendingLBA; lba >= 0 {
+		r.pendingLBA = -1
+		r.doRead(lba) // pins old-or-new in the model, or flags torn content
+	}
+}
+
+// verify is the post-workload integrity chain: invariants, model-checked
+// cache reads over the whole footprint, flush, stale-row accounting, a
+// patrol scrub, direct array reads against the model, a per-page checksum
+// sweep of every store, and a degraded re-read proving parity actually
+// reconstructs the data.
+func (r *rig) verify() {
+	if err := r.kdd.CheckInvariants(); err != nil {
+		r.violf("invariants: %v", err)
+	}
+	for lba := int64(0); lba < r.o.Footprint; lba++ {
+		r.doRead(lba)
+	}
+	if _, err := r.kdd.Flush(0); err != nil {
+		r.violf("flush: %v", err)
+		return
+	}
+	if n := r.arr.StaleRows(); n != 0 {
+		r.violf("%d stale rows after flush", n)
+	}
+	if err := r.kdd.CheckInvariants(); err != nil {
+		r.violf("post-flush invariants: %v", err)
+	}
+	_, rep, err := r.arr.Scrub(0)
+	if err != nil {
+		r.violf("scrub: %v", err)
+		return
+	}
+	if len(rep.Unrecoverable) > 0 {
+		r.violf("scrub reported unrecoverable rows %v", rep.Unrecoverable)
+	}
+	zero := make([]byte, blockdev.PageSize)
+	buf := make([]byte, blockdev.PageSize)
+	for lba := int64(0); lba < r.o.Footprint; lba++ {
+		want, ok := r.mdl.Value(lba)
+		if !ok {
+			r.violf("page %d still unresolved at verify", lba)
+			continue
+		}
+		if want == nil {
+			want = zero
+		}
+		if _, err := r.arr.ReadPages(0, lba, 1, buf); err != nil {
+			r.violf("array read %d: %v", lba, err)
+			continue
+		}
+		if !bytesEqual(buf, want) {
+			r.violf("array content mismatch at %d", lba)
+		}
+	}
+	r.sweepChecksums()
+	if !r.arr.Healthy() {
+		return
+	}
+	// Degraded proof: drop one member and re-read the footprint through
+	// reconstruction; wrong parity anywhere shows up as a mismatch.
+	r.arr.FailDisk(r.rng.Intn(checkDisks))
+	for lba := int64(0); lba < r.o.Footprint; lba++ {
+		want, _ := r.mdl.Value(lba)
+		if want == nil {
+			want = zero
+		}
+		if _, err := r.arr.ReadPages(0, lba, 1, buf); err != nil {
+			r.violf("degraded read %d: %v", lba, err)
+			continue
+		}
+		if !bytesEqual(buf, want) {
+			r.violf("degraded reconstruction mismatch at %d", lba)
+		}
+	}
+}
+
+// sweepChecksums verifies every page checksum on every store: corruption
+// a fault left behind must never sit undetected on a medium.
+func (r *rig) sweepChecksums() {
+	if st := r.inj.Store(); st != nil {
+		for p := int64(0); p < checkMetaPages+r.o.CachePages; p++ {
+			if !st.VerifyPage(p) {
+				r.violf("ssd checksum mismatch at page %d", p)
+			}
+		}
+	}
+	for i, d := range r.members {
+		st := d.Store()
+		for p := int64(0); p < checkDiskPages; p++ {
+			if !st.VerifyPage(p) {
+				r.violf("disk %d checksum mismatch at page %d", i, p)
+			}
+		}
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+//go:build !kddbug
+
+package core
+
+// bugDezLogFirst is the mutation switch for the checker's self-test: the
+// kddbug build tag flips it to true, making commitDez log the old-page
+// mapping entries BEFORE the DEZ page they point at is durable (and skip
+// the re-staging undo on failure) — the exact crash-ordering bug the
+// DEZ-durable-before-log rule exists to prevent. The mutation test proves
+// internal/check catches the resulting violation; production builds
+// compile the constant false and the bugged path away.
+const bugDezLogFirst = false

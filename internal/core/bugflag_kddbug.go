@@ -1,0 +1,7 @@
+//go:build kddbug
+
+package core
+
+// Mutation build: commitDez logs mapping entries before the DEZ page is
+// durable. See bugflag.go.
+const bugDezLogFirst = true

@@ -306,6 +306,10 @@ func (k *KDD) commitDez(t sim.Time) (sim.Time, error) {
 		off += sd.D.Len
 	}
 
+	if bugDezLogFirst {
+		return k.commitDezLogFirst(t, dezSlot, packed, offs, image)
+	}
+
 	// The DEZ page must be durable BEFORE any mapping entry points at it:
 	// a crash between the two would leave Old entries referencing a page
 	// that was never written.
@@ -357,6 +361,48 @@ func (k *KDD) commitDez(t sim.Time) (sim.Time, error) {
 	}
 	k.st.DeltaCommits++
 	return done, nil
+}
+
+// commitDezLogFirst is the kddbug mutation of commitDez (see bugflag.go):
+// it logs the old-page mapping entries BEFORE the DEZ page they point at
+// is durable, and treats logged entries as owned by the log — no
+// re-staging undo on failure. A crash between logging and the DEZ write
+// leaves durable Old entries referencing a page that was never written,
+// while the deltas themselves are gone from NVRAM: recovery then serves
+// stale old data for acked writes, which the checker must catch.
+func (k *KDD) commitDezLogFirst(t sim.Time, dezSlot int32,
+	packed []nvram.StagedDelta, offs []int, image []byte) (sim.Time, error) {
+	dp := &dezPage{}
+	k.dezPages[dezSlot] = dp
+	done := t
+	for i, sd := range packed {
+		slot := k.slotOf(sd.DazPage)
+		e := metalog.Entry{
+			State:   metalog.StateOld,
+			DazPage: uint32(k.cacheLBA(slot)),
+			RaidLBA: uint32(sd.RaidLBA),
+			DezPage: uint32(k.cacheLBA(dezSlot)),
+			DezOff:  uint16(offs[i]),
+			DezLen:  uint16(sd.D.Len),
+			DezRaw:  sd.D.Raw,
+		}
+		c, err := k.logPut(t, e)
+		if err != nil {
+			return t, err
+		}
+		k.oldDeltas[slot] = oldDelta{
+			dez: dezSlot, off: offs[i], length: sd.D.Len, raw: sd.D.Raw,
+		}
+		dp.valid++
+		dp.used += sd.D.Len
+		done = sim.MaxTime(done, c)
+	}
+	c, err := k.ssd.WritePages(t, k.cacheLBA(dezSlot), 1, image)
+	if err != nil {
+		return t, err
+	}
+	k.st.DeltaCommits++
+	return sim.MaxTime(done, c), nil
 }
 
 // releaseDez invalidates one delta in a DEZ page, freeing the page when

@@ -1,0 +1,141 @@
+package delta
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"kddcache/internal/blockdev"
+)
+
+// Worst-case encoded sizes. ZRLE breaks literal runs only at zero runs of
+// >= 4, so a fully incompressible XOR image costs the page plus a few
+// varint headers; flate's stored-block framing adds a handful of bytes.
+// The KDD write path falls back to NewRaw at >= PageSize, so DEZ space
+// never holds an expanded delta — the bounds here keep that fallback
+// sufficient.
+const (
+	zrleWorstCase  = blockdev.PageSize + 8
+	flateWorstCase = blockdev.PageSize + 64
+)
+
+// pageShapes builds the content families the cache actually sees: clean
+// rewrites, sparse OLTP-style mutations, dense mutations, incompressible
+// pages, and first writes over zeros.
+func pageShapes(seed uint64) [][2][]byte {
+	mut := NewMutator(seed, 0.05)
+	dense := NewMutator(seed^1, 0.40)
+	var shapes [][2][]byte
+	add := func(old, new []byte) { shapes = append(shapes, [2][]byte{old, new}) }
+
+	base := make([]byte, blockdev.PageSize)
+	mut.FillRandom(base)
+	same := make([]byte, blockdev.PageSize)
+	copy(same, base)
+	add(base, same) // identical rewrite
+
+	sparse := make([]byte, blockdev.PageSize)
+	copy(sparse, base)
+	mut.Mutate(sparse)
+	add(base, sparse) // ~5% changed
+
+	heavy := make([]byte, blockdev.PageSize)
+	copy(heavy, base)
+	dense.Mutate(heavy)
+	add(base, heavy) // ~40% changed
+
+	random := make([]byte, blockdev.PageSize)
+	dense.FillRandom(random)
+	add(base, random) // unrelated content: incompressible XOR
+
+	add(make([]byte, blockdev.PageSize), random) // first write over zeros
+	return shapes
+}
+
+// packedRoundTrip runs the full DEZ life of a delta: encode, pack the
+// payload into a shared page image at an offset, unpack by slicing the
+// recorded extent back out, and apply to the old page. It returns the
+// reconstruction and the encoded delta.
+func packedRoundTrip(t *testing.T, c Codec, old, new []byte, off int) ([]byte, Delta) {
+	t.Helper()
+	d := c.Encode(old, new)
+	if d.Len >= blockdev.PageSize {
+		d = NewRaw(new) // the KDD write path's incompressible fallback
+	}
+	if d.Len != len(d.Bytes) {
+		t.Fatalf("%s: Len %d != len(Bytes) %d", c.Name(), d.Len, len(d.Bytes))
+	}
+	image := make([]byte, blockdev.PageSize+d.Len+off)
+	copy(image[off:], d.Bytes)
+	unpacked := Delta{Bytes: image[off : off+d.Len], Len: d.Len, Raw: d.Raw}
+	out := make([]byte, blockdev.PageSize)
+	if err := ApplyAny(c, old, unpacked, out); err != nil {
+		t.Fatalf("%s: apply: %v", c.Name(), err)
+	}
+	return out, d
+}
+
+// TestRoundTripShapes: compress→pack→unpack→apply reproduces the new page
+// for every codec over every content family, and every encoded delta
+// respects its codec's worst-case bound.
+func TestRoundTripShapes(t *testing.T) {
+	codecs := []struct {
+		c     Codec
+		bound int
+	}{
+		{ZRLE{}, zrleWorstCase},
+		{Flate{}, flateWorstCase},
+	}
+	for _, tc := range codecs {
+		for i, sh := range pageShapes(0xBEEF + uint64(len(tc.c.Name()))) {
+			old, new := sh[0], sh[1]
+			raw := tc.c.Encode(old, new)
+			if raw.Len > tc.bound {
+				t.Errorf("%s shape %d: encoded %d bytes, bound %d", tc.c.Name(), i, raw.Len, tc.bound)
+			}
+			for _, off := range []int{0, 1, 517} {
+				got, d := packedRoundTrip(t, tc.c, old, new, off)
+				if !bytes.Equal(got, new) {
+					t.Fatalf("%s shape %d off %d: reconstruction diverges", tc.c.Name(), i, off)
+				}
+				if d.Len > blockdev.PageSize {
+					t.Fatalf("%s shape %d: post-fallback delta %d exceeds a page", tc.c.Name(), i, d.Len)
+				}
+			}
+		}
+	}
+}
+
+// TestRoundTripQuick: the same property over randomized page pairs driven
+// by testing/quick — arbitrary old/new content, arbitrary pack offset.
+func TestRoundTripQuick(t *testing.T) {
+	for _, c := range []Codec{ZRLE{}, Flate{}} {
+		c := c
+		f := func(oldSeed, newSeed uint64, ratio16 uint16, off uint16) bool {
+			old := make([]byte, blockdev.PageSize)
+			NewMutator(oldSeed, 0.5).FillRandom(old)
+			new := make([]byte, blockdev.PageSize)
+			copy(new, old)
+			NewMutator(newSeed, float64(ratio16%1000)/1000).Mutate(new)
+			got, _ := packedRoundTrip(t, c, old, new, int(off%2048))
+			return bytes.Equal(got, new)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestEncodeDeterministic: encoding is a pure function — the DEZ replay
+// path depends on byte-identical re-encodes.
+func TestEncodeDeterministic(t *testing.T) {
+	for _, c := range []Codec{ZRLE{}, Flate{}} {
+		for i, sh := range pageShapes(0xD151) {
+			a := c.Encode(sh[0], sh[1])
+			b := c.Encode(sh[0], sh[1])
+			if a.Len != b.Len || a.Raw != b.Raw || !bytes.Equal(a.Bytes, b.Bytes) {
+				t.Errorf("%s shape %d: encode not deterministic", c.Name(), i)
+			}
+		}
+	}
+}

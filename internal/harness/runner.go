@@ -102,3 +102,11 @@ func fanOutN[T any](parallel, n int, f func(i int) (T, error)) ([]T, error) {
 func fanOut[T any](n int, f func(i int) (T, error)) ([]T, error) {
 	return fanOutN[T](0, n, f)
 }
+
+// FanOut exposes the runner to sibling packages (the crash-consistency
+// checker fans its per-fault-site replay runs out on it): n independent
+// jobs on at most parallel workers (<= 0 selects Parallelism()), results
+// in index order, first error cancels not-yet-started jobs.
+func FanOut[T any](parallel, n int, f func(i int) (T, error)) ([]T, error) {
+	return fanOutN[T](parallel, n, f)
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkTraceSane asserts the geometry invariants every successfully
+// parsed trace must satisfy, whatever the input: positive page counts,
+// non-negative page addresses and times, and extents that cannot
+// overflow when walked.
+func checkTraceSane(t *testing.T, tr *Trace) {
+	t.Helper()
+	for i, r := range tr.Requests {
+		if r.Pages < 1 {
+			t.Fatalf("request %d: pages %d < 1", i, r.Pages)
+		}
+		if r.LBA < 0 {
+			t.Fatalf("request %d: negative lba %d", i, r.LBA)
+		}
+		if r.Time < 0 {
+			t.Fatalf("request %d: negative time %d", i, r.Time)
+		}
+		if end := r.LBA + int64(r.Pages); end < r.LBA {
+			t.Fatalf("request %d: extent overflows int64", i)
+		}
+	}
+	if tr.MaxLBA() < 0 {
+		t.Fatalf("MaxLBA negative")
+	}
+}
+
+func FuzzParseSPC(f *testing.F) {
+	f.Add("0,20941264,8192,W,0.551706\n1,3436288,15872,r,1.25\n")
+	f.Add("# comment\n\n0,0,4096,W,0.5\n")
+	f.Add("0,-5,8192,W,0.5\n")
+	f.Add("0,1,8192,W,NaN\n")
+	f.Add("0,9223372036854775807,9223372036854775807,W,1e300\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := ParseSPC("fuzz", strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		checkTraceSane(t, tr)
+	})
+}
+
+func FuzzParseMSR(f *testing.F) {
+	f.Add("128166372003061629,hm,0,Write,2449920,8192,1331\n128166372016382155,hm,0,Read,8192,4096,388\n")
+	f.Add("5,h,0,Write,0,4096,1\n1,h,0,Read,0,4096,1\n") // backwards time
+	f.Add("-1,h,0,Write,0,4096,1\n")
+	f.Add("0,h,0,Write,9223372036854775807,9223372036854775807,1\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := ParseMSR("fuzz", strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		checkTraceSane(t, tr)
+	})
+}
+
+func FuzzParseUniform(f *testing.F) {
+	f.Add("# uniform trace: u\n5,W,10,2\n9,R,99,1\n")
+	f.Add("-1,W,1,1\n")
+	f.Add("1,W,-1,1\n")
+	f.Add("1,W,1,2147483647\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := ParseUniform("fuzz", strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		checkTraceSane(t, tr)
+	})
+}

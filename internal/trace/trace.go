@@ -133,9 +133,15 @@ func ParseSPC(name string, r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: spc line %d lba: %v", lineNo, err)
 		}
+		if lba512 < 0 || lba512 >= maxLBA512 {
+			return nil, fmt.Errorf("trace: spc line %d lba %d out of range", lineNo, lba512)
+		}
 		size, err := strconv.ParseInt(strings.TrimSpace(f[2]), 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace: spc line %d size: %v", lineNo, err)
+		}
+		if size < 1 || size > maxReqBytes {
+			return nil, fmt.Errorf("trace: spc line %d size %d out of range", lineNo, size)
 		}
 		op, err := parseOp(f[3])
 		if err != nil {
@@ -144,6 +150,9 @@ func ParseSPC(name string, r io.Reader) (*Trace, error) {
 		ts, err := strconv.ParseFloat(strings.TrimSpace(f[4]), 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace: spc line %d time: %v", lineNo, err)
+		}
+		if !(ts >= 0 && ts <= maxSeconds) { // also rejects NaN
+			return nil, fmt.Errorf("trace: spc line %d time %v out of range", lineNo, ts)
 		}
 		byteOff := lba512 * 512
 		tr.Requests = append(tr.Requests, pageAlign(
@@ -186,18 +195,31 @@ func ParseMSR(name string, r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: msr line %d: %v", lineNo, err)
 		}
+		if ticks < 0 {
+			return nil, fmt.Errorf("trace: msr line %d time %d negative", lineNo, ticks)
+		}
 		off, err := strconv.ParseInt(strings.TrimSpace(f[4]), 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace: msr line %d offset: %v", lineNo, err)
+		}
+		if off < 0 || off > maxByteOff {
+			return nil, fmt.Errorf("trace: msr line %d offset %d out of range", lineNo, off)
 		}
 		size, err := strconv.ParseInt(strings.TrimSpace(f[5]), 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace: msr line %d size: %v", lineNo, err)
 		}
+		if size < 1 || size > maxReqBytes {
+			return nil, fmt.Errorf("trace: msr line %d size %d out of range", lineNo, size)
+		}
 		if t0 < 0 {
 			t0 = ticks
 		}
-		t := sim.Time((ticks - t0) * 100) // 100ns ticks -> ns
+		diff := ticks - t0
+		if diff < 0 || diff > maxTickSpan {
+			return nil, fmt.Errorf("trace: msr line %d time %d outside the trace's span", lineNo, ticks)
+		}
+		t := sim.Time(diff * 100) // 100ns ticks -> ns
 		tr.Requests = append(tr.Requests, pageAlign(t, op, off, size))
 	}
 	if err := sc.Err(); err != nil {
@@ -206,6 +228,21 @@ func ParseMSR(name string, r io.Reader) (*Trace, error) {
 	tr.SortByTime()
 	return tr, nil
 }
+
+// Field sanity bounds. Raw traces come from untrusted files, and several
+// fields feed multiplications (512-byte blocks, 100ns ticks, µs→ns) or
+// page-count loops; out-of-range values must fail the parse rather than
+// overflow int64 or fabricate absurd geometry.
+const (
+	maxLBA512   = int64(1) << 52         // byte offset stays under 1<<61
+	maxByteOff  = int64(1) << 61         // MSR offsets are plain bytes
+	maxReqBytes = int64(1) << 40         // 1 TiB single request
+	maxSeconds  = float64(1 << 30)       // ~34 years of trace, ns stays in int64
+	maxTickSpan = (int64(1) << 62) / 100 // 100ns ticks -> ns without overflow
+	maxMicros   = (int64(1) << 62) / 1000
+	maxPageLBA  = int64(1) << 50
+	maxReqPages = 1 << 20 // 4 GiB single request in pages
+)
 
 func parseOp(s string) (Op, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
@@ -267,6 +304,9 @@ func ParseUniform(name string, r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: uniform line %d time: %v", lineNo, err)
 		}
+		if us < 0 || us > maxMicros {
+			return nil, fmt.Errorf("trace: uniform line %d time %d out of range", lineNo, us)
+		}
 		op, err := parseOp(f[1])
 		if err != nil {
 			return nil, fmt.Errorf("trace: uniform line %d: %v", lineNo, err)
@@ -275,9 +315,12 @@ func ParseUniform(name string, r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: uniform line %d lba: %v", lineNo, err)
 		}
+		if lba < 0 || lba > maxPageLBA {
+			return nil, fmt.Errorf("trace: uniform line %d lba %d out of range", lineNo, lba)
+		}
 		pages, err := strconv.Atoi(f[3])
-		if err != nil || pages < 1 {
-			return nil, fmt.Errorf("trace: uniform line %d pages: %v", lineNo, err)
+		if err != nil || pages < 1 || pages > maxReqPages {
+			return nil, fmt.Errorf("trace: uniform line %d pages: %v (want 1..%d)", lineNo, err, maxReqPages)
 		}
 		tr.Requests = append(tr.Requests, Request{
 			Time: sim.Time(us) * sim.Microsecond, Op: op, LBA: lba, Pages: pages,

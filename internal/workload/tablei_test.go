@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTableITargets pins the four built-in specs to the paper's Table I
+// numbers: per-direction unique footprints, request volumes (×1,000
+// pages), the read ratio each implies, and the structural identities
+// every Table I row must satisfy. TestSynthesizeMatchesTableI checks that
+// Synthesize tracks the specs; this test checks that the specs themselves
+// still say what the paper says.
+func TestTableITargets(t *testing.T) {
+	cases := []struct {
+		spec        Spec
+		uniqueTotal int64
+		uniqueRead  int64
+		uniqueWrite int64
+		readPages   int64
+		writePages  int64
+		readRatio   float64
+		writeDom    bool // paper classifies the trace as write-dominant
+	}{
+		{Fin1, 993_000, 331_000, 966_000, 1_339_000, 5_628_000, 0.19, true},
+		{Fin2, 405_000, 271_000, 212_000, 3_562_000, 917_000, 0.80, false},
+		{Hm0, 609_000, 488_000, 428_000, 2_880_000, 5_992_000, 0.33, true},
+		{Web0, 1_913_000, 1_884_000, 182_000, 4_575_000, 3_186_000, 0.59, false},
+	}
+	if got := len(TableI()); got != len(cases) {
+		t.Fatalf("TableI has %d workloads, want %d", got, len(cases))
+	}
+	for i, c := range cases {
+		s := c.spec
+		if TableI()[i].Name != s.Name {
+			t.Errorf("TableI()[%d] = %s, want %s (presentation order)", i, TableI()[i].Name, s.Name)
+		}
+		if s.UniqueTotal != c.uniqueTotal || s.UniqueRead != c.uniqueRead || s.UniqueWrite != c.uniqueWrite {
+			t.Errorf("%s: unique pages (%d,%d,%d), want (%d,%d,%d)", s.Name,
+				s.UniqueTotal, s.UniqueRead, s.UniqueWrite,
+				c.uniqueTotal, c.uniqueRead, c.uniqueWrite)
+		}
+		if s.ReadPages != c.readPages || s.WritePages != c.writePages {
+			t.Errorf("%s: request pages (%d,%d), want (%d,%d)", s.Name,
+				s.ReadPages, s.WritePages, c.readPages, c.writePages)
+		}
+		// Table I prints ratios rounded to two decimals (and rounds Hm0's
+		// 0.325 up), so allow one count in the last printed digit.
+		if got := s.ReadRatio(); math.Abs(got-c.readRatio) > 0.01 {
+			t.Errorf("%s: read ratio %.3f, want %.2f", s.Name, got, c.readRatio)
+		}
+		if dom := s.WritePages > s.ReadPages; dom != c.writeDom {
+			t.Errorf("%s: write-dominant=%v, paper says %v", s.Name, dom, c.writeDom)
+		}
+		// Structural identities of any Table I row: per-direction sets
+		// cover the union, overlap is non-negative, footprint does not
+		// exceed the request volume in either direction, and the workload
+		// actually exercises both directions.
+		if s.UniqueRead > s.UniqueTotal || s.UniqueWrite > s.UniqueTotal {
+			t.Errorf("%s: a per-direction unique count exceeds the union", s.Name)
+		}
+		if s.UniqueRead+s.UniqueWrite < s.UniqueTotal {
+			t.Errorf("%s: read and write sets cannot cover the union", s.Name)
+		}
+		if s.UniqueRead > s.ReadPages || s.UniqueWrite > s.WritePages {
+			t.Errorf("%s: more unique pages than request pages", s.Name)
+		}
+		if s.ReadPages == 0 || s.WritePages == 0 {
+			t.Errorf("%s: degenerate single-direction workload", s.Name)
+		}
+		if s.Theta <= 0 || s.MeanIOPS <= 0 || s.Seed == 0 {
+			t.Errorf("%s: generation knobs unset: theta=%v iops=%v seed=%d",
+				s.Name, s.Theta, s.MeanIOPS, s.Seed)
+		}
+	}
+}
