@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race chaos check mutate fuzz cover bench-harness ci clean
+.PHONY: all build vet test race chaos chaos-ssd check mutate fuzz cover bench-harness ci clean
 
 all: ci
 
@@ -26,6 +26,11 @@ race:
 # verification; non-zero exit on any violation.
 chaos:
 	$(GO) run ./cmd/kddchaos
+
+# Whole-SSD failover chaos plans (fail-stop kill, kill mid-clean, breaker
+# storm, reattach-then-rekill) under the race detector.
+chaos-ssd:
+	$(GO) test -race -run 'TestChaosSSD' ./internal/harness/
 
 # Model-based crash-consistency checker, deterministic CI mode: every
 # crash point and media-fault site enumerated from the profile trace is
@@ -64,7 +69,7 @@ cover:
 bench-harness:
 	$(GO) run ./cmd/harnessbench -scale $(or $(BENCH_SCALE),0.01) -o BENCH_harness.json
 
-ci: vet build test race check mutate cover
+ci: vet build test race chaos-ssd check mutate cover
 
 clean:
 	$(GO) clean ./...

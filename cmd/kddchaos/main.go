@@ -28,6 +28,7 @@ func main() {
 		cache     = flag.Int64("cachepages", 0, "SSD cache data pages (0 = default 512)")
 		seed      = flag.Uint64("seed", 0, "master seed (0 = default)")
 		parallel  = flag.Int("parallel", 0, "worker-pool width for schedules; report is identical at any width (0 = GOMAXPROCS, 1 = serial)")
+		kind      = flag.String("kind", "", "comma-separated plan kinds to run, e.g. ssd-kill,ssd-reattach (empty = all)")
 	)
 	flag.Parse()
 	for _, v := range []struct {
@@ -50,8 +51,13 @@ func main() {
 		CachePages: *cache,
 		Seed:       *seed,
 		Parallel:   *parallel,
+		Kind:       *kind,
 	})
 	fmt.Print(rep.Table())
+	if len(rep.Results) == 0 {
+		fmt.Fprintf(os.Stderr, "kddchaos: no plan matches -kind %q\n", *kind)
+		os.Exit(2)
+	}
 	if len(rep.Violations()) > 0 {
 		os.Exit(1)
 	}

@@ -40,6 +40,8 @@ func main() {
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		csvOut     = flag.String("csv", "", "with -experiment fig4/9/10/11: also write the series as CSV to this file")
 		parallel   = flag.Int("parallel", 0, "worker-pool width for experiment simulations; output is identical at any width (0 = GOMAXPROCS, 1 = serial)")
+		killAt     = flag.Int("kill-ssd-at", -1, "fail-stop the cache SSD before request #N; KDD folds parity and continues in pass-through (-1 = never)")
+		reattachAt = flag.Int("reattach-at", -1, "repair and re-attach a fresh cache SSD before request #N, KDD only (-1 = never)")
 	)
 	flag.Parse()
 	kddcache.SetParallelism(*parallel)
@@ -106,6 +108,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *killAt >= 0 || *reattachAt >= 0 {
+		st.PerRequest = func(i int) {
+			if i == *killAt {
+				st.SSDInj.Fail()
+			}
+			if i == *reattachAt {
+				if err := st.ReattachSSD(0); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
 	r, err := harness.RunTrace(st, tr)
 	if err != nil {
 		fatal(err)
@@ -123,6 +137,9 @@ func main() {
 		c.MetaWrites, c.MetaGCWrites)
 	fmt.Printf("RAID ops    : reads=%d writes=%d parityFixes=%d smallWritesSaved=%d\n",
 		c.RAIDReads, c.RAIDWrites, c.ParityUpdates, c.SmallWritesSaved)
+	fmt.Printf("failover    : failovers=%d breakerTrips=%d folds=%d (rmw=%d resync=%d) passReads=%d passWrites=%d reattaches=%d\n",
+		c.Failovers, c.BreakerTrips, c.EmergencyFolds, c.FoldRMWs, c.FoldResyncs,
+		c.PassReads, c.PassWrites, c.Reattaches)
 }
 
 func loadWorkload(traceFile, format, wl string, scale float64) (*trace.Trace, workload.Spec, error) {

@@ -71,6 +71,39 @@ var (
 	ErrBadBuffer  = errors.New("blockdev: buffer is not a whole page")
 )
 
+// IOError wraps a device error with the device name, operation, and LBA it
+// occurred on, so upper layers can attribute failures to a specific device
+// (the cache's failover path must distinguish "the SSD died" from "a RAID
+// member died") and logs name the failing component. It is transparent to
+// errors.Is/errors.As via Unwrap, so existing taxonomy checks
+// (errors.Is(err, ErrMedia) etc.) keep working unchanged.
+type IOError struct {
+	Dev string // device name (Device.Name())
+	Op  Op     // operation that failed
+	LBA int64  // start LBA of the failed range
+	Err error  // underlying taxonomy error
+}
+
+func (e *IOError) Error() string {
+	return fmt.Sprintf("%s: %s lba %d: %v", e.Dev, e.Op, e.LBA, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *IOError) Unwrap() error { return e.Err }
+
+// WrapIOError attaches device/op/LBA context to err unless err already
+// carries it (no double wrapping across stacked injectors).
+func WrapIOError(dev string, op Op, lba int64, err error) error {
+	if err == nil {
+		return nil
+	}
+	var ioe *IOError
+	if errors.As(err, &ioe) {
+		return err
+	}
+	return &IOError{Dev: dev, Op: op, LBA: lba, Err: err}
+}
+
 // Device is a page-addressed block device with virtual-time semantics.
 //
 // ReadPages/WritePages cover [lba, lba+count). In data mode buf must be

@@ -270,32 +270,36 @@ func (f *FaultInjector) Name() string { return f.Inner().Name() }
 // Pages implements Device.
 func (f *FaultInjector) Pages() int64 { return f.Inner().Pages() }
 
-// ReadPages implements Device.
+// ReadPages implements Device. Injected and propagated errors are wrapped
+// in IOError so callers can attribute the failure to this device.
 func (f *FaultInjector) ReadPages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
 	if err := f.step(); err != nil {
-		return t, err
+		return t, WrapIOError(f.Name(), OpRead, lba, err)
 	}
 	f.record(false, lba, count)
 	if err := f.readFault(lba, count); err != nil {
-		return t, err
+		return t, WrapIOError(f.Name(), OpRead, lba, err)
 	}
-	return f.Inner().ReadPages(t, lba, count, buf)
+	done, err := f.Inner().ReadPages(t, lba, count, buf)
+	return done, WrapIOError(f.Name(), OpRead, lba, err)
 }
 
-// WritePages implements Device.
+// WritePages implements Device. Injected and propagated errors are wrapped
+// in IOError so callers can attribute the failure to this device.
 func (f *FaultInjector) WritePages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
 	if err := f.step(); err != nil {
-		return t, err
+		return t, WrapIOError(f.Name(), OpWrite, lba, err)
 	}
 	f.record(true, lba, count)
 	torn, tornBytes, err := f.writeFault(lba, count)
 	if err == nil {
-		return f.Inner().WritePages(t, lba, count, buf)
+		done, werr := f.Inner().WritePages(t, lba, count, buf)
+		return done, WrapIOError(f.Name(), OpWrite, lba, werr)
 	}
 	if torn > 0 || tornBytes > 0 {
 		f.tearWrite(t, lba, count, buf, torn, tornBytes)
 	}
-	return t, err
+	return t, WrapIOError(f.Name(), OpWrite, lba, err)
 }
 
 // tearWrite persists the prefix of a crashed write: torn whole pages and
@@ -321,7 +325,7 @@ func (f *FaultInjector) tearWrite(t sim.Time, lba int64, count int, buf []byte, 
 // TrimPages implements Trimmer when the inner device does.
 func (f *FaultInjector) TrimPages(t sim.Time, lba int64, count int) (sim.Time, error) {
 	if err := f.step(); err != nil {
-		return t, err
+		return t, WrapIOError(f.Name(), OpTrim, lba, err)
 	}
 	f.mu.Lock()
 	crashed := f.crashed
@@ -329,10 +333,11 @@ func (f *FaultInjector) TrimPages(t sim.Time, lba int64, count int) (sim.Time, e
 	if crashed {
 		// Power is off: a trim past the crash point must not reach the
 		// medium, or "durable" state would mutate after the power loss.
-		return t, ErrCrashed
+		return t, WrapIOError(f.Name(), OpTrim, lba, ErrCrashed)
 	}
 	if tr, ok := f.Inner().(Trimmer); ok {
-		return tr.TrimPages(t, lba, count)
+		done, err := tr.TrimPages(t, lba, count)
+		return done, WrapIOError(f.Name(), OpTrim, lba, err)
 	}
 	return t, nil
 }

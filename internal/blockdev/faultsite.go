@@ -32,6 +32,13 @@ const (
 	// FaultTransient is a recoverable glitch: the next Fails reads of the
 	// page fail, then it reads fine again (InjectTransient).
 	FaultTransient
+	// FaultFailStop is a whole-device fail-stop firing after WriteOp total
+	// operations (FailAfterOps): every operation from then on returns
+	// ErrFailed until Repair. Enumerated for the cache SSD only — it
+	// checks the "acked data survives whole-cache loss" property, which
+	// the failover path must uphold by folding stale parity and dropping
+	// to pass-through instead of erroring.
+	FaultFailStop
 )
 
 func (k FaultKind) String() string {
@@ -42,6 +49,8 @@ func (k FaultKind) String() string {
 		return "latent"
 	case FaultTransient:
 		return "transient"
+	case FaultFailStop:
+		return "fail-stop"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -60,7 +69,8 @@ type FaultSite struct {
 
 	// Crash-site fields: WriteOp is the 0-based ordinal of the write op
 	// (counted from arming) the crash fires on; TornPages whole pages plus
-	// TornBytes of the next page persist.
+	// TornBytes of the next page persist. Fail-stop sites reuse WriteOp as
+	// the total-op count the device survives before dying (FailAfterOps).
 	WriteOp   int64
 	TornPages int
 	TornBytes int
@@ -80,6 +90,8 @@ func (s FaultSite) String() string {
 		return fmt.Sprintf("crash@write%d(torn=%d+%dB)", s.WriteOp, s.TornPages, s.TornBytes)
 	case FaultLatent:
 		return fmt.Sprintf("latent@page%d", s.LBA)
+	case FaultFailStop:
+		return fmt.Sprintf("failstop@op%d", s.WriteOp)
 	default:
 		return fmt.Sprintf("transient@page%d(x%d)", s.LBA, s.Fails)
 	}
@@ -123,6 +135,8 @@ func (f *FaultInjector) Arm(s FaultSite) {
 		f.InjectBadPage(s.LBA)
 	case FaultTransient:
 		f.InjectTransient(s.LBA, s.Fails)
+	case FaultFailStop:
+		f.FailAfterOps = s.WriteOp
 	}
 }
 
@@ -171,6 +185,38 @@ func EnumerateSites(trace []OpRecord, seed uint64) []FaultSite {
 		sites = append(sites,
 			FaultSite{Kind: FaultLatent, LBA: p, Fails: -1},
 			FaultSite{Kind: FaultTransient, LBA: p, Fails: transientDepth})
+	}
+	return sites
+}
+
+// EnumerateFailStopSites derives up to n whole-device fail-stop sites from
+// a recorded op trace: op ordinals strided evenly across the run, so the
+// device dies early, mid-run, and late. It is kept separate from
+// EnumerateSites because fail-stop only makes sense for the cache SSD —
+// killing a RAID member mid-run is the degraded-mode regime, already
+// exercised by the checker's reconstruction proof.
+func EnumerateFailStopSites(trace []OpRecord, n int) []FaultSite {
+	total := int64(len(trace))
+	if total == 0 || n <= 0 {
+		return nil
+	}
+	if int64(n) > total {
+		n = int(total)
+	}
+	sites := make([]FaultSite, 0, n)
+	seen := make(map[int64]struct{}, n)
+	for i := 0; i < n; i++ {
+		// 1-based survivor count: op ordinal k means the device completes
+		// k ops then fails on op k+1 (FailAfterOps semantics).
+		op := total * int64(i+1) / int64(n+1)
+		if op < 1 {
+			op = 1
+		}
+		if _, dup := seen[op]; dup {
+			continue
+		}
+		seen[op] = struct{}{}
+		sites = append(sites, FaultSite{Kind: FaultFailStop, WriteOp: op})
 	}
 	return sites
 }

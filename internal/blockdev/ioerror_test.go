@@ -1,0 +1,78 @@
+package blockdev
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestIOErrorWrapUnwrap(t *testing.T) {
+	err := WrapIOError("ssd", OpRead, 42, ErrFailed)
+	if !errors.Is(err, ErrFailed) {
+		t.Fatal("wrapped error lost errors.Is(ErrFailed)")
+	}
+	var ioe *IOError
+	if !errors.As(err, &ioe) {
+		t.Fatal("wrapped error not errors.As-extractable")
+	}
+	if ioe.Dev != "ssd" || ioe.Op != OpRead || ioe.LBA != 42 {
+		t.Fatalf("attribution lost: %+v", ioe)
+	}
+	if WrapIOError("ssd", OpRead, 1, nil) != nil {
+		t.Fatal("wrapping nil must stay nil")
+	}
+}
+
+func TestIOErrorNoDoubleWrap(t *testing.T) {
+	inner := WrapIOError("hdd0", OpWrite, 7, ErrMedia)
+	outer := WrapIOError("ssd", OpRead, 99, inner)
+	var ioe *IOError
+	if !errors.As(outer, &ioe) {
+		t.Fatal("not an IOError")
+	}
+	// The first attribution wins: re-wrapping would hide which device
+	// actually faulted.
+	if ioe.Dev != "hdd0" || ioe.LBA != 7 {
+		t.Fatalf("double wrap replaced the original attribution: %+v", ioe)
+	}
+}
+
+func TestFailedInjectorWrapsErrors(t *testing.T) {
+	f := NewFaultInjector(NewNullDataDevice("ssd", 16), 1)
+	f.Fail()
+	_, err := f.ReadPages(0, 3, 1, make([]byte, PageSize))
+	if !errors.Is(err, ErrFailed) {
+		t.Fatalf("want ErrFailed, got %v", err)
+	}
+	var ioe *IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("fail-stop error not attributed: %v", err)
+	}
+	if ioe.Dev != "ssd" || ioe.Op != OpRead || ioe.LBA != 3 {
+		t.Fatalf("wrong attribution: %+v", ioe)
+	}
+}
+
+func TestEnumerateFailStopSites(t *testing.T) {
+	trace := make([]OpRecord, 100)
+	sites := EnumerateFailStopSites(trace, 8)
+	if len(sites) != 8 {
+		t.Fatalf("want 8 sites, got %d", len(sites))
+	}
+	prev := int64(0)
+	for _, s := range sites {
+		if s.Kind != FaultFailStop {
+			t.Fatalf("wrong kind: %v", s.Kind)
+		}
+		if s.WriteOp <= prev || s.WriteOp >= int64(len(trace)) {
+			t.Fatalf("ordinal %d out of order or out of range", s.WriteOp)
+		}
+		prev = s.WriteOp
+	}
+	// A 2-op trace collapses to a single deduped ordinal.
+	if got := EnumerateFailStopSites(trace[:2], 8); len(got) != 1 || got[0].WriteOp != 1 {
+		t.Fatalf("short trace: want one site at op 1, got %v", got)
+	}
+	if EnumerateFailStopSites(nil, 8) != nil {
+		t.Fatal("empty trace must yield no sites")
+	}
+}

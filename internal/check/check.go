@@ -65,6 +65,7 @@ type SeedResult struct {
 	Seed       uint64
 	CrashSites int
 	MediaSites int
+	KillSites  int // whole-SSD fail-stop sites (cache failover + bypass proof)
 	Crashes    int // crash points that actually fired and were recovered
 	Violations []string
 }
@@ -90,13 +91,13 @@ func (r *Report) Violations() []string {
 func (r *Report) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== Check: exhaustive crash-point and fault-site exploration ==\n")
-	fmt.Fprintf(&b, "%4s  %-18s %7s %7s %8s %6s\n", "#", "seed", "crash", "media", "crashes", "viol")
+	fmt.Fprintf(&b, "%4s  %-18s %7s %7s %5s %8s %6s\n", "#", "seed", "crash", "media", "kill", "crashes", "viol")
 	sites, crashes, viols := 0, 0, 0
 	for _, res := range r.Results {
-		fmt.Fprintf(&b, "%4d  %-18s %7d %7d %8d %6d\n",
+		fmt.Fprintf(&b, "%4d  %-18s %7d %7d %5d %8d %6d\n",
 			res.Index, fmt.Sprintf("%#x", res.Seed),
-			res.CrashSites, res.MediaSites, res.Crashes, len(res.Violations))
-		sites += res.CrashSites + res.MediaSites
+			res.CrashSites, res.MediaSites, res.KillSites, res.Crashes, len(res.Violations))
+		sites += res.CrashSites + res.MediaSites + res.KillSites
 		crashes += res.Crashes
 		viols += len(res.Violations)
 	}
@@ -182,11 +183,20 @@ func runSeed(seed uint64, o Options) SeedResult {
 				sites = append(sites, site{dev: fmt.Sprintf("disk%d", d), disk: d, fs: fs})
 			}
 		}
+		// Whole-SSD fail-stop sites: strided op ordinals at which the cache
+		// device dies outright. SSD only — a member fail-stop is the RAID
+		// layer's rebuild problem, already covered by the chaos harness.
+		for _, fs := range blockdev.EnumerateFailStopSites(r.inj.Recorded(), 8) {
+			sites = append(sites, site{dev: "ssd", disk: -1, fs: fs})
+		}
 	}
 	for _, s := range sites {
-		if s.fs.Kind == blockdev.FaultCrashTorn {
+		switch s.fs.Kind {
+		case blockdev.FaultCrashTorn:
 			res.CrashSites++
-		} else {
+		case blockdev.FaultFailStop:
+			res.KillSites++
+		default:
 			res.MediaSites++
 		}
 	}
@@ -216,6 +226,9 @@ func runSite(seed uint64, o Options, s site) siteOutcome {
 	r.runOps()
 	if !r.halt {
 		r.verify()
+		if s.fs.Kind == blockdev.FaultFailStop {
+			r.verifyBypassRestore()
+		}
 	}
 	out := siteOutcome{crashes: r.crashes, violations: r.violations}
 	if s.fs.Kind == blockdev.FaultCrashTorn && r.crashes == 0 {

@@ -30,6 +30,9 @@ func TestCheckerCIMode(t *testing.T) {
 		if res.MediaSites == 0 {
 			t.Errorf("seed %#x: no media-fault sites enumerated", res.Seed)
 		}
+		if res.KillSites == 0 {
+			t.Errorf("seed %#x: no whole-SSD fail-stop sites enumerated", res.Seed)
+		}
 		if res.Crashes != res.CrashSites {
 			t.Errorf("seed %#x: %d crashes recovered but %d crash sites armed",
 				res.Seed, res.Crashes, res.CrashSites)

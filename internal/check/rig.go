@@ -291,6 +291,40 @@ func (r *rig) verify() {
 	}
 }
 
+// verifyBypassRestore proves recovery is safe and idempotent while the
+// cache device is dead. Entering pass-through re-initialised the metadata
+// log to empty (NVRAM counters only — no device I/O), so Restore from the
+// NVRAM snapshot must come up as a fresh empty cache without touching the
+// failed SSD, twice, with identical state digests, and a read through the
+// restored instance must still be served from the RAID.
+func (r *rig) verifyBypassRestore() {
+	if r.kdd.Health() != core.HealthBypass {
+		return
+	}
+	ctr := r.kdd.Log().Counters()
+	buffered := r.kdd.Log().BufferedEntries()
+	staging := r.kdd.Staging()
+	k1, _, err := core.Restore(r.cfg, 0, ctr, buffered, staging)
+	if err != nil {
+		r.violf("restore with dead ssd: %v", err)
+		return
+	}
+	k2, _, err := core.Restore(r.cfg, 0, ctr, buffered, staging)
+	if err != nil {
+		r.violf("second restore with dead ssd: %v", err)
+		return
+	}
+	if d1, d2 := k1.StateDigest(), k2.StateDigest(); d1 != d2 {
+		r.violf("dead-ssd recovery not idempotent: state digest %016x vs %016x", d1, d2)
+	}
+	buf := make([]byte, blockdev.PageSize)
+	if _, err := k2.Read(0, 0, buf); err != nil {
+		r.violf("read through dead-ssd-restored instance: %v", err)
+	} else if err := r.mdl.Check(0, buf); err != nil {
+		r.violf("dead-ssd-restored read 0: %v", err)
+	}
+}
+
 // sweepChecksums verifies every page checksum on every store: corruption
 // a fault left behind must never sit undetected on a medium.
 func (r *rig) sweepChecksums() {

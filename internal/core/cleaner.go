@@ -23,15 +23,32 @@ import (
 // maybeClean triggers the cleaner past the high-water mark.
 func (k *KDD) maybeClean(t sim.Time) error {
 	if float64(k.DirtyPages()) > k.cfg.HighWater*float64(k.frame.Pages()) {
-		_, err := k.Clean(t, false)
+		_, err := k.cleanPass(t, false)
 		return err
 	}
 	return nil
 }
 
 // Clean implements cache.Policy: one cleaning pass. force drains every
-// stale stripe (used before HDD rebuild and at shutdown).
+// stale stripe (used before HDD rebuild and at shutdown). In pass-through
+// mode there is nothing to clean — the emergency fold already repaired
+// every stale parity — and a cache-device fail-stop mid-pass triggers the
+// failover instead of surfacing (internal paths call cleanPass directly so
+// their errors route through the owning operation's failover check).
 func (k *KDD) Clean(t sim.Time, force bool) (sim.Time, error) {
+	if k.passThrough() {
+		return t, nil
+	}
+	done, err := k.cleanPass(t, force)
+	if err != nil && k.ssdFault(err) {
+		k.failover(t, HealthBypass)
+		return t, nil
+	}
+	return done, err
+}
+
+// cleanPass is the cleaner body.
+func (k *KDD) cleanPass(t sim.Time, force bool) (sim.Time, error) {
 	if k.cleaning {
 		return t, nil // re-entrant trigger from allocation inside a pass
 	}
@@ -76,12 +93,27 @@ func (k *KDD) Clean(t sim.Time, force bool) (sim.Time, error) {
 
 // Flush implements cache.Policy: repair every stale parity (§III-E2:
 // "KDD first updates all parity blocks using the parity_update interface
-// and then triggers the rebuilding process").
+// and then triggers the rebuilding process"). In pass-through mode it is
+// a no-op: the emergency fold already repaired every stale parity and the
+// metadata log is quiesced.
 func (k *KDD) Flush(t sim.Time) (sim.Time, error) {
-	if err := k.takeSticky(); err != nil {
+	if err := k.preOp(t); err != nil {
 		return t, err
 	}
-	done, err := k.Clean(t, true)
+	if k.passThrough() {
+		return t, nil
+	}
+	done, err := k.flushCached(t)
+	if err != nil && k.ssdFault(err) {
+		k.failover(t, HealthBypass)
+		return t, nil
+	}
+	return done, err
+}
+
+// flushCached is the cache-enabled flush body.
+func (k *KDD) flushCached(t sim.Time) (sim.Time, error) {
+	done, err := k.cleanPass(t, true)
 	if err != nil {
 		return t, err
 	}

@@ -64,5 +64,6 @@ func (k *KDD) StateDigest() uint64 {
 		putBool(sd.D.Raw)
 		h.Write(sd.D.Bytes)
 	}
+	put(uint64(k.health))
 	return h.Sum64()
 }

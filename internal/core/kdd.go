@@ -74,6 +74,17 @@ type Config struct {
 	// CachePages addresses. §V-C lists such filters as complementary to
 	// KDD for further reducing allocation writes.
 	SelectiveAdmission bool
+
+	// Circuit-breaker knobs for the cache health state machine
+	// (failover.go). All are measured in operations, not virtual time:
+	// the timing rigs drive every request at t=0, so op counts are the
+	// only clock that always advances. Zero selects the default;
+	// BreakerWindow < 0 disables the breaker (fail-stop failover still
+	// works).
+	BreakerWindow    int   // sliding window of SSD read outcomes (default 64)
+	BreakerThreshold int   // persistent failures in window that trip (default 32)
+	BreakerBackoff   int64 // ops before the first half-open probe (default 64, doubles)
+	RebuildProbation int64 // clean ops in Rebuilding before Normal (default 16)
 }
 
 // withDefaults fills zero fields.
@@ -93,6 +104,22 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LowWater == 0 {
 		c.LowWater = 0.30
+	}
+	// Breaker defaults are deliberately conservative: half the window must
+	// fail before tripping, so the background media-error rates the chaos
+	// profiles inject (sub-percent per read) never trigger a failover —
+	// only a genuinely sick device does.
+	if c.BreakerWindow == 0 {
+		c.BreakerWindow = 64
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 32
+	}
+	if c.BreakerBackoff == 0 {
+		c.BreakerBackoff = 64
+	}
+	if c.RebuildProbation == 0 {
+		c.RebuildProbation = 16
 	}
 	return c
 }
@@ -134,6 +161,19 @@ type KDD struct {
 	// return it (eviction, best-effort cleaning); the next top-level
 	// operation surfaces and clears it, keeping the RPO-zero claim honest.
 	metaErr error
+
+	// Cache health state machine (failover.go).
+	health      Health
+	opSeq       int64  // top-level operations processed (the breaker's clock)
+	breaker     []bool // ring of recent SSD read outcomes (true = failed)
+	breakerPos  int
+	breakerFill int
+	breakerFail int
+	tripPending bool  // breaker tripped mid-operation; fail over at next preOp
+	deadSSD     bool  // SSD fail-stop observed on a swallowing path
+	backoffOps  int64 // current half-open probe backoff (ops)
+	probeAfter  int64 // opSeq at which the next probe may run
+	rebuildLeft int64 // ops left in Rebuilding probation
 
 	st       stats.CacheStats
 	dataMode bool
@@ -333,7 +373,7 @@ func (k *KDD) allocDAZ(t sim.Time, lba int64) int32 {
 	}
 	// Set is all old/delta pages: a cleaning trigger ("when the SSD cache
 	// is full", §III-B).
-	if _, err := k.Clean(t, false); err != nil {
+	if _, err := k.cleanPass(t, false); err != nil {
 		k.stick(fmt.Errorf("core: cleaning on full set: %w", err))
 	}
 	if s := k.frame.AllocFree(set); s != cache.NoSlot {

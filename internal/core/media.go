@@ -23,6 +23,8 @@ import (
 const mediaRetries = 2
 
 // ssdRead reads one SSD cache page with bounded retry on media errors.
+// The final outcome — one observation per call, regardless of retries —
+// feeds the health state machine's circuit breaker (failover.go).
 func (k *KDD) ssdRead(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	done, err := k.ssd.ReadPages(t, lba, 1, buf)
 	for r := 0; err != nil && errors.Is(err, blockdev.ErrMedia) && r < mediaRetries; r++ {
@@ -31,6 +33,9 @@ func (k *KDD) ssdRead(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	}
 	if err != nil && errors.Is(err, blockdev.ErrMedia) {
 		k.st.SSDMediaErrors++
+		k.breakerObserve(true)
+	} else if err == nil {
+		k.breakerObserve(false)
 	}
 	return done, err
 }

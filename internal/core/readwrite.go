@@ -16,11 +16,28 @@ import (
 // pages read straight from flash; hits on Old pages combine the cached
 // old version with the newest delta — read concurrently from DAZ and DEZ
 // thanks to the SSD's internal parallelism.
+//
+// A fail-stop of the cache device anywhere underneath does not surface:
+// the health machinery fails over to pass-through and the read is served
+// from the RAID, which always holds the current data.
 func (k *KDD) Read(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
-	if err := k.takeSticky(); err != nil {
+	if err := k.preOp(t); err != nil {
 		return t, err
 	}
 	k.st.Reads++
+	if k.passThrough() {
+		return k.passRead(t, lba, buf)
+	}
+	done, err := k.readCached(t, lba, buf)
+	if err != nil && k.ssdFault(err) {
+		k.failover(t, HealthBypass)
+		return k.passRead(t, lba, buf)
+	}
+	return done, err
+}
+
+// readCached is the cache-enabled read path.
+func (k *KDD) readCached(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	slot := k.frame.Lookup(lba)
 	if slot == cache.NoSlot {
 		k.st.ReadMisses++
@@ -126,6 +143,10 @@ func (k *KDD) fill(done sim.Time, lba int64, buf []byte) {
 	// torn by a crash) must stay invisible, or recovery would rebuild a
 	// Clean mapping onto a page that was never written.
 	if _, err := k.ssd.WritePages(done, k.cacheLBA(slot), 1, buf); err != nil {
+		// A fill is best-effort, but a fail-stop here must not be lost:
+		// flag it so the next operation fails over instead of grinding
+		// through a dead device.
+		k.noteSwallowed(err)
 		return // slot stays Free; the fill is just skipped
 	}
 	k.frame.Insert(lba, slot, cache.Clean)
@@ -143,11 +164,27 @@ func (k *KDD) fill(done sim.Time, lba int64, buf []byte) {
 // DEZ. The response completes when the RAID data write completes — delta
 // generation overlaps the (much slower) disk write (§IV-B2).
 func (k *KDD) Write(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
-	if err := k.takeSticky(); err != nil {
+	if err := k.preOp(t); err != nil {
 		return t, err
 	}
 	k.st.Writes++
+	if k.passThrough() {
+		return k.passWrite(t, lba, buf)
+	}
+	done, err := k.writeCached(t, lba, buf)
+	if err != nil && k.ssdFault(err) {
+		// The cache device died somewhere inside the write. Fail over
+		// (folding any stale parity) and re-issue the write conventionally:
+		// a duplicate RAID data write is content-idempotent, and the fold
+		// has already made the row's parity consistent.
+		k.failover(t, HealthBypass)
+		return k.passWrite(t, lba, buf)
+	}
+	return done, err
+}
 
+// writeCached is the cache-enabled write path.
+func (k *KDD) writeCached(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	// While the array is degraded, deferring parity would widen the data
 	// loss window, so fold every pending delta up front (§III-E repairs
 	// parity BEFORE rebuild) and operate write-through until redundancy
@@ -157,7 +194,7 @@ func (k *KDD) Write(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	// would corrupt the fresh parity if it were still around to be folded
 	// after a later write re-marked the row stale.
 	if !k.backend.Healthy() && len(k.oldDeltas) > 0 {
-		if _, err := k.Clean(t, true); err != nil {
+		if _, err := k.cleanPass(t, true); err != nil {
 			return t, err
 		}
 	}
@@ -277,7 +314,7 @@ func (k *KDD) commitDez(t sim.Time) (sim.Time, error) {
 	dezSet := k.frame.LeastDeltaSet()
 	if dezSet < 0 {
 		// No free page anywhere: run a cleaning pass, then retry once.
-		if _, err := k.Clean(t, false); err != nil {
+		if _, err := k.cleanPass(t, false); err != nil {
 			return t, err
 		}
 		dezSet = k.frame.LeastDeltaSet()

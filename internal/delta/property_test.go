@@ -116,7 +116,9 @@ func TestRoundTripQuick(t *testing.T) {
 			NewMutator(oldSeed, 0.5).FillRandom(old)
 			new := make([]byte, blockdev.PageSize)
 			copy(new, old)
-			NewMutator(newSeed, float64(ratio16%1000)/1000).Mutate(new)
+			// +1 keeps the ratio inside NewMutator's (0,1] domain: a raw
+			// ratio16 divisible by 1000 would panic.
+			NewMutator(newSeed, float64(ratio16%1000+1)/1000).Mutate(new)
 			got, _ := packedRoundTrip(t, c, old, new, int(off%2048))
 			return bytes.Equal(got, new)
 		}

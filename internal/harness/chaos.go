@@ -45,6 +45,9 @@ type ChaosOpts struct {
 	CachePages int64  // SSD cache data pages (default 512)
 	Seed       uint64 // master seed (default 0xC0FFEE)
 	Parallel   int    // worker-pool width for schedules (0 = harness default)
+	// Kind restricts the run to a comma-separated set of plan kinds
+	// (e.g. "ssd-kill,ssd-reattach"); empty runs every plan.
+	Kind string
 }
 
 func (o ChaosOpts) withDefaults() ChaosOpts {
@@ -74,9 +77,11 @@ type ChaosScheduleResult struct {
 
 	Crashes       int   // power losses injected (and recovered from)
 	Detected      int64 // media-error detection events across all layers (a fault observed at both the device and the RAID layer counts at each)
-	Repaired      int64 // pages/rows healed (scrub, read-repair, row heals)
+	Repaired      int64 // pages/rows healed (scrub, read-repair, row heals, emergency folds)
 	StaleFolds    int   // ops retried after folding deltas into stale parity
 	Unrecoverable int   // rows reported unrecoverable (only the dedicated plan expects any)
+	Failovers     int64 // cache transitions into pass-through (breaker trips + fail-stops)
+	Reattaches    int64 // successful cache re-attachments
 
 	Fingerprint uint64 // digest of final content + counters; equal across reruns
 	Violations  []string
@@ -104,24 +109,27 @@ func (r *ChaosReport) Violations() []string {
 func (r *ChaosReport) Table() string {
 	var b strings.Builder
 	b.WriteString("== Chaos: randomized partial-fault schedules over the KDD stack ==\n")
-	fmt.Fprintf(&b, "%3s  %-13s %-18s %7s %9s %9s %6s %6s %5s  %s\n",
-		"#", "kind", "seed", "crashes", "detected", "repaired", "folds", "unrec", "viol", "fingerprint")
+	fmt.Fprintf(&b, "%3s  %-14s %-18s %7s %9s %9s %6s %6s %6s %5s %5s  %s\n",
+		"#", "kind", "seed", "crashes", "detected", "repaired", "folds", "unrec", "failov", "reatt", "viol", "fingerprint")
 	var crashes, unrec, viol int
-	var detected, repaired int64
+	var detected, repaired, failov, reatt int64
 	for _, res := range r.Results {
-		fmt.Fprintf(&b, "%3d  %-13s %-18s %7d %9d %9d %6d %6d %5d  %016x\n",
+		fmt.Fprintf(&b, "%3d  %-14s %-18s %7d %9d %9d %6d %6d %6d %5d %5d  %016x\n",
 			res.Schedule, res.Kind, fmt.Sprintf("%#x", res.Seed),
 			res.Crashes, res.Detected, res.Repaired, res.StaleFolds,
-			res.Unrecoverable, len(res.Violations), res.Fingerprint)
+			res.Unrecoverable, res.Failovers, res.Reattaches,
+			len(res.Violations), res.Fingerprint)
 		crashes += res.Crashes
 		detected += res.Detected
 		repaired += res.Repaired
+		failov += res.Failovers
+		reatt += res.Reattaches
 		unrec += res.Unrecoverable
 		viol += len(res.Violations)
 	}
 	fmt.Fprintf(&b, "\n%d schedules: %d crashes recovered, %d media errors detected, "+
-		"%d repairs, %d unrecoverable rows, %d violations\n",
-		len(r.Results), crashes, detected, repaired, unrec, viol)
+		"%d repairs, %d cache failovers, %d reattaches, %d unrecoverable rows, %d violations\n",
+		len(r.Results), crashes, detected, repaired, failov, reatt, unrec, viol)
 	if viol == 0 {
 		b.WriteString("PASS: zero invariant violations, zero undetected corruption\n")
 	} else {
@@ -143,8 +151,24 @@ func Chaos(o ChaosOpts) *ChaosReport {
 	rep := &ChaosReport{Opts: o}
 	// Schedule jobs never return errors: violations are data, recorded in
 	// the per-schedule result, so one bad schedule can't mask the rest.
+	plans := chaosPlans
+	if o.Kind != "" {
+		want := make(map[string]bool)
+		for _, k := range strings.Split(o.Kind, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+		plans = nil
+		for _, p := range chaosPlans {
+			if want[p.kind] {
+				plans = append(plans, p)
+			}
+		}
+		if len(plans) == 0 {
+			return rep
+		}
+	}
 	results, _ := fanOutN(o.Parallel, o.Schedules, func(i int) (ChaosScheduleResult, error) {
-		plan := chaosPlans[i%len(chaosPlans)]
+		plan := plans[i%len(plans)]
 		seed := o.Seed + uint64(i)*0x9E3779B97F4A7C15
 		res := runChaosSchedule(plan, seed, o)
 		rerun := runChaosSchedule(plan, seed, o)
@@ -163,6 +187,7 @@ func Chaos(o ChaosOpts) *ChaosReport {
 // chaosPlan is one fault-injection strategy; the schedule driver is shared.
 type chaosPlan struct {
 	kind                string
+	cfg                 func(*core.Config, ChaosOpts) // tweak the KDD config before core.New
 	setup               func(*chaosRig)
 	everyOp             func(*chaosRig, int)
 	finish              func(*chaosRig)
@@ -239,6 +264,9 @@ func newChaosRig(plan *chaosPlan, seed uint64, o ChaosOpts) *chaosRig {
 		MetaPages:  64,
 		Codec:      delta.ZRLE{},
 	}
+	if plan.cfg != nil {
+		plan.cfg(&c.cfg, o)
+	}
 	k, err := core.New(c.cfg)
 	if err != nil {
 		panic(err)
@@ -297,8 +325,10 @@ func (c *chaosRig) violf(format string, args ...any) {
 // (instances are replaced across crash recoveries).
 func (c *chaosRig) harvestKDD() {
 	ks := c.kdd.Stats()
-	c.res.Repaired += ks.RowsHealed
+	c.res.Repaired += ks.RowsHealed + ks.FoldRMWs + ks.FoldResyncs
 	c.detectedKDD += ks.SSDMediaErrors
+	c.res.Failovers += ks.Failovers
+	c.res.Reattaches += ks.Reattaches
 }
 
 // writtenLBA draws a random LBA that has actually been written, so
@@ -540,6 +570,8 @@ func (c *chaosRig) fingerprint() uint64 {
 	put(uint64(c.res.Repaired))
 	put(uint64(c.res.StaleFolds))
 	put(uint64(c.res.Unrecoverable))
+	put(uint64(c.res.Failovers))
+	put(uint64(c.res.Reattaches))
 	put(uint64(len(c.res.Violations)))
 	return h.Sum64()
 }
@@ -850,6 +882,125 @@ var chaosPlans = []*chaosPlan{
 				c.violf("post-clear read %d: %v", lba, err)
 			} else if want := c.oracle[lba]; want != nil && !bytes.Equal(buf, want) {
 				c.violf("post-clear content mismatch at %d", lba)
+			}
+		},
+	},
+	{
+		// Whole-SSD fail-stop mid-trace: the cache must fold its stale
+		// parity, drop to pass-through, and serve every remaining request
+		// from the RAID without a single user-visible error.
+		kind: "ssd-kill",
+		everyOp: func(c *chaosRig, i int) {
+			if i == c.o.Ops/2 {
+				c.inj.Fail()
+			}
+		},
+		finish: func(c *chaosRig) {
+			if h := c.kdd.Health(); h != core.HealthBypass {
+				c.violf("ssd-kill: health %v, want bypass", h)
+			}
+			ks := c.kdd.Stats()
+			if ks.Failovers == 0 {
+				c.violf("ssd-kill: failover never engaged")
+			}
+			if ks.PassReads+ks.PassWrites == 0 {
+				c.violf("ssd-kill: no pass-through traffic after the kill")
+			}
+		},
+	},
+	{
+		// SSD dies a handful of device ops into a forced cleaning pass, so
+		// the failure lands deep inside a multi-I/O internal path (row
+		// cleaning, DEZ commit) rather than neatly between requests.
+		kind: "ssd-kill-clean",
+		everyOp: func(c *chaosRig, i int) {
+			if i == c.o.Ops/2 {
+				c.inj.FailAfterOps = c.inj.Ops() + 5
+				if _, err := c.kdd.Clean(0, true); err != nil {
+					c.violf("ssd-kill-clean: clean surfaced %v", err)
+				}
+			}
+		},
+		finish: func(c *chaosRig) {
+			if h := c.kdd.Health(); h != core.HealthBypass {
+				c.violf("ssd-kill-clean: health %v, want bypass", h)
+			}
+			if c.kdd.Stats().Failovers == 0 {
+				c.violf("ssd-kill-clean: failover never engaged")
+			}
+		},
+	},
+	{
+		// Media-error storm trips the sliding-window breaker into Degraded
+		// pass-through; once the storm passes and the bad-page marks are
+		// cleared, a half-open probe re-admits traffic and the cache comes
+		// back through Rebuilding to Normal. The breaker knobs scale with
+		// the schedule length so that the trip, at least one failed probe,
+		// and the recovering probe all fit inside even a short run (the
+		// storm occupies ops/5..3*ops/5; defaults sized for 1000-op runs
+		// would push the first probe past the end of a 200-op schedule).
+		kind: "ssd-breaker",
+		cfg: func(cfg *core.Config, o ChaosOpts) {
+			cfg.BreakerWindow = max(4, o.Ops/25)
+			cfg.BreakerThreshold = max(2, cfg.BreakerWindow/2)
+			cfg.BreakerBackoff = int64(max(2, o.Ops/50))
+			cfg.RebuildProbation = 2
+		},
+		everyOp: func(c *chaosRig, i int) {
+			switch i {
+			case c.o.Ops / 5:
+				c.inj.SetProfile(blockdev.FaultProfile{LatentProb: 1})
+			case 3 * c.o.Ops / 5:
+				c.inj.SetProfile(blockdev.FaultProfile{})
+				for p := int64(0); p < c.inj.Pages(); p++ {
+					c.inj.ClearBadPage(p)
+				}
+			}
+		},
+		finish: func(c *chaosRig) {
+			ks := c.kdd.Stats()
+			if ks.BreakerTrips == 0 {
+				c.violf("ssd-breaker: breaker never tripped")
+			}
+			if ks.BreakerProbes == 0 {
+				c.violf("ssd-breaker: no probes ran")
+			}
+			if h := c.kdd.Health(); h != core.HealthNormal && h != core.HealthRebuilding {
+				c.violf("ssd-breaker: health %v after the storm cleared", h)
+			}
+		},
+	},
+	{
+		// Kill the SSD outright, then repair the medium and re-attach the
+		// cache mid-trace; it must warm back up and then survive a second
+		// kill (reattach-then-rekill).
+		kind: "ssd-reattach",
+		everyOp: func(c *chaosRig, i int) {
+			switch i {
+			case c.o.Ops / 4:
+				c.inj.Fail()
+			case c.o.Ops / 2:
+				if h := c.kdd.Health(); h != core.HealthBypass {
+					c.violf("ssd-reattach: health %v before reattach, want bypass", h)
+				}
+				c.inj.Repair(blockdev.NewNullDataDevice("ssd", 64+c.o.CachePages+64))
+				if err := c.kdd.Reattach(0, nil); err != nil {
+					c.violf("ssd-reattach: %v", err)
+				}
+			case 3 * c.o.Ops / 4:
+				c.inj.Fail()
+			}
+		},
+		finish: func(c *chaosRig) {
+			ks := c.kdd.Stats()
+			if ks.Reattaches != 1 {
+				c.violf("ssd-reattach: %d reattaches, want 1", ks.Reattaches)
+			}
+			if ks.Failovers < 2 {
+				c.violf("ssd-reattach: %d failovers, want 2 (kill + rekill)", ks.Failovers)
+			}
+			if h := c.kdd.Health(); h != core.HealthBypass {
+				c.violf("ssd-reattach: health %v after rekill, want bypass", h)
 			}
 		},
 	},

@@ -49,6 +49,37 @@ func TestChaos(t *testing.T) {
 	}
 }
 
+// TestChaosSSD runs only the whole-SSD-failure plans: fail-stop kill,
+// kill landing mid-clean, a breaker-tripping media storm, and
+// reattach-then-rekill. `make chaos-ssd` runs this under the race
+// detector; the acceptance bar is zero user-visible errors while the
+// RAID members stay healthy.
+func TestChaosSSD(t *testing.T) {
+	const kinds = "ssd-kill,ssd-kill-clean,ssd-breaker,ssd-reattach"
+	rep := Chaos(ChaosOpts{Kind: kinds, Schedules: 8})
+	if v := rep.Violations(); len(v) != 0 {
+		t.Fatalf("%d violations:\n%s", len(v), strings.Join(v, "\n"))
+	}
+	seen := make(map[string]bool)
+	var failovers, reattaches int64
+	for _, res := range rep.Results {
+		seen[res.Kind] = true
+		failovers += res.Failovers
+		reattaches += res.Reattaches
+	}
+	for _, k := range strings.Split(kinds, ",") {
+		if !seen[k] {
+			t.Errorf("plan %q never ran", k)
+		}
+	}
+	if failovers == 0 {
+		t.Error("no cache failover engaged across the SSD-failure schedules")
+	}
+	if reattaches == 0 {
+		t.Error("no reattach completed")
+	}
+}
+
 // TestChaosSeedSensitivity checks that different master seeds change the
 // schedule fingerprints (the fault streams really are seed-driven).
 func TestChaosSeedSensitivity(t *testing.T) {

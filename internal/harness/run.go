@@ -33,6 +33,9 @@ func RunTrace(st *Stack, tr *trace.Trace) (*Result, error) {
 	res := &Result{Policy: st.Policy.Name(), Latency: stats.NewHistogram(1 << 16)}
 	var prev sim.Time
 	for i, req := range tr.Requests {
+		if st.PerRequest != nil {
+			st.PerRequest(i)
+		}
 		// Idle cleaning only fires between consecutive requests: prev is
 		// zero before the first request, and a trace that starts late must
 		// not trigger a cleaner pass before any request has been issued.

@@ -13,6 +13,7 @@ import (
 	"kddcache/internal/delta"
 	"kddcache/internal/hdd"
 	"kddcache/internal/raid"
+	"kddcache/internal/sim"
 	"kddcache/internal/ssd"
 )
 
@@ -133,6 +134,9 @@ type Stack struct {
 	Policy cache.Policy
 	Array  *raid.Array
 	SSDDev blockdev.Device
+	// SSDInj is the fault injector wrapping the SSD (SSDDev == SSDInj),
+	// through which whole-cache-device failure is injected mid-run.
+	SSDInj *blockdev.FaultInjector
 	// FlashModel is the FTL-level SSD model (nil with null devices).
 	FlashModel *ssd.Device
 	// Disks holds the HDD models (nil entries with null devices).
@@ -141,6 +145,10 @@ type Stack struct {
 	// KDDConfig is the core configuration used when Policy is KDD
 	// (zero value otherwise); crash-recovery experiments rebuild from it.
 	KDDConfig core.Config
+	// PerRequest, when set, is invoked with the request index before each
+	// trace request is issued — the hook kddsim's -kill-ssd-at and
+	// -reattach-at flags are built on.
+	PerRequest func(i int)
 }
 
 // Build assembles a stack.
@@ -193,8 +201,13 @@ func Build(o StackOpts) (*Stack, error) {
 	default:
 		ssdDev = blockdev.NewNullDevice("ssd", ssdPages)
 	}
+	// Every stack gets a fault injector around the SSD so whole-cache
+	// failure can be injected into any experiment. It is pass-through
+	// (zero latency, no fault profile) until armed.
+	ssdInj := blockdev.NewFaultInjector(ssdDev, o.Seed^0x55D)
+	ssdDev = ssdInj
 
-	st := &Stack{Array: array, SSDDev: ssdDev, FlashModel: flash, Disks: disks, Opts: o}
+	st := &Stack{Array: array, SSDDev: ssdDev, SSDInj: ssdInj, FlashModel: flash, Disks: disks, Opts: o}
 	switch o.Policy {
 	case PolicyNossd:
 		st.Policy = cache.NewNossd(array)
@@ -253,6 +266,43 @@ func Build(o StackOpts) (*Stack, error) {
 		return nil, fmt.Errorf("harness: unknown policy %q", o.Policy)
 	}
 	return st, nil
+}
+
+// FreshSSD builds a replacement cache device matching the stack's device
+// mode and geometry (for SSD re-attach experiments).
+func (st *Stack) FreshSSD() blockdev.Device {
+	pages := st.SSDInj.Inner().Pages()
+	ssdBytes := st.Opts.DataMode || st.Opts.SSDData
+	switch {
+	case st.Opts.Timing && ssdBytes:
+		return ssd.NewData("ssd", ssd.DefaultConfig(pages))
+	case st.Opts.Timing:
+		return ssd.New("ssd", ssd.DefaultConfig(pages))
+	case ssdBytes:
+		return blockdev.NewNullDataDevice("ssd", pages)
+	default:
+		return blockdev.NewNullDevice("ssd", pages)
+	}
+}
+
+// ReattachSSD repairs a failed (or fault-ridden) cache SSD with a fresh
+// device of the same geometry and re-attaches the KDD cache online: the
+// metadata log is re-initialised on the new medium and the cache warms
+// back up through ordinary admission. The previous cache contents died
+// with the old device; the array — kept consistent by the emergency fold
+// at failover — is the source of truth.
+func (st *Stack) ReattachSSD(now sim.Time) error {
+	k, ok := st.Policy.(*core.KDD)
+	if !ok {
+		return fmt.Errorf("harness: reattach requires the KDD policy, have %s", st.Policy.Name())
+	}
+	fresh := st.FreshSSD()
+	st.SSDInj.FailAfterOps = 0 // Repair preserves the arm; clear it explicitly
+	st.SSDInj.Repair(fresh)
+	if f, ok := fresh.(*ssd.Device); ok {
+		st.FlashModel = f
+	}
+	return k.Reattach(now, nil)
 }
 
 // freshMember builds a replacement disk matching the stack's device mode

@@ -269,6 +269,25 @@ func (l *Log) Stats() Stats { return l.stats }
 // LivePages returns the number of committed pages currently in the log.
 func (l *Log) LivePages() int64 { return int64(l.ctr.Live()) }
 
+// Reinit wipes the log back to empty: fresh NVRAM counters (head == tail,
+// so a later Recover scans zero device pages — crucially this works even
+// when the old device is dead, because nothing is read or written), empty
+// metadata buffer, and cleared acceleration structures. If dev is non-nil
+// the log switches to it (a replacement SSD on re-attach); it must have
+// the same partition geometry. Traffic stats are preserved — they count
+// lifetime metadata I/O, which a re-attach does not undo.
+func (l *Log) Reinit(dev blockdev.Device) {
+	if dev != nil {
+		l.dev = dev
+	}
+	l.ctr = &nvram.Counters{}
+	l.bufOrder = nil
+	l.buf = make(map[uint32]Entry)
+	l.bufBytes = 0
+	l.pageLists = make(map[uint64][]Entry)
+	l.latest = make(map[uint32]uint64)
+}
+
 // Put records a mapping entry. When the buffer fills a page, the page is
 // committed to the log tail; when the log passes the GC threshold, head
 // pages are reclaimed. Returns the virtual completion time of any flash

@@ -45,6 +45,17 @@ type CacheStats struct {
 	SSDMediaErrors int64 // SSD media errors that persisted past the retries
 	MediaFallbacks int64 // operations served from RAID after losing SSD pages
 	RowsHealed     int64 // rows re-materialised and resynced after media loss
+
+	// Whole-device failover (cache health state machine).
+	Failovers      int64 // transitions into pass-through (Bypass or Degraded)
+	BreakerTrips   int64 // circuit-breaker trips on media-error rate
+	BreakerProbes  int64 // half-open probes issued while Degraded
+	EmergencyFolds int64 // emergency stale-parity folds run on failover
+	FoldRMWs       int64 // rows folded cheaply from NVRAM-staged deltas
+	FoldResyncs    int64 // rows folded the hard way via member resync
+	PassReads      int64 // reads served in pass-through mode
+	PassWrites     int64 // writes served in pass-through mode
+	Reattaches     int64 // successful cache re-attachments
 }
 
 // Requests returns the total number of request pages processed.
@@ -112,6 +123,15 @@ func (s *CacheStats) Add(o *CacheStats) {
 	s.SSDMediaErrors += o.SSDMediaErrors
 	s.MediaFallbacks += o.MediaFallbacks
 	s.RowsHealed += o.RowsHealed
+	s.Failovers += o.Failovers
+	s.BreakerTrips += o.BreakerTrips
+	s.BreakerProbes += o.BreakerProbes
+	s.EmergencyFolds += o.EmergencyFolds
+	s.FoldRMWs += o.FoldRMWs
+	s.FoldResyncs += o.FoldResyncs
+	s.PassReads += o.PassReads
+	s.PassWrites += o.PassWrites
+	s.Reattaches += o.Reattaches
 }
 
 func (s *CacheStats) String() string {

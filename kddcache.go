@@ -203,6 +203,34 @@ func (s *System) ResyncAfterSSDLoss() error {
 // ErrNotKDD is returned by KDD-specific operations on other policies.
 var ErrNotKDD = errors.New("kddcache: operation requires the KDD policy")
 
+// FailSSD fail-stops the cache SSD: every subsequent cache-device op
+// returns blockdev.ErrFailed. A KDD system detects this on its next
+// request, performs an emergency parity fold, and continues in
+// pass-through mode with no user-visible error; other policies surface
+// the device failure to the caller.
+func (s *System) FailSSD() { s.st.SSDInj.Fail() }
+
+// CacheHealth reports the KDD health state machine's current state
+// (Normal, Degraded, Bypass, or Rebuilding).
+func (s *System) CacheHealth() (core.Health, error) {
+	k, ok := s.st.Policy.(*core.KDD)
+	if !ok {
+		return 0, ErrNotKDD
+	}
+	return k.Health(), nil
+}
+
+// ReattachSSD replaces a failed cache SSD with a fresh device of the same
+// geometry and re-attaches the KDD cache online. The metadata log is
+// re-initialised on the new medium and the cache warms back up through
+// ordinary admission; the old cache contents died with the old device.
+func (s *System) ReattachSSD() error {
+	if _, ok := s.st.Policy.(*core.KDD); !ok {
+		return ErrNotKDD
+	}
+	return s.st.ReattachSSD(s.now)
+}
+
 // CrashAndRecover simulates a power failure on a KDD system: the volatile
 // primary map is discarded and rebuilt from the on-SSD metadata log plus
 // the NVRAM buffers (§III-E1). The System continues with the recovered
