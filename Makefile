@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race chaos chaos-ssd check mutate fuzz cover bench-harness ci clean
+.PHONY: all build vet test race chaos chaos-ssd check mutate fuzz cover bench-harness obs-test ci clean
 
 all: ci
 
@@ -52,6 +52,14 @@ fuzz:
 	$(GO) test -fuzz '^FuzzParseUniform$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace/
 	$(GO) test -fuzz '^FuzzEntryDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/metalog/
 	$(GO) test -fuzz '^FuzzPageDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/metalog/
+	$(GO) test -fuzz '^FuzzDecodeRecord$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/obs/
+
+# Observability battery: obs unit/property tests, golden trace and
+# metrics artifacts, and the cross-width determinism contract — all
+# under the race detector.
+obs-test:
+	$(GO) test -race ./internal/obs/
+	$(GO) test -race -run 'Obs|TraceProperties|PhaseArtifacts|PhaseBreakdown' ./internal/harness/
 
 # Coverage ratchet: total statement coverage may not drop more than 0.5
 # points below the committed baseline in COVERAGE.txt. Raise the baseline
@@ -69,7 +77,7 @@ cover:
 bench-harness:
 	$(GO) run ./cmd/harnessbench -scale $(or $(BENCH_SCALE),0.01) -o BENCH_harness.json
 
-ci: vet build test race chaos-ssd check mutate cover
+ci: vet build test race obs-test chaos-ssd check mutate cover
 
 clean:
 	$(GO) clean ./...

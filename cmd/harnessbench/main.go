@@ -27,12 +27,20 @@ type experimentResult struct {
 	Identical   bool    `json:"identical"`
 }
 
+// obsOverheadResult compares a traced vs untraced timing run.
+type obsOverheadResult struct {
+	UntracedSec float64 `json:"untraced_sec"`
+	TracedSec   float64 `json:"traced_sec"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
 // benchReport is the BENCH_harness.json schema.
 type benchReport struct {
 	Scale       float64            `json:"scale"`
 	Parallel    int                `json:"parallel"`
 	GOMAXPROCS  int                `json:"gomaxprocs"`
 	Experiments []experimentResult `json:"experiments"`
+	ObsOverhead *obsOverheadResult `json:"obs_overhead,omitempty"`
 }
 
 func main() {
@@ -71,6 +79,11 @@ func main() {
 			})
 			return r.Table(), nil
 		}},
+		{"phases", func(par int) (string, error) {
+			harness.SetParallelism(par)
+			defer harness.SetParallelism(0)
+			return harness.PhaseBreakdown(*scale)
+		}},
 	}
 
 	allIdentical := true
@@ -95,6 +108,31 @@ func main() {
 			r.Name, r.SerialSec, width, r.ParallelSec, r.Speedup, r.Identical)
 		rep.Experiments = append(rep.Experiments, r)
 	}
+
+	// Observability overhead: best of three traced vs untraced timing runs.
+	best := func(traced bool) float64 {
+		b := 0.0
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if err := harness.ObsOverheadRun(*scale, traced); err != nil {
+				fatal(fmt.Errorf("obs overhead (traced=%v): %w", traced, err))
+			}
+			sec := time.Since(start).Seconds()
+			if i == 0 || sec < b {
+				b = sec
+			}
+		}
+		return b
+	}
+	untraced := best(false)
+	traced := best(true)
+	rep.ObsOverhead = &obsOverheadResult{
+		UntracedSec: untraced,
+		TracedSec:   traced,
+		OverheadPct: 100 * (traced - untraced) / untraced,
+	}
+	fmt.Printf("obs      untraced %5.2fs  traced %5.2fs  overhead %+.1f%%\n",
+		untraced, traced, rep.ObsOverhead.OverheadPct)
 
 	f, err := os.Create(*out)
 	if err != nil {

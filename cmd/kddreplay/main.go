@@ -7,15 +7,18 @@
 // Example:
 //
 //	kddreplay -workload Fin1 -policy KDD -scale 0.005
+//	kddreplay -workload Fin1 -trace out.jsonl -metrics out.prom
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"kddcache/internal/harness"
+	"kddcache/internal/obs"
 	"kddcache/internal/sim"
 	"kddcache/internal/workload"
 )
@@ -28,6 +31,8 @@ func main() {
 		scale     = flag.Float64("scale", 0.005, "workload scale factor")
 		cacheFrac = flag.Float64("cachefrac", 0.25, "cache size as fraction of footprint")
 		iops      = flag.Float64("iops", 0, "override replay arrival rate (0 = per-workload default)")
+		traceOut  = flag.String("trace", "", "write the request-span trace as JSONL to this file")
+		promOut   = flag.String("metrics", "", "write a Prometheus text metrics snapshot to this file")
 	)
 	flag.Parse()
 
@@ -59,6 +64,10 @@ func main() {
 	diskPages := s.UniqueTotal/4 + 8192
 	diskPages -= diskPages % 16
 
+	var ob *obs.Obs
+	if *traceOut != "" || *promOut != "" {
+		ob = obs.New()
+	}
 	st, err := harness.Build(harness.StackOpts{
 		Policy:     harness.PolicyKind(*policy),
 		DeltaMean:  *locality,
@@ -66,6 +75,7 @@ func main() {
 		DiskPages:  diskPages,
 		Timing:     true,
 		Seed:       s.Seed,
+		Obs:        ob,
 	})
 	if err != nil {
 		fatal(err)
@@ -93,6 +103,40 @@ func main() {
 	for _, d := range st.Disks {
 		fmt.Printf("disk %-6s      : reads=%d writes=%d busy=%v seqHits=%d\n",
 			d.Name(), d.Reads(), d.Writes(), d.BusyTime(), d.SeqHits())
+	}
+	if ob != nil {
+		if _, err := st.Policy.Flush(r.Duration); err != nil {
+			fatal(err)
+		}
+		if err := ob.Tracer.Err(); err != nil {
+			fatal(fmt.Errorf("trace integrity: %w", err))
+		}
+		if n := ob.Tracer.OpenSpans(); n != 0 {
+			fatal(fmt.Errorf("trace integrity: %d spans still open after flush", n))
+		}
+		fmt.Print(ob.Profile.Table())
+		if *traceOut != "" {
+			if err := os.WriteFile(*traceOut, ob.TraceJSONL(), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote span trace to %s\n", *traceOut)
+		}
+		if *promOut != "" {
+			reg := obs.NewRegistry()
+			st.PublishMetrics(reg)
+			ob.Publish(reg)
+			if err := reg.Validate(); err != nil {
+				fatal(err)
+			}
+			var b bytes.Buffer
+			if err := reg.WritePrometheus(&b); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*promOut, b.Bytes(), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", *promOut)
+		}
 	}
 }
 

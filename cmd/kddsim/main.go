@@ -7,10 +7,12 @@
 //
 //	kddsim -experiment fig6 -scale 0.02
 //	kddsim -workload Fin1 -policy KDD -locality 0.25 -cachefrac 0.2
-//	kddsim -trace mytrace.csv -format spc -policy WT -cachepages 262144
+//	kddsim -replay mytrace.csv -format spc -policy WT -cachepages 262144
+//	kddsim -workload Fin1 -trace out.jsonl -metrics out.prom
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +20,7 @@ import (
 	"strings"
 
 	"kddcache/internal/harness"
+	"kddcache/internal/obs"
 	"kddcache/internal/stats"
 	"kddcache/internal/trace"
 	"kddcache/internal/workload"
@@ -35,8 +38,10 @@ func main() {
 		cacheFrac  = flag.Float64("cachefrac", 0.2, "cache size as a fraction of the workload footprint")
 		cachePages = flag.Int64("cachepages", 0, "explicit cache size in 4KB pages (overrides -cachefrac)")
 		metaFrac   = flag.Float64("metafrac", 0.0059, "metadata partition share of the SSD")
-		traceFile  = flag.String("trace", "", "replay a trace file instead of a synthetic workload")
+		traceFile  = flag.String("replay", "", "replay a trace file instead of a synthetic workload")
 		format     = flag.String("format", "uniform", "trace format: uniform,spc,msr")
+		traceOut   = flag.String("trace", "", "write the request-span trace as JSONL to this file (single-run mode)")
+		promOut    = flag.String("metrics", "", "write a Prometheus text metrics snapshot to this file (single-run mode)")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		csvOut     = flag.String("csv", "", "with -experiment fig4/9/10/11: also write the series as CSV to this file")
 		parallel   = flag.Int("parallel", 0, "worker-pool width for experiment simulations; output is identical at any width (0 = GOMAXPROCS, 1 = serial)")
@@ -97,6 +102,10 @@ func main() {
 	}
 	pages -= pages % 256
 
+	var ob *obs.Obs
+	if *traceOut != "" || *promOut != "" {
+		ob = obs.New()
+	}
 	st, err := harness.Build(harness.StackOpts{
 		Policy:     harness.PolicyKind(*policy),
 		DeltaMean:  *locality,
@@ -104,6 +113,7 @@ func main() {
 		MetaFrac:   *metaFrac,
 		DiskPages:  diskPagesFor(tr),
 		Seed:       spec.Seed,
+		Obs:        ob,
 	})
 	if err != nil {
 		fatal(err)
@@ -140,6 +150,38 @@ func main() {
 	fmt.Printf("failover    : failovers=%d breakerTrips=%d folds=%d (rmw=%d resync=%d) passReads=%d passWrites=%d reattaches=%d\n",
 		c.Failovers, c.BreakerTrips, c.EmergencyFolds, c.FoldRMWs, c.FoldResyncs,
 		c.PassReads, c.PassWrites, c.Reattaches)
+	if ob != nil {
+		if err := ob.Tracer.Err(); err != nil {
+			fatal(fmt.Errorf("trace integrity: %w", err))
+		}
+		if n := ob.Tracer.OpenSpans(); n != 0 {
+			fatal(fmt.Errorf("trace integrity: %d spans still open after flush", n))
+		}
+		fmt.Printf("spans       : %d\n", ob.Tracer.Spans())
+		fmt.Print(ob.Profile.Table())
+		if *traceOut != "" {
+			if err := os.WriteFile(*traceOut, ob.TraceJSONL(), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote span trace to %s\n", *traceOut)
+		}
+		if *promOut != "" {
+			reg := obs.NewRegistry()
+			st.PublishMetrics(reg)
+			ob.Publish(reg)
+			if err := reg.Validate(); err != nil {
+				fatal(err)
+			}
+			var b bytes.Buffer
+			if err := reg.WritePrometheus(&b); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*promOut, b.Bytes(), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", *promOut)
+		}
+	}
 }
 
 func loadWorkload(traceFile, format, wl string, scale float64) (*trace.Trace, workload.Spec, error) {

@@ -8,6 +8,7 @@ import (
 	"kddcache/internal/core"
 	"kddcache/internal/delta"
 	"kddcache/internal/model"
+	"kddcache/internal/obs"
 	"kddcache/internal/raid"
 	"kddcache/internal/sim"
 )
@@ -39,6 +40,7 @@ type rig struct {
 	inj     *blockdev.FaultInjector // SSD-side injector
 	cfg     core.Config
 	kdd     *core.KDD
+	tr      *obs.Tracer
 
 	pendingLBA int64 // lba of the write in flight at a crash; -1 none
 	crashes    int
@@ -64,6 +66,10 @@ func newRig(seed uint64, o Options) *rig {
 		panic(err) // static geometry; cannot fail
 	}
 	r.arr = arr
+	// Trace every run: crash sites that leak spans or drive counters
+	// negative are checker violations, exactly like torn writes.
+	r.tr = obs.NewTracer(obs.NewDigest())
+	arr.SetTracer(r.tr)
 	inner := blockdev.NewNullDataDevice("ssd", checkMetaPages+o.CachePages)
 	r.inj = blockdev.NewFaultInjector(inner, seed^0xFA17)
 	r.cfg = core.Config{
@@ -74,6 +80,7 @@ func newRig(seed uint64, o Options) *rig {
 		MetaStart:  0,
 		MetaPages:  checkMetaPages,
 		Codec:      delta.ZRLE{},
+		Tracer:     r.tr,
 	}
 	k, err := core.New(r.cfg)
 	if err != nil {
@@ -214,6 +221,7 @@ func (r *rig) restore() {
 	if err := r.kdd.CheckInvariants(); err != nil {
 		r.violf("post-restore invariants: %v", err)
 	}
+	r.checkObs("post-restore")
 	if lba := r.pendingLBA; lba >= 0 {
 		r.pendingLBA = -1
 		r.doRead(lba) // pins old-or-new in the model, or flags torn content
@@ -322,6 +330,30 @@ func (r *rig) verifyBypassRestore() {
 		r.violf("read through dead-ssd-restored instance: %v", err)
 	} else if err := r.mdl.Check(0, buf); err != nil {
 		r.violf("dead-ssd-restored read 0: %v", err)
+	}
+	prev := r.kdd
+	r.kdd = k2
+	r.checkObs("dead-ssd restore")
+	r.kdd = prev
+}
+
+// checkObs asserts the observability layer survived whatever just
+// happened: no span may be leaked open, the tracer recorded no structural
+// error, and a metrics snapshot of the current instance must validate
+// (no negative counters, no NaN gauges).
+func (r *rig) checkObs(when string) {
+	if n := r.tr.OpenSpans(); n != 0 {
+		r.violf("%s: %d spans leaked open", when, n)
+	}
+	if err := r.tr.Err(); err != nil {
+		r.violf("%s: trace integrity: %v", when, err)
+	}
+	reg := obs.NewRegistry()
+	r.kdd.PublishMetrics(reg)
+	obs.PublishCacheStats(reg, r.kdd.Stats())
+	r.arr.PublishMetrics(reg)
+	if err := reg.Validate(); err != nil {
+		r.violf("%s: metrics registry: %v", when, err)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"kddcache/internal/blockdev"
 	"kddcache/internal/cache"
 	"kddcache/internal/delta"
+	"kddcache/internal/obs"
 	"kddcache/internal/sim"
 )
 
@@ -35,11 +36,15 @@ func (k *KDD) maybeClean(t sim.Time) error {
 // every stale parity — and a cache-device fail-stop mid-pass triggers the
 // failover instead of surfacing (internal paths call cleanPass directly so
 // their errors route through the owning operation's failover check).
-func (k *KDD) Clean(t sim.Time, force bool) (sim.Time, error) {
+func (k *KDD) Clean(t sim.Time, force bool) (done sim.Time, err error) {
+	if k.tr != nil {
+		sp := k.tr.Begin(t, obs.PhaseClean)
+		defer func() { sp.End(done) }()
+	}
 	if k.passThrough() {
 		return t, nil
 	}
-	done, err := k.cleanPass(t, force)
+	done, err = k.cleanPass(t, force)
 	if err != nil && k.ssdFault(err) {
 		k.failover(t, HealthBypass)
 		return t, nil
@@ -48,18 +53,22 @@ func (k *KDD) Clean(t sim.Time, force bool) (sim.Time, error) {
 }
 
 // cleanPass is the cleaner body.
-func (k *KDD) cleanPass(t sim.Time, force bool) (sim.Time, error) {
+func (k *KDD) cleanPass(t sim.Time, force bool) (done sim.Time, err error) {
 	if k.cleaning {
 		return t, nil // re-entrant trigger from allocation inside a pass
 	}
 	k.cleaning = true
 	defer func() { k.cleaning = false }()
+	if k.tr != nil {
+		sp := k.tr.Begin(t, obs.PhaseCleanPass)
+		defer func() { sp.End(done) }()
+	}
 
 	low := int64(k.cfg.LowWater * float64(k.frame.Pages()))
 	if force {
 		low = 0
 	}
-	done := t
+	done = t
 	ran := false
 	for k.frame.Count(cache.Old) > 0 && (force || k.DirtyPages() > low) {
 		// Take victims in LRU batches; one frame scan amortises over many
@@ -96,14 +105,18 @@ func (k *KDD) cleanPass(t sim.Time, force bool) (sim.Time, error) {
 // and then triggers the rebuilding process"). In pass-through mode it is
 // a no-op: the emergency fold already repaired every stale parity and the
 // metadata log is quiesced.
-func (k *KDD) Flush(t sim.Time) (sim.Time, error) {
-	if err := k.preOp(t); err != nil {
+func (k *KDD) Flush(t sim.Time) (done sim.Time, err error) {
+	if k.tr != nil {
+		sp := k.tr.Begin(t, obs.PhaseFlush)
+		defer func() { sp.End(done) }()
+	}
+	if err = k.preOp(t); err != nil {
 		return t, err
 	}
 	if k.passThrough() {
 		return t, nil
 	}
-	done, err := k.flushCached(t)
+	done, err = k.flushCached(t)
 	if err != nil && k.ssdFault(err) {
 		k.failover(t, HealthBypass)
 		return t, nil

@@ -9,6 +9,7 @@ import (
 	"kddcache/internal/cache"
 	"kddcache/internal/delta"
 	"kddcache/internal/nvram"
+	"kddcache/internal/obs"
 	"kddcache/internal/sim"
 )
 
@@ -236,6 +237,8 @@ func (k *KDD) emergencyFold(t sim.Time) error {
 	if len(k.oldDeltas) == 0 {
 		return nil
 	}
+	sp := k.tr.Begin(t, obs.PhaseFold)
+	done := t
 	k.st.EmergencyFolds++
 	rows := make(map[int64][]peerInfo)
 	for slot := range k.oldDeltas {
@@ -252,24 +255,29 @@ func (k *KDD) emergencyFold(t sim.Time) error {
 	for _, key := range keys {
 		peers := rows[key]
 		sort.Slice(peers, func(i, j int) bool { return peers[i].lba < peers[j].lba })
-		if k.foldRowRMW(t, peers) {
+		if c, ok := k.foldRowRMW(t, peers); ok {
 			k.st.FoldRMWs++
+			done = sim.MaxTime(done, c)
 			continue
 		}
-		if _, err := k.backend.ResyncRow(t, key); err != nil {
+		c, err := k.backend.ResyncRow(t, key)
+		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
 		k.st.FoldResyncs++
+		done = sim.MaxTime(done, c)
 	}
+	sp.End(done)
 	return firstErr
 }
 
 // foldRowRMW attempts the cheap fold of one row from NVRAM-staged deltas
-// only (no SSD I/O). Reports whether the row's parity is repaired.
-func (k *KDD) foldRowRMW(t sim.Time, peers []peerInfo) bool {
+// only (no SSD I/O). Reports whether the row's parity is repaired, and
+// when it is, the virtual time the repair completed.
+func (k *KDD) foldRowRMW(t sim.Time, peers []peerInfo) (sim.Time, bool) {
 	lbas := make([]int64, 0, len(peers))
 	var deltas [][]byte
 	if k.dataMode {
@@ -278,7 +286,7 @@ func (k *KDD) foldRowRMW(t sim.Time, peers []peerInfo) bool {
 	for _, pi := range peers {
 		od := k.oldDeltas[pi.slot]
 		if !od.staged {
-			return false
+			return t, false
 		}
 		lbas = append(lbas, pi.lba)
 		if !k.dataMode {
@@ -288,18 +296,19 @@ func (k *KDD) foldRowRMW(t sim.Time, peers []peerInfo) bool {
 		if !ok || sd.D.Raw {
 			// Raw deltas are new-version bytes, not XORs: expanding one
 			// needs the old page from the SSD we no longer trust.
-			return false
+			return t, false
 		}
 		xor := make([]byte, blockdev.PageSize)
 		if err := k.codec.Apply(xor, sd.D, xor); err != nil {
-			return false
+			return t, false
 		}
 		deltas = append(deltas, xor)
 	}
-	if _, err := k.backend.ParityUpdateDelta(t, lbas, deltas); err != nil {
-		return false
+	c, err := k.backend.ParityUpdateDelta(t, lbas, deltas)
+	if err != nil {
+		return t, false
 	}
-	return true
+	return c, true
 }
 
 // dropCache resets every in-memory cache structure to empty: fresh frame,

@@ -23,6 +23,7 @@ import (
 	"kddcache/internal/delta"
 	"kddcache/internal/metalog"
 	"kddcache/internal/nvram"
+	"kddcache/internal/obs"
 	"kddcache/internal/sim"
 	"kddcache/internal/stats"
 )
@@ -74,6 +75,10 @@ type Config struct {
 	// CachePages addresses. §V-C lists such filters as complementary to
 	// KDD for further reducing allocation writes.
 	SelectiveAdmission bool
+
+	// Tracer, when non-nil, records a span for every phase of every
+	// operation (obs package). Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 
 	// Circuit-breaker knobs for the cache health state machine
 	// (failover.go). All are measured in operations, not virtual time:
@@ -178,6 +183,8 @@ type KDD struct {
 	st       stats.CacheStats
 	dataMode bool
 	cleaning bool
+
+	tr *obs.Tracer // nil = tracing disabled
 }
 
 // maxMetaAddressable is the page-address ceiling imposed by the metadata
@@ -223,6 +230,7 @@ func New(cfg Config) (*KDD, error) {
 		codec:     cfg.Codec,
 		oldDeltas: make(map[int32]oldDelta),
 		dezPages:  make(map[int32]*dezPage),
+		tr:        cfg.Tracer,
 	}
 	if cfg.FixedDEZSets > 0 {
 		if cfg.FixedDEZSets >= k.frame.Sets() {
@@ -232,6 +240,7 @@ func New(cfg Config) (*KDD, error) {
 	}
 	if !cfg.DisableMetaLog {
 		k.log = metalog.New(cfg.SSD, cfg.MetaStart, cfg.MetaPages, cfg.MetaGCThreshold)
+		k.log.SetTracer(cfg.Tracer)
 	}
 	if cfg.SelectiveAdmission {
 		k.ghost = newGhostLRU(int(cfg.CachePages))

@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"kddcache/internal/core"
+	"kddcache/internal/obs"
+)
+
+// TestTracerAndMetrics runs real traffic through a traced KDD instance
+// and checks span balance, the JSONL trace, and the engine metrics.
+func TestTracerAndMetrics(t *testing.T) {
+	ob := obs.New()
+	r := newRig(t, 1024, func(c *core.Config) { c.Tracer = ob.Tracer })
+	if r.kdd.Tracer() != ob.Tracer {
+		t.Fatal("Tracer() does not return the configured tracer")
+	}
+
+	for i := 0; i < 50; i++ {
+		r.write(t, int64(i%20))
+	}
+	r.verifyCache(t)
+	if _, err := r.kdd.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ob.Tracer.Err(); err != nil {
+		t.Fatalf("trace integrity: %v", err)
+	}
+	if n := ob.Tracer.OpenSpans(); n != 0 {
+		t.Fatalf("%d spans left open", n)
+	}
+	recs, err := obs.ReadTrace(bytes.NewReader(ob.TraceJSONL()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := map[obs.Phase]int{}
+	for _, rec := range recs {
+		if rec.Parent == 0 {
+			roots[rec.Phase]++
+		}
+	}
+	if roots[obs.PhaseWrite] != 50 {
+		t.Fatalf("trace has %d write roots, want 50", roots[obs.PhaseWrite])
+	}
+	if roots[obs.PhaseRead] == 0 || roots[obs.PhaseFlush] == 0 {
+		t.Fatalf("missing read/flush roots: %v", roots)
+	}
+
+	reg := obs.NewRegistry()
+	r.kdd.PublishMetrics(reg)
+	obs.PublishCacheStats(reg, r.kdd.Stats())
+	if err := reg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := reg.Counter("kdd_ops_total"); !ok || v == 0 {
+		t.Fatalf("kdd_ops_total = %d,%v, want >0", v, ok)
+	}
+	if v, ok := reg.Counter("metalog_pages_written_total"); !ok || v == 0 {
+		t.Fatalf("metalog_pages_written_total = %d,%v, want >0", v, ok)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"kddcache/internal/delta"
 	"kddcache/internal/metalog"
 	"kddcache/internal/nvram"
+	"kddcache/internal/obs"
 	"kddcache/internal/sim"
 )
 
@@ -20,15 +21,19 @@ import (
 // A fail-stop of the cache device anywhere underneath does not surface:
 // the health machinery fails over to pass-through and the read is served
 // from the RAID, which always holds the current data.
-func (k *KDD) Read(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
-	if err := k.preOp(t); err != nil {
+func (k *KDD) Read(t sim.Time, lba int64, buf []byte) (done sim.Time, err error) {
+	if k.tr != nil {
+		sp := k.tr.BeginLBA(t, obs.PhaseRead, lba)
+		defer func() { sp.End(done) }()
+	}
+	if err = k.preOp(t); err != nil {
 		return t, err
 	}
 	k.st.Reads++
 	if k.passThrough() {
 		return k.passRead(t, lba, buf)
 	}
-	done, err := k.readCached(t, lba, buf)
+	done, err = k.readCached(t, lba, buf)
 	if err != nil && k.ssdFault(err) {
 		k.failover(t, HealthBypass)
 		return k.passRead(t, lba, buf)
@@ -53,7 +58,9 @@ func (k *KDD) readCached(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	k.frame.Touch(slot)
 	switch k.frame.Slot(slot).State {
 	case cache.Clean:
+		sp := k.tr.BeginLBA(t, obs.PhaseDAZRead, lba)
 		done, err := k.ssdRead(t, k.cacheLBA(slot), buf)
+		sp.End(done)
 		if errors.Is(err, blockdev.ErrMedia) {
 			return k.recoverHit(t, lba, slot, buf)
 		}
@@ -81,7 +88,9 @@ func (k *KDD) readOld(t sim.Time, lba int64, slot int32, buf []byte) (sim.Time, 
 		oldBuf = make([]byte, blockdev.PageSize)
 	}
 	// Read the old version from DAZ.
+	spD := k.tr.BeginLBA(t, obs.PhaseDAZRead, lba)
 	done, err := k.ssdRead(t, k.cacheLBA(slot), oldBuf)
+	spD.End(done)
 	if err != nil {
 		return t, err
 	}
@@ -98,7 +107,9 @@ func (k *KDD) readOld(t sim.Time, lba int64, slot int32, buf []byte) (sim.Time, 
 		if k.dataMode && buf != nil {
 			dezBuf = make([]byte, blockdev.PageSize)
 		}
+		spZ := k.tr.BeginLBA(t, obs.PhaseDEZRead, lba)
 		c, err := k.ssdRead(t, k.cacheLBA(od.dez), dezBuf)
+		spZ.End(c)
 		if err != nil {
 			return t, err
 		}
@@ -114,7 +125,10 @@ func (k *KDD) readOld(t sim.Time, lba int64, slot int32, buf []byte) (sim.Time, 
 		}
 	}
 	// Decompress+combine costs "tens of microseconds" (§IV-B2).
-	return done + 20*sim.Microsecond, nil
+	spC := k.tr.Begin(done, obs.PhaseCombine)
+	done += 20 * sim.Microsecond
+	spC.End(done)
+	return done, nil
 }
 
 // admitMiss applies the optional LARC-style filter: only pages seen twice
@@ -142,7 +156,10 @@ func (k *KDD) fill(done sim.Time, lba int64, buf []byte) {
 	// Bytes on flash BEFORE the mapping: a fill whose write failed (or was
 	// torn by a crash) must stay invisible, or recovery would rebuild a
 	// Clean mapping onto a page that was never written.
-	if _, err := k.ssd.WritePages(done, k.cacheLBA(slot), 1, buf); err != nil {
+	sp := k.tr.BeginLBA(done, obs.PhaseFill, lba)
+	c, err := k.ssd.WritePages(done, k.cacheLBA(slot), 1, buf)
+	if err != nil {
+		sp.End(done)
 		// A fill is best-effort, but a fail-stop here must not be lost:
 		// flag it so the next operation fails over instead of grinding
 		// through a dead device.
@@ -151,9 +168,11 @@ func (k *KDD) fill(done sim.Time, lba int64, buf []byte) {
 	}
 	k.frame.Insert(lba, slot, cache.Clean)
 	k.st.ReadFills++
-	if _, err := k.logPut(done, k.cleanEntry(slot, lba)); err != nil {
+	mc, err := k.logPut(done, k.cleanEntry(slot, lba))
+	if err != nil {
 		k.stick(fmt.Errorf("core: logging read-fill of lba %d: %w", lba, err))
 	}
+	sp.End(sim.MaxTime(c, mc))
 }
 
 // Write implements cache.Policy (§III-A).
@@ -163,15 +182,19 @@ func (k *KDD) fill(done sim.Time, lba int64, buf []byte) {
 // compressed XOR of the cached old version and the new data is staged for
 // DEZ. The response completes when the RAID data write completes — delta
 // generation overlaps the (much slower) disk write (§IV-B2).
-func (k *KDD) Write(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
-	if err := k.preOp(t); err != nil {
+func (k *KDD) Write(t sim.Time, lba int64, buf []byte) (done sim.Time, err error) {
+	if k.tr != nil {
+		sp := k.tr.BeginLBA(t, obs.PhaseWrite, lba)
+		defer func() { sp.End(done) }()
+	}
+	if err = k.preOp(t); err != nil {
 		return t, err
 	}
 	k.st.Writes++
 	if k.passThrough() {
 		return k.passWrite(t, lba, buf)
 	}
-	done, err := k.writeCached(t, lba, buf)
+	done, err = k.writeCached(t, lba, buf)
 	if err != nil && k.ssdFault(err) {
 		// The cache device died somewhere inside the write. Fail over
 		// (folding any stale parity) and re-issue the write conventionally:
@@ -224,7 +247,10 @@ func (k *KDD) writeCached(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	var d delta.Delta
 	if k.dataMode && buf != nil {
 		oldBuf := make([]byte, blockdev.PageSize)
-		if _, err := k.ssdRead(t, k.cacheLBA(slot), oldBuf); err != nil {
+		sp := k.tr.BeginLBA(t, obs.PhaseDAZRead, lba)
+		c, err := k.ssdRead(t, k.cacheLBA(slot), oldBuf)
+		sp.End(c)
+		if err != nil {
 			if errors.Is(err, blockdev.ErrMedia) {
 				// The old version is gone: no delta can describe this
 				// update, so heal the row and take the conventional path.
@@ -245,6 +271,7 @@ func (k *KDD) writeCached(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 		k.releaseDez(t, od.dez)
 	}
 	k.staging.Put(nvram.StagedDelta{DazPage: k.cacheLBA(slot), RaidLBA: lba, D: d})
+	k.tr.Mark(t, obs.PhaseNVRAMStage, lba)
 	k.oldDeltas[slot] = oldDelta{staged: true}
 	if k.frame.Slot(slot).State == cache.Clean {
 		k.frame.Transition(slot, cache.Old)
@@ -260,7 +287,10 @@ func (k *KDD) writeCached(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 
 	// Commit a DEZ page if the staging buffer filled.
 	if k.staging.Full() {
-		if _, err := k.commitDez(t); err != nil {
+		sp := k.tr.Begin(t, obs.PhaseDEZPack)
+		c, err := k.commitDez(t)
+		sp.End(c)
+		if err != nil {
 			return t, err
 		}
 	}
@@ -292,15 +322,20 @@ func (k *KDD) writeAllocate(t sim.Time, lba int64, buf []byte) (sim.Time, error)
 	}
 	var ssdDone sim.Time
 	if slot := k.allocDAZ(t, lba); slot != cache.NoSlot {
+		sp := k.tr.BeginLBA(t, obs.PhaseFill, lba)
 		ssdDone, err = k.ssd.WritePages(t, k.cacheLBA(slot), 1, buf)
 		if err != nil {
+			sp.End(t)
 			return t, err
 		}
 		k.frame.Insert(lba, slot, cache.Clean)
 		k.st.WriteAllocs++
-		if _, err := k.logPut(t, k.cleanEntry(slot, lba)); err != nil {
+		mc, err := k.logPut(t, k.cleanEntry(slot, lba))
+		if err != nil {
+			sp.End(ssdDone)
 			return t, err
 		}
+		sp.End(sim.MaxTime(ssdDone, mc))
 	}
 	return sim.MaxTime(raidDone, ssdDone), nil
 }

@@ -39,6 +39,7 @@ func Restore(cfg Config, t sim.Time, ctr *nvram.Counters,
 	}
 	k.log = metalog.Restore(cfg.SSD, cfg.MetaStart, cfg.MetaPages,
 		cfg.MetaGCThreshold, ctr, buffered)
+	k.log.SetTracer(cfg.Tracer)
 	replay, done, err := k.log.Recover(t)
 	if err != nil {
 		return nil, t, err

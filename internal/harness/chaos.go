@@ -13,6 +13,7 @@ import (
 	"kddcache/internal/blockdev"
 	"kddcache/internal/core"
 	"kddcache/internal/delta"
+	"kddcache/internal/obs"
 	"kddcache/internal/raid"
 	"kddcache/internal/sim"
 )
@@ -83,6 +84,9 @@ type ChaosScheduleResult struct {
 	Failovers     int64 // cache transitions into pass-through (breaker trips + fail-stops)
 	Reattaches    int64 // successful cache re-attachments
 
+	Spans       uint64 // spans emitted by the always-on tracer
+	TraceDigest uint64 // FNV-1a of the canonical trace bytes; equal across reruns
+
 	Fingerprint uint64 // digest of final content + counters; equal across reruns
 	Violations  []string
 }
@@ -109,16 +113,16 @@ func (r *ChaosReport) Violations() []string {
 func (r *ChaosReport) Table() string {
 	var b strings.Builder
 	b.WriteString("== Chaos: randomized partial-fault schedules over the KDD stack ==\n")
-	fmt.Fprintf(&b, "%3s  %-14s %-18s %7s %9s %9s %6s %6s %6s %5s %5s  %s\n",
-		"#", "kind", "seed", "crashes", "detected", "repaired", "folds", "unrec", "failov", "reatt", "viol", "fingerprint")
+	fmt.Fprintf(&b, "%3s  %-14s %-18s %7s %9s %9s %6s %6s %6s %5s %5s %8s  %-16s %s\n",
+		"#", "kind", "seed", "crashes", "detected", "repaired", "folds", "unrec", "failov", "reatt", "viol", "spans", "tracedigest", "fingerprint")
 	var crashes, unrec, viol int
 	var detected, repaired, failov, reatt int64
 	for _, res := range r.Results {
-		fmt.Fprintf(&b, "%3d  %-14s %-18s %7d %9d %9d %6d %6d %6d %5d %5d  %016x\n",
+		fmt.Fprintf(&b, "%3d  %-14s %-18s %7d %9d %9d %6d %6d %6d %5d %5d %8d  %016x %016x\n",
 			res.Schedule, res.Kind, fmt.Sprintf("%#x", res.Seed),
 			res.Crashes, res.Detected, res.Repaired, res.StaleFolds,
 			res.Unrecoverable, res.Failovers, res.Reattaches,
-			len(res.Violations), res.Fingerprint)
+			len(res.Violations), res.Spans, res.TraceDigest, res.Fingerprint)
 		crashes += res.Crashes
 		detected += res.Detected
 		repaired += res.Repaired
@@ -222,6 +226,9 @@ type chaosRig struct {
 	pending *pendingChaosWrite
 	halt    bool
 
+	dig *obs.Digest // trace digest sink: spans survive crashes bit-for-bit
+	tr  *obs.Tracer
+
 	flips       int            // silent/detectable corruptions actually applied
 	flippedRows map[int64]bool // rows already holding an injected member fault
 	proofFailed int            // disk deliberately failed by the degraded proof (-1 = none)
@@ -253,6 +260,12 @@ func newChaosRig(plan *chaosPlan, seed uint64, o ChaosOpts) *chaosRig {
 		panic(err) // static geometry; cannot fail
 	}
 	c.arr = arr
+	// The tracer runs on every schedule: its digest is folded into the
+	// fingerprint, so span structure must survive crashes, failovers, and
+	// re-attachments deterministically too.
+	c.dig = obs.NewDigest()
+	c.tr = obs.NewTracer(c.dig)
+	arr.SetTracer(c.tr)
 	inner := blockdev.NewNullDataDevice("ssd", 64+o.CachePages+64)
 	c.inj = blockdev.NewFaultInjector(inner, seed^0xFA17)
 	c.cfg = core.Config{
@@ -263,6 +276,7 @@ func newChaosRig(plan *chaosPlan, seed uint64, o ChaosOpts) *chaosRig {
 		MetaStart:  0,
 		MetaPages:  64,
 		Codec:      delta.ZRLE{},
+		Tracer:     c.tr,
 	}
 	if plan.cfg != nil {
 		plan.cfg(&c.cfg, o)
@@ -313,6 +327,14 @@ func runChaosSchedule(plan *chaosPlan, seed uint64, o ChaosOpts) *ChaosScheduleR
 		c.res.Detected += c.arr.Injector(i).MediaErrors()
 	}
 	c.res.Repaired += c.arr.Stats().ReadRepairs
+	if err := c.tr.Err(); err != nil {
+		c.violf("trace integrity: %v", err)
+	}
+	if n := c.tr.OpenSpans(); n != 0 {
+		c.violf("%d spans leaked open at end of schedule", n)
+	}
+	c.res.Spans = c.dig.Spans()
+	c.res.TraceDigest = c.dig.Sum64()
 	c.res.Fingerprint = c.fingerprint()
 	return c.res
 }
@@ -453,6 +475,12 @@ func (c *chaosRig) restore() {
 	if err := k.CheckInvariants(); err != nil {
 		c.violf("post-restore invariants: %v", err)
 	}
+	// Every span must have closed on the error path that surfaced the
+	// crash; a leak here would corrupt attribution for the whole rest of
+	// the schedule.
+	if n := c.tr.OpenSpans(); n != 0 {
+		c.violf("%d spans open across crash recovery", n)
+	}
 	if p := c.pending; p != nil {
 		c.pending = nil
 		buf := make([]byte, blockdev.PageSize)
@@ -572,6 +600,8 @@ func (c *chaosRig) fingerprint() uint64 {
 	put(uint64(c.res.Unrecoverable))
 	put(uint64(c.res.Failovers))
 	put(uint64(c.res.Reattaches))
+	put(c.res.Spans)
+	put(c.res.TraceDigest)
 	put(uint64(len(c.res.Violations)))
 	return h.Sum64()
 }

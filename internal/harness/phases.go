@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"kddcache/internal/obs"
+	"kddcache/internal/workload"
+)
+
+// This file implements the "phases" experiment: an open-loop replay of the
+// Table-I workloads through the KDD timing stack with the span tracer
+// attached, producing the per-phase latency attribution the paper's prose
+// argues about (where does a cached write spend its time — NVRAM staging,
+// metalog append, or the RAID small-write?) as hard numbers. Each workload
+// runs with its own tracer so the fan-out stays deterministic at any
+// worker-pool width; profiles are merged in workload order afterwards.
+
+// phaseOut is one workload's observability harvest.
+type phaseOut struct {
+	name  string
+	ob    *obs.Obs
+	st    *Stack
+	spans uint64
+}
+
+// phaseRun replays one Table-I workload through a traced KDD stack.
+func phaseRun(spec workload.Spec, scale float64) (*phaseOut, error) {
+	s := spec.Scale(scale)
+	s.MeanIOPS = replayIOPS[spec.Name]
+	tr := workload.Synthesize(s)
+	o := simOpts(s, roundWays(int64(0.25*float64(s.UniqueTotal)), 256))
+	o.Policy = PolicyKDD
+	o.DeltaMean = 0.25
+	o.Timing = true
+	ob := obs.New()
+	o.Obs = ob
+	st, err := Build(o)
+	if err != nil {
+		return nil, err
+	}
+	r, err := RunTrace(st, tr)
+	if err != nil {
+		return nil, fmt.Errorf("phases %s: %w", spec.Name, err)
+	}
+	if _, err := st.Policy.Flush(r.Duration); err != nil {
+		return nil, fmt.Errorf("phases %s flush: %w", spec.Name, err)
+	}
+	if err := ob.Tracer.Err(); err != nil {
+		return nil, fmt.Errorf("phases %s trace: %w", spec.Name, err)
+	}
+	if n := ob.Tracer.OpenSpans(); n != 0 {
+		return nil, fmt.Errorf("phases %s: %d spans still open after flush", spec.Name, n)
+	}
+	return &phaseOut{name: spec.Name, ob: ob, st: st, spans: ob.Tracer.Spans()}, nil
+}
+
+// phaseRuns fans the Table-I workloads over the worker pool and merges
+// their observability output in workload order (deterministic at any
+// pool width).
+func phaseRuns(scale float64) ([]*phaseOut, error) {
+	specs := workload.TableI()
+	return fanOut(len(specs), func(i int) (*phaseOut, error) {
+		return phaseRun(specs[i], scale)
+	})
+}
+
+// PhaseBreakdown regenerates the per-phase latency attribution table:
+// one profile block per workload plus the all-workload merge.
+func PhaseBreakdown(scale float64) (string, error) {
+	outs, err := phaseRuns(scale)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("== Phase-attributed latency (KDD, open-loop replay) ==\n")
+	merged := obs.NewProfile()
+	for _, po := range outs {
+		fmt.Fprintf(&b, "\n-- %s (%d spans) --\n", po.name, po.spans)
+		b.WriteString(po.ob.Profile.Table())
+		merged.Merge(po.ob.Profile)
+	}
+	b.WriteString("\n-- all workloads --\n")
+	b.WriteString(merged.Table())
+	return b.String(), nil
+}
+
+// ObsOverheadRun replays the Fin1 workload through the KDD timing stack
+// once, with or without the span tracer attached. harnessbench times
+// both variants to bound the observability overhead; the determinism
+// tests assert the bound stays within budget.
+func ObsOverheadRun(scale float64, traced bool) error {
+	spec := workload.TableI()[0]
+	s := spec.Scale(scale)
+	s.MeanIOPS = replayIOPS[spec.Name]
+	tr := workload.Synthesize(s)
+	o := simOpts(s, roundWays(int64(0.25*float64(s.UniqueTotal)), 256))
+	o.Policy = PolicyKDD
+	o.DeltaMean = 0.25
+	o.Timing = true
+	if traced {
+		o.Obs = obs.New()
+	}
+	st, err := Build(o)
+	if err != nil {
+		return err
+	}
+	r, err := RunTrace(st, tr)
+	if err != nil {
+		return err
+	}
+	_, err = st.Policy.Flush(r.Duration)
+	return err
+}
+
+// PhaseArtifacts produces the machine-readable observability artifacts of
+// the phases experiment: the concatenated JSONL trace (per-workload
+// tracers back to back, in Table-I order) and the Prometheus text
+// exposition of the merged registry. Both are byte-identical at any
+// worker-pool width and across same-seed runs; the golden tests pin them.
+func PhaseArtifacts(scale float64) (trace, prom []byte, err error) {
+	outs, err := phaseRuns(scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	reg := obs.NewRegistry()
+	merged := obs.NewProfile()
+	var buf bytes.Buffer
+	for _, po := range outs {
+		buf.Write(po.ob.TraceJSONL())
+		merged.Merge(po.ob.Profile)
+	}
+	// Registry contents come from the last workload's stack (device and
+	// engine counters) plus the merged phase profile: a representative,
+	// fully-populated exposition with every metric family present.
+	outs[len(outs)-1].st.PublishMetrics(reg)
+	merged.Publish(reg)
+	if err := reg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var pb bytes.Buffer
+	if err := reg.WritePrometheus(&pb); err != nil {
+		return nil, nil, err
+	}
+	return buf.Bytes(), pb.Bytes(), nil
+}

@@ -12,6 +12,7 @@ import (
 	"kddcache/internal/core"
 	"kddcache/internal/delta"
 	"kddcache/internal/hdd"
+	"kddcache/internal/obs"
 	"kddcache/internal/raid"
 	"kddcache/internal/sim"
 	"kddcache/internal/ssd"
@@ -92,6 +93,12 @@ type StackOpts struct {
 	SelectiveAdmission bool
 	HighWater          float64
 	LowWater           float64
+
+	// Obs, when non-nil, threads its span tracer through every layer of
+	// the stack (core engine, RAID array, SSD flash model, member disks)
+	// so a run emits a deterministic per-phase trace. Nil disables tracing
+	// with zero overhead.
+	Obs *obs.Obs
 }
 
 // withDefaults fills zero fields with the paper's configuration.
@@ -179,6 +186,14 @@ func Build(o StackOpts) (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
+	var tr *obs.Tracer
+	if o.Obs != nil {
+		tr = o.Obs.Tracer
+		array.SetTracer(tr)
+		for _, d := range disks {
+			d.SetTracer(tr)
+		}
+	}
 
 	// SSD sizing: cache pages plus the metadata partition.
 	metaPages := int64(float64(o.CachePages) / (1 - o.MetaFrac) * o.MetaFrac)
@@ -200,6 +215,9 @@ func Build(o StackOpts) (*Stack, error) {
 		ssdDev = blockdev.NewNullDataDevice("ssd", ssdPages)
 	default:
 		ssdDev = blockdev.NewNullDevice("ssd", ssdPages)
+	}
+	if flash != nil {
+		flash.SetTracer(tr)
 	}
 	// Every stack gets a fault injector around the SSD so whole-cache
 	// failure can be injected into any experiment. It is pass-through
@@ -232,7 +250,9 @@ func Build(o StackOpts) (*Stack, error) {
 		}
 		var logDev blockdev.Device
 		if o.Timing {
-			logDev = hdd.New("logdisk", hdd.DefaultConfig(cap), o.Seed+7777)
+			ld := hdd.New("logdisk", hdd.DefaultConfig(cap), o.Seed+7777)
+			ld.SetTracer(tr)
+			logDev = ld
 		} else {
 			logDev = blockdev.NewNullDevice("logdisk", cap)
 		}
@@ -256,6 +276,7 @@ func Build(o StackOpts) (*Stack, error) {
 			SelectiveAdmission: o.SelectiveAdmission,
 			HighWater:          o.HighWater,
 			LowWater:           o.LowWater,
+			Tracer:             tr,
 		}
 		k, err := core.New(st.KDDConfig)
 		if err != nil {
@@ -300,9 +321,30 @@ func (st *Stack) ReattachSSD(now sim.Time) error {
 	st.SSDInj.FailAfterOps = 0 // Repair preserves the arm; clear it explicitly
 	st.SSDInj.Repair(fresh)
 	if f, ok := fresh.(*ssd.Device); ok {
+		if st.Opts.Obs != nil {
+			f.SetTracer(st.Opts.Obs.Tracer)
+		}
 		st.FlashModel = f
 	}
 	return k.Reattach(now, nil)
+}
+
+// PublishMetrics writes every layer's counters into reg: the policy's
+// cache statistics, the KDD engine internals (when KDD is the policy),
+// the RAID member-I/O accounting, the SSD FTL counters, and the member
+// disks' service counters.
+func (st *Stack) PublishMetrics(reg *obs.Registry) {
+	obs.PublishCacheStats(reg, st.Policy.Stats())
+	if k, ok := st.Policy.(*core.KDD); ok {
+		k.PublishMetrics(reg)
+	}
+	st.Array.PublishMetrics(reg)
+	if st.FlashModel != nil {
+		st.FlashModel.PublishMetrics(reg)
+	}
+	for _, d := range st.Disks {
+		d.PublishMetrics(reg)
+	}
 }
 
 // freshMember builds a replacement disk matching the stack's device mode

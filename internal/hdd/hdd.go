@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"kddcache/internal/blockdev"
+	"kddcache/internal/obs"
 	"kddcache/internal/sim"
 )
 
@@ -62,7 +63,13 @@ type Disk struct {
 	reads, writes   int64
 	seqHits         int64
 	totalServiceOps int64
+
+	tr *obs.Tracer
 }
+
+// SetTracer installs a span tracer (nil disables tracing). Accesses appear
+// as dev_read/dev_write spans carrying the disk name.
+func (d *Disk) SetTracer(tr *obs.Tracer) { d.tr = tr }
 
 // New returns a timing-mode disk. seed makes rotational delays reproducible.
 func New(name string, cfg Config, seed uint64) *Disk {
@@ -166,12 +173,16 @@ func (d *Disk) serviceTime(lba int64, count int) sim.Time {
 }
 
 // ReadPages implements blockdev.Device.
-func (d *Disk) ReadPages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+func (d *Disk) ReadPages(t sim.Time, lba int64, count int, buf []byte) (done sim.Time, err error) {
 	if err := blockdev.CheckRange(lba, count, d.cfg.Pages); err != nil {
 		return t, err
 	}
 	if err := blockdev.CheckBuf(buf, count); err != nil {
 		return t, err
+	}
+	if d.tr != nil {
+		sp := d.tr.BeginDev(t, obs.PhaseDevRead, d.name, lba, count)
+		defer func() { sp.End(done) }()
 	}
 	d.reads++
 	if d.store != nil && buf != nil {
@@ -183,12 +194,16 @@ func (d *Disk) ReadPages(t sim.Time, lba int64, count int, buf []byte) (sim.Time
 }
 
 // WritePages implements blockdev.Device.
-func (d *Disk) WritePages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+func (d *Disk) WritePages(t sim.Time, lba int64, count int, buf []byte) (done sim.Time, err error) {
 	if err := blockdev.CheckRange(lba, count, d.cfg.Pages); err != nil {
 		return t, err
 	}
 	if err := blockdev.CheckBuf(buf, count); err != nil {
 		return t, err
+	}
+	if d.tr != nil {
+		sp := d.tr.BeginDev(t, obs.PhaseDevWrite, d.name, lba, count)
+		defer func() { sp.End(done) }()
 	}
 	d.writes++
 	if d.store != nil && buf != nil {
@@ -197,6 +212,16 @@ func (d *Disk) WritePages(t sim.Time, lba int64, count int, buf []byte) (sim.Tim
 		}
 	}
 	return d.q.Submit(t, d.serviceTime(lba, count)), nil
+}
+
+// PublishMetrics writes the disk's service counters into reg, labelled by
+// disk name so arrays of members stay distinguishable.
+func (d *Disk) PublishMetrics(reg *obs.Registry) {
+	l := "{disk=\"" + d.name + "\"}"
+	reg.SetCounter("hdd_reads_total"+l, "Read operations serviced.", d.reads)
+	reg.SetCounter("hdd_writes_total"+l, "Write operations serviced.", d.writes)
+	reg.SetCounter("hdd_seq_hits_total"+l, "Operations serviced as sequential continuations.", d.seqHits)
+	reg.SetCounter("hdd_busy_ns_total"+l, "Total arm service time in virtual nanoseconds.", int64(d.q.BusyTime()))
 }
 
 var _ blockdev.Device = (*Disk)(nil)

@@ -16,6 +16,7 @@ import (
 
 	"kddcache/internal/blockdev"
 	"kddcache/internal/nvram"
+	"kddcache/internal/obs"
 	"kddcache/internal/sim"
 )
 
@@ -221,7 +222,14 @@ type Log struct {
 	gcThreshold float64
 
 	stats Stats
+
+	tr *obs.Tracer
 }
+
+// SetTracer installs a span tracer (nil disables tracing). Page commits
+// appear as meta_append spans nested inside the operation that forced
+// them.
+func (l *Log) SetTracer(tr *obs.Tracer) { l.tr = tr }
 
 // New creates a log over [start, start+npages) of dev with fresh NVRAM
 // counters. gcThreshold in (0,1]; 0 selects the 0.9 default.
@@ -328,8 +336,10 @@ func (l *Log) flushPage(t sim.Time) (sim.Time, error) {
 	if len(l.buf) == 0 {
 		return t, nil
 	}
+	sp := l.tr.Begin(t, obs.PhaseMetaAppend)
 	// Make room first so tail never collides with head.
 	if err := l.maybeGC(t); err != nil {
+		sp.End(t)
 		return t, err
 	}
 	var page [blockdev.PageSize]byte
@@ -361,6 +371,7 @@ func (l *Log) flushPage(t sim.Time) (sim.Time, error) {
 		// The page never acked. The entries stay in the NVRAM buffer and
 		// the tail counter untouched, so a crash here is repaired from
 		// NVRAM alone — committing an entry to Put is atomic-in-NVRAM.
+		sp.End(t)
 		return t, err
 	}
 	l.ctr.Tail++
@@ -382,6 +393,7 @@ func (l *Log) flushPage(t sim.Time) (sim.Time, error) {
 		l.stats.EntriesLogged++
 	}
 	l.stats.PagesWritten++
+	sp.End(done)
 	return done, nil
 }
 

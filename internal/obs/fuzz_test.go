@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRecord hardens the JSONL trace decoder: arbitrary input
+// must never panic, and any line the decoder accepts must survive a
+// canonical re-encode/re-decode round trip unchanged.
+func FuzzDecodeRecord(f *testing.F) {
+	seeds := []string{
+		`{"id":1,"par":0,"req":1,"ph":"read","lba":42,"n":1,"b":1000,"e":2000}`,
+		`{"id":7,"par":5,"req":5,"ph":"dev_write","dev":"ssd","b":0,"e":0}`,
+		`{"id":2,"par":1,"req":1,"ph":"clean_pass","b":5,"e":9}`,
+		`{"id":3,"par":1,"req":1,"ph":"meta_append","lba":0,"n":1,"b":0,"e":1}`,
+		`{"id":4,"par":0,"req":4,"ph":"fold","b":9,"e":9}`,
+		`{"id":1,"par":0,"req":1,"ph":"write","dev":"a\"b\\c","b":0,"e":1}`,
+		`{}`,
+		`{"id":0}`,
+		`[1,2]`,
+		`{"id":1,"par":0,"req":1,"ph":"read","b":-9223372036854775808,"e":9223372036854775807}`,
+		``,
+		`{"id":18446744073709551615,"par":0,"req":18446744073709551615,"ph":"resync","b":0,"e":0}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		rec, err := DecodeRecord(line)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip through the canonical encoding.
+		enc := AppendRecord(nil, &rec)
+		rec2, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("canonical re-encode rejected: %s: %v", enc, err)
+		}
+		if rec2 != rec {
+			t.Fatalf("round trip changed record:\n in  %+v\n out %+v", rec, rec2)
+		}
+		if enc2 := AppendRecord(nil, &rec2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding not canonical: %s vs %s", enc, enc2)
+		}
+	})
+}

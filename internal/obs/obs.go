@@ -1,0 +1,32 @@
+package obs
+
+import "bytes"
+
+// Obs bundles one run's observability: a tracer whose completed trees
+// feed both an in-memory JSONL trace buffer and a phase-attribution
+// profile. The harness attaches one Obs per experiment job so trace
+// bytes are independent of worker-pool width.
+type Obs struct {
+	Tracer  *Tracer
+	Profile *Profile
+
+	buf bytes.Buffer
+	w   *Writer
+}
+
+// New returns an Obs capturing JSONL trace bytes and a phase profile.
+func New() *Obs {
+	o := &Obs{Profile: NewProfile()}
+	o.w = NewWriter(&o.buf)
+	o.Tracer = NewTracer(MultiSink{o.w, o.Profile})
+	return o
+}
+
+// TraceJSONL returns the JSONL trace captured so far.
+func (o *Obs) TraceJSONL() []byte { return o.buf.Bytes() }
+
+// Publish writes the profile and tracer accounting into reg.
+func (o *Obs) Publish(reg *Registry) {
+	o.Profile.Publish(reg)
+	reg.SetCounter("obs_spans_total", "Spans recorded by the tracer.", int64(o.Tracer.Spans()))
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kddcache/internal/stats"
+)
+
+// TestObsBundle drives the Obs convenience bundle end to end: spans in,
+// JSONL out, profile published.
+func TestObsBundle(t *testing.T) {
+	o := New()
+	root := o.Tracer.Begin(0, PhaseWrite)
+	dev := o.Tracer.BeginDev(10, PhaseDevWrite, "ssd", 4, 1)
+	dev.End(60)
+	root.End(100)
+
+	recs, err := ReadTrace(bytes.NewReader(o.TraceJSONL()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("trace has %d records, want 2", len(recs))
+	}
+	if d := recs[1].Duration(); d != 50 {
+		t.Fatalf("dev span duration = %d, want 50", d)
+	}
+
+	reg := NewRegistry()
+	o.Publish(reg)
+	if v, ok := reg.Counter("obs_spans_total"); !ok || v != 2 {
+		t.Fatalf("obs_spans_total = %d,%v, want 2,true", v, ok)
+	}
+	if v, ok := reg.Counter(`obs_ops_total{op="write"}`); !ok || v != 1 {
+		t.Fatalf("obs_ops_total{op=write} = %d,%v, want 1,true", v, ok)
+	}
+	if err := reg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublishCacheStats checks every CacheStats counter lands in the
+// registry with a valid exposition.
+func TestPublishCacheStats(t *testing.T) {
+	s := &stats.CacheStats{Reads: 10, ReadHits: 7, Writes: 4, WriteHits: 1}
+	reg := NewRegistry()
+	PublishCacheStats(reg, s)
+	if v, ok := reg.Counter("kdd_cache_reads_total"); !ok || v != 10 {
+		t.Fatalf("kdd_cache_reads_total = %d,%v, want 10,true", v, ok)
+	}
+	if v, ok := reg.Gauge("kdd_cache_hit_ratio"); !ok || v != float64(8)/14 {
+		t.Fatalf("kdd_cache_hit_ratio = %v,%v", v, ok)
+	}
+	if _, ok := reg.Gauge("kdd_cache_reads_total"); ok {
+		t.Fatal("Gauge() returned a counter")
+	}
+	if err := reg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "kdd_cache_hit_ratio 0.5714285714285714") {
+		t.Fatalf("exposition missing hit ratio:\n%s", b.String())
+	}
+}
+
+// TestPhaseStrings pins the wire name of every phase and its roundtrip.
+func TestPhaseStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ph := range Phases() {
+		s := ph.String()
+		if s == "" || strings.ContainsAny(s, " \t\n\"") {
+			t.Fatalf("phase %d has bad wire name %q", ph, s)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate phase name %q", s)
+		}
+		seen[s] = true
+	}
+	if Phase(250).String() == "" {
+		t.Fatal("out-of-range phase must still render")
+	}
+}
+
+// TestProfileAccessors covers the typed accessors on empty and
+// populated profiles.
+func TestProfileAccessors(t *testing.T) {
+	p := NewProfile()
+	if p.Ops(PhaseRead) != 0 || p.TotalNs(PhaseRead) != 0 ||
+		p.SelfNs(PhaseRead) != 0 || p.PhaseNs(PhaseRead, PhaseDAZRead) != 0 {
+		t.Fatal("empty profile accessors must return zero")
+	}
+	p.Tree([]Record{
+		{ID: 1, Req: 1, Phase: PhaseRead, Begin: 0, End: 100},
+		{ID: 2, Parent: 1, Req: 1, Phase: PhaseDAZRead, Begin: 20, End: 70},
+	})
+	if got := p.Ops(PhaseRead); got != 1 {
+		t.Fatalf("Ops = %d, want 1", got)
+	}
+	if got := p.TotalNs(PhaseRead); got != 100 {
+		t.Fatalf("TotalNs = %d, want 100", got)
+	}
+	if got := p.PhaseNs(PhaseRead, PhaseDAZRead); got != 50 {
+		t.Fatalf("PhaseNs = %d, want 50", got)
+	}
+	if got := p.SelfNs(PhaseRead); got != 50 {
+		t.Fatalf("SelfNs = %d, want 50", got)
+	}
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"kddcache/internal/sim"
+)
+
+// tree builds a profile from one synthetic span tree.
+func profTree(spans []Record) *Profile {
+	p := NewProfile()
+	p.Tree(spans)
+	return p
+}
+
+func TestProfileAttributesPhasesExactly(t *testing.T) {
+	// read [0,100): daz_read [0,40), meta_append [60,80), rest self.
+	p := profTree([]Record{
+		{ID: 1, Req: 1, Phase: PhaseRead, Begin: 0, End: 100},
+		{ID: 2, Parent: 1, Req: 1, Phase: PhaseDAZRead, Begin: 0, End: 40},
+		{ID: 3, Parent: 1, Req: 1, Phase: PhaseMetaAppend, Begin: 60, End: 80},
+	})
+	if got := p.PhaseNs(PhaseRead, PhaseDAZRead); got != 40 {
+		t.Fatalf("daz_read = %d, want 40", got)
+	}
+	if got := p.PhaseNs(PhaseRead, PhaseMetaAppend); got != 20 {
+		t.Fatalf("meta_append = %d, want 20", got)
+	}
+	if got := p.SelfNs(PhaseRead); got != 40 {
+		t.Fatalf("self = %d, want 40", got)
+	}
+	if p.TotalNs(PhaseRead) != 100 || p.Ops(PhaseRead) != 1 {
+		t.Fatalf("totals wrong: %d/%d", p.TotalNs(PhaseRead), p.Ops(PhaseRead))
+	}
+}
+
+func TestProfileInnermostWins(t *testing.T) {
+	// clean_pass [0,100) with parity_rmw [20,60) nested inside: the
+	// overlap goes to the innermost span.
+	p := profTree([]Record{
+		{ID: 1, Req: 1, Phase: PhaseClean, Begin: 0, End: 100},
+		{ID: 2, Parent: 1, Req: 1, Phase: PhaseCleanPass, Begin: 0, End: 100},
+		{ID: 3, Parent: 2, Req: 1, Phase: PhaseParityRMW, Begin: 20, End: 60},
+	})
+	if got := p.PhaseNs(PhaseClean, PhaseParityRMW); got != 40 {
+		t.Fatalf("parity_rmw = %d, want 40", got)
+	}
+	if got := p.PhaseNs(PhaseClean, PhaseCleanPass); got != 60 {
+		t.Fatalf("clean_pass = %d, want 60", got)
+	}
+	if p.SelfNs(PhaseClean) != 0 {
+		t.Fatalf("self = %d, want 0", p.SelfNs(PhaseClean))
+	}
+}
+
+func TestProfileClipsToRootWindow(t *testing.T) {
+	// An async fill outlives the request: only the overlap counts, so
+	// phases+self still sum exactly to the root duration.
+	p := profTree([]Record{
+		{ID: 1, Req: 1, Phase: PhaseRead, Begin: 0, End: 50},
+		{ID: 2, Parent: 1, Req: 1, Phase: PhaseFill, Begin: 30, End: 500},
+	})
+	if got := p.PhaseNs(PhaseRead, PhaseFill); got != 20 {
+		t.Fatalf("fill = %d, want 20 (clipped)", got)
+	}
+	if got := p.SelfNs(PhaseRead); got != 30 {
+		t.Fatalf("self = %d, want 30", got)
+	}
+}
+
+func TestProfileExcludesDeviceSpans(t *testing.T) {
+	p := profTree([]Record{
+		{ID: 1, Req: 1, Phase: PhaseWrite, Begin: 0, End: 100},
+		{ID: 2, Parent: 1, Req: 1, Phase: PhaseDevWrite, Dev: "ssd", Begin: 0, End: 100},
+	})
+	if got := p.SelfNs(PhaseWrite); got != 100 {
+		t.Fatalf("self = %d, want 100 (device spans are not attributable)", got)
+	}
+}
+
+func TestProfileConcurrentSiblingsNeverExceedRoot(t *testing.T) {
+	// daz_read and dez_read issued concurrently: naive duration sums
+	// would give 150ns inside a 100ns request; the sweep cannot.
+	p := profTree([]Record{
+		{ID: 1, Req: 1, Phase: PhaseRead, Begin: 0, End: 100},
+		{ID: 2, Parent: 1, Req: 1, Phase: PhaseDAZRead, Begin: 0, End: 80},
+		{ID: 3, Parent: 1, Req: 1, Phase: PhaseDEZRead, Begin: 0, End: 70},
+	})
+	sum := p.SelfNs(PhaseRead)
+	for _, ph := range Phases() {
+		sum += p.PhaseNs(PhaseRead, ph)
+	}
+	if sum != p.TotalNs(PhaseRead) {
+		t.Fatalf("phases+self = %d, want exactly %d", sum, p.TotalNs(PhaseRead))
+	}
+	// Later-opened concurrent sibling wins the overlap.
+	if got := p.PhaseNs(PhaseRead, PhaseDEZRead); got != 70 {
+		t.Fatalf("dez_read = %d, want 70", got)
+	}
+	if got := p.PhaseNs(PhaseRead, PhaseDAZRead); got != 10 {
+		t.Fatalf("daz_read = %d, want 10", got)
+	}
+}
+
+func TestProfileZeroDurationOps(t *testing.T) {
+	p := profTree([]Record{{ID: 1, Req: 1, Phase: PhaseFlush, Begin: 5, End: 5}})
+	if p.Ops(PhaseFlush) != 1 || p.TotalNs(PhaseFlush) != 0 {
+		t.Fatal("zero-duration op must still count")
+	}
+}
+
+func TestProfileMergeAndPublish(t *testing.T) {
+	a := profTree([]Record{
+		{ID: 1, Req: 1, Phase: PhaseRead, Begin: 0, End: 100},
+		{ID: 2, Parent: 1, Req: 1, Phase: PhaseDAZRead, Begin: 0, End: 60},
+	})
+	b := profTree([]Record{
+		{ID: 1, Req: 1, Phase: PhaseRead, Begin: 0, End: 50},
+	})
+	a.Merge(b)
+	if a.Ops(PhaseRead) != 2 || a.TotalNs(PhaseRead) != 150 {
+		t.Fatalf("merge wrong: ops=%d total=%d", a.Ops(PhaseRead), a.TotalNs(PhaseRead))
+	}
+
+	reg := NewRegistry()
+	a.Publish(reg)
+	if v, ok := reg.Counter(`obs_ops_total{op="read"}`); !ok || v != 2 {
+		t.Fatalf("obs_ops_total = %d,%v", v, ok)
+	}
+	if v, ok := reg.Counter(`obs_phase_ns_total{op="read",phase="daz_read"}`); !ok || v != 60 {
+		t.Fatalf("phase ns = %d,%v", v, ok)
+	}
+	if v, ok := reg.Counter(`obs_phase_ns_total{op="read",phase="self"}`); !ok || v != 90 {
+		t.Fatalf("self ns = %d,%v", v, ok)
+	}
+	if err := reg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileTableDeterministic(t *testing.T) {
+	mk := func() string {
+		p := profTree([]Record{
+			{ID: 1, Req: 1, Phase: PhaseWrite, Begin: 0, End: 2000},
+			{ID: 2, Parent: 1, Req: 1, Phase: PhaseNVRAMStage, Begin: 100, End: 100},
+			{ID: 3, Parent: 1, Req: 1, Phase: PhaseMetaAppend, Begin: 200, End: 900},
+		})
+		return p.Table()
+	}
+	t1, t2 := mk(), mk()
+	if t1 != t2 {
+		t.Fatal("table not deterministic")
+	}
+	if !strings.Contains(t1, "meta_append") || !strings.Contains(t1, "(self)") {
+		t.Fatalf("table missing rows:\n%s", t1)
+	}
+	empty := NewProfile().Table()
+	if !strings.Contains(empty, "no operations") {
+		t.Fatalf("empty table: %q", empty)
+	}
+}
+
+// TestProfilePropertySum is the core invariant under randomized trees:
+// attributed phase time plus self equals the root duration exactly,
+// for arbitrary (even overlapping, out-of-window) child spans.
+func TestProfilePropertySum(t *testing.T) {
+	rng := sim.NewRNG(0xC0FFEE)
+	for iter := 0; iter < 500; iter++ {
+		rootLen := sim.Time(rng.Intn(200))
+		spans := []Record{{ID: 1, Req: 1, Phase: PhaseWrite, Begin: 1000, End: 1000 + rootLen}}
+		n := rng.Intn(8)
+		phases := Phases()
+		for i := 0; i < n; i++ {
+			b := 1000 + sim.Time(rng.Intn(300)) - 50
+			e := b + sim.Time(rng.Intn(150))
+			ph := phases[rng.Intn(len(phases))]
+			spans = append(spans, Record{
+				ID: uint64(i + 2), Parent: 1, Req: 1, Phase: ph, Begin: b, End: e,
+			})
+		}
+		p := profTree(spans)
+		sum := p.SelfNs(PhaseWrite)
+		for _, ph := range phases {
+			sum += p.PhaseNs(PhaseWrite, ph)
+		}
+		if sum != int64(rootLen) {
+			t.Fatalf("iter %d: phases+self = %d, want %d (spans %+v)", iter, sum, rootLen, spans)
+		}
+	}
+}

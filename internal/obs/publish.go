@@ -1,0 +1,55 @@
+package obs
+
+import "kddcache/internal/stats"
+
+// PublishCacheStats publishes every CacheStats counter (and the derived
+// hit-ratio gauges) into reg under the kdd_cache_* namespace. The same
+// names serve every policy — CacheStats is the policy-neutral counter
+// block — so dashboards work unchanged across schemes.
+func PublishCacheStats(reg *Registry, s *stats.CacheStats) {
+	c := func(name, help string, v int64) {
+		reg.SetCounter("kdd_cache_"+name, help, v)
+	}
+	c("reads_total", "Read request pages processed.", s.Reads)
+	c("writes_total", "Write request pages processed.", s.Writes)
+	c("read_hits_total", "Read request pages hit in the cache.", s.ReadHits)
+	c("write_hits_total", "Write request pages hit in the cache.", s.WriteHits)
+	c("read_misses_total", "Read request pages missed.", s.ReadMisses)
+	c("write_misses_total", "Write request pages missed.", s.WriteMiss)
+
+	c("read_fills_total", "Cache fills on read miss (pages written to flash).", s.ReadFills)
+	c("write_allocs_total", "Write data admitted into the cache (pages).", s.WriteAllocs)
+	c("delta_commits_total", "DEZ delta pages packed and written.", s.DeltaCommits)
+	c("version_writes_total", "New-version pages written (LeavO).", s.VersionWrite)
+	c("meta_writes_total", "Metadata pages written (circular log appends).", s.MetaWrites)
+	c("meta_gc_writes_total", "Metadata pages rewritten by log GC.", s.MetaGCWrites)
+
+	c("evictions_total", "Clean-page evictions.", s.Evictions)
+	c("reclaims_total", "Old/delta page reclaims by the cleaner.", s.Reclaims)
+	c("cleaner_runs_total", "Background cleaner passes.", s.CleanerRuns)
+	c("admission_rejects_total", "Misses not cached by selective admission.", s.AdmissionRejects)
+
+	c("raid_reads_total", "Block reads issued to the array.", s.RAIDReads)
+	c("raid_writes_total", "Block writes issued to the array.", s.RAIDWrites)
+	c("parity_updates_total", "Deferred parity repairs performed.", s.ParityUpdates)
+	c("small_writes_saved_total", "Writes that skipped the parity read-modify-write.", s.SmallWritesSaved)
+
+	c("media_retries_total", "SSD reads retried after a transient media error.", s.MediaRetries)
+	c("media_errors_total", "SSD media errors that persisted past the retries.", s.SSDMediaErrors)
+	c("media_fallbacks_total", "Operations served from RAID after losing SSD pages.", s.MediaFallbacks)
+	c("rows_healed_total", "Rows re-materialised and resynced after media loss.", s.RowsHealed)
+
+	c("failovers_total", "Transitions into pass-through (Bypass or Degraded).", s.Failovers)
+	c("breaker_trips_total", "Circuit-breaker trips on media-error rate.", s.BreakerTrips)
+	c("breaker_probes_total", "Half-open probes issued while Degraded.", s.BreakerProbes)
+	c("emergency_folds_total", "Emergency stale-parity folds run on failover.", s.EmergencyFolds)
+	c("fold_rmws_total", "Rows folded from NVRAM-staged deltas at failover.", s.FoldRMWs)
+	c("fold_resyncs_total", "Rows folded via member resync at failover.", s.FoldResyncs)
+	c("pass_reads_total", "Reads served in pass-through mode.", s.PassReads)
+	c("pass_writes_total", "Writes served in pass-through mode.", s.PassWrites)
+	c("reattaches_total", "Successful cache re-attachments.", s.Reattaches)
+
+	reg.SetGauge("kdd_cache_hit_ratio", "Overall cache hit ratio.", s.HitRatio())
+	reg.SetGauge("kdd_cache_read_hit_ratio", "Read hit ratio.", s.ReadHitRatio())
+	reg.SetGauge("kdd_cache_meta_share", "Metadata share of SSD write traffic.", s.MetaShare())
+}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kddcache/internal/stats"
+)
+
+// Registry is a snapshot-style metrics registry: layers publish their
+// current counters/gauges/histograms into it after a run (or at a
+// checkpoint), and it renders deterministic Prometheus exposition text.
+//
+// Naming scheme: `layer_metric_unit_total` for counters
+// (`kdd_read_hits_total`), `layer_metric` for gauges (`kdd_dirty_pages`),
+// with labels embedded in the series name (`hdd_reads_total{disk="0"}`).
+// The family is the name up to the label block; series of one family
+// share HELP/TYPE and must be published with the same kind.
+type Registry struct {
+	m map[string]*metric
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type histSnap struct {
+	count   int64
+	sum     int64
+	buckets [64]int64
+}
+
+type metric struct {
+	name   string // full series name, labels included
+	family string
+	labels string // inside the braces, "" when unlabelled
+	help   string
+	kind   metricKind
+	ival   int64
+	fval   float64
+	hist   histSnap
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]*metric)} }
+
+func splitSeries(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+func (r *Registry) set(name, help string, kind metricKind) *metric {
+	m, ok := r.m[name]
+	if !ok {
+		family, labels := splitSeries(name)
+		m = &metric{name: name, family: family, labels: labels}
+		r.m[name] = m
+	}
+	m.help = help
+	m.kind = kind
+	return m
+}
+
+// SetCounter publishes a monotonic counter series.
+func (r *Registry) SetCounter(name, help string, v int64) {
+	r.set(name, help, kindCounter).ival = v
+}
+
+// SetGauge publishes a gauge series.
+func (r *Registry) SetGauge(name, help string, v float64) {
+	r.set(name, help, kindGauge).fval = v
+}
+
+// SetHistogram publishes a snapshot of h as a Prometheus histogram.
+func (r *Registry) SetHistogram(name, help string, h *stats.Histogram) {
+	m := r.set(name, help, kindHistogram)
+	m.hist = histSnap{count: h.Count(), sum: h.Sum(), buckets: h.Buckets()}
+}
+
+// Counter returns the value of a counter series (0, false if absent or
+// not a counter). Test and assertion helper.
+func (r *Registry) Counter(name string) (int64, bool) {
+	m, ok := r.m[name]
+	if !ok || m.kind != kindCounter {
+		return 0, false
+	}
+	return m.ival, true
+}
+
+// Gauge returns the value of a gauge series (0, false if absent or not
+// a gauge).
+func (r *Registry) Gauge(name string) (float64, bool) {
+	m, ok := r.m[name]
+	if !ok || m.kind != kindGauge {
+		return 0, false
+	}
+	return m.fval, true
+}
+
+// Len returns the number of published series.
+func (r *Registry) Len() int { return len(r.m) }
+
+func (r *Registry) sorted() []*metric {
+	ms := make([]*metric, 0, len(r.m))
+	for _, m := range r.m {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].family != ms[j].family {
+			return ms[i].family < ms[j].family
+		}
+		return ms[i].name < ms[j].name
+	})
+	return ms
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (m *metric) series(suffix, extraLabel string) string {
+	labels := m.labels
+	if extraLabel != "" {
+		if labels != "" {
+			labels += ","
+		}
+		labels += extraLabel
+	}
+	if labels == "" {
+		return m.family + suffix
+	}
+	return m.family + suffix + "{" + labels + "}"
+}
+
+// WritePrometheus renders the registry as Prometheus text exposition,
+// sorted by (family, series) so equal registries produce equal bytes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	lastFamily := ""
+	for _, m := range r.sorted() {
+		if m.family != lastFamily {
+			lastFamily = m.family
+			help := m.help
+			if help == "" {
+				help = m.family
+			}
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.family, help)
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.family, m.kind)
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.ival)
+		case kindGauge:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.fval))
+		case kindHistogram:
+			last := -1
+			for i := 63; i >= 0; i-- {
+				if m.hist.buckets[i] != 0 {
+					last = i
+					break
+				}
+			}
+			cum := int64(0)
+			for i := 0; i <= last; i++ {
+				cum += m.hist.buckets[i]
+				// bucket i holds v with floor(log2 v) == i, so the
+				// inclusive upper bound is 2^(i+1)-1.
+				le := strconv.FormatUint(1<<(uint(i)+1)-1, 10)
+				fmt.Fprintf(&b, "%s %d\n", m.series("_bucket", `le="`+le+`"`), cum)
+			}
+			fmt.Fprintf(&b, "%s %d\n", m.series("_bucket", `le="+Inf"`), m.hist.count)
+			fmt.Fprintf(&b, "%s %d\n", m.series("_sum", ""), m.hist.sum)
+			fmt.Fprintf(&b, "%s %d\n", m.series("_count", ""), m.hist.count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Validate checks every published series for sanity: counters must be
+// non-negative, gauges finite, histogram bucket totals must equal their
+// counts, and one family must not mix metric kinds. The crash-recovery
+// checker runs this after every restore.
+func (r *Registry) Validate() error {
+	kinds := make(map[string]metricKind)
+	for _, m := range r.sorted() {
+		if prev, ok := kinds[m.family]; ok && prev != m.kind {
+			return fmt.Errorf("obs: family %s mixes kinds %s and %s", m.family, prev, m.kind)
+		}
+		kinds[m.family] = m.kind
+		switch m.kind {
+		case kindCounter:
+			if m.ival < 0 {
+				return fmt.Errorf("obs: counter %s is negative (%d)", m.name, m.ival)
+			}
+		case kindGauge:
+			if math.IsNaN(m.fval) || math.IsInf(m.fval, 0) {
+				return fmt.Errorf("obs: gauge %s is not finite (%v)", m.name, m.fval)
+			}
+		case kindHistogram:
+			if m.hist.count < 0 {
+				return fmt.Errorf("obs: histogram %s has negative count (%d)", m.name, m.hist.count)
+			}
+			total := int64(0)
+			for _, c := range m.hist.buckets {
+				if c < 0 {
+					return fmt.Errorf("obs: histogram %s has a negative bucket", m.name)
+				}
+				total += c
+			}
+			if total != m.hist.count {
+				return fmt.Errorf("obs: histogram %s buckets sum to %d, count is %d", m.name, total, m.hist.count)
+			}
+		}
+	}
+	return nil
+}

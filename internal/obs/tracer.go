@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"fmt"
+
+	"kddcache/internal/sim"
+)
+
+// Record is one completed span. Begin/End are virtual times; a span may
+// end after its parent when the modelled work completes asynchronously
+// (e.g. a cache fill whose SSD write outlives the request), so nesting
+// is defined on begin times and attribution clips to the root window.
+type Record struct {
+	ID     uint64 // unique per tracer, assigned in open order, starts at 1
+	Parent uint64 // 0 for a root span
+	Req    uint64 // ID of the enclosing root span (own ID for roots)
+	Phase  Phase
+	Dev    string // device name for dev_* spans, "" otherwise
+	LBA    int64  // target LBA, -1 when not applicable
+	N      int    // page count, 0 when not applicable
+	Begin  sim.Time
+	End    sim.Time
+}
+
+// Duration returns the span length (never negative; End is clamped to
+// Begin at close time).
+func (r *Record) Duration() sim.Time { return r.End - r.Begin }
+
+// Sink receives completed span trees. The spans slice is reused by the
+// tracer after Tree returns; implementations must not retain it.
+type Sink interface {
+	Tree(spans []Record)
+}
+
+// MultiSink fans completed trees out to several sinks in order.
+type MultiSink []Sink
+
+// Tree implements Sink.
+func (m MultiSink) Tree(spans []Record) {
+	for _, s := range m {
+		if s != nil {
+			s.Tree(spans)
+		}
+	}
+}
+
+// Tracer records spans into per-request trees and delivers each tree to
+// its sink when the root span closes. A nil *Tracer is valid and free:
+// every method no-ops, and Begin returns a Span whose End also no-ops —
+// instrumented code needs no branches beyond the ones it writes for
+// deferred closes.
+//
+// The tracer is not safe for concurrent use; the harness gives each
+// parallel job its own tracer so IDs (and therefore trace bytes) do not
+// depend on pool width.
+type Tracer struct {
+	sink   Sink
+	nextID uint64
+	frames []Record // spans of the tree currently being built, in open order
+	open   []int32  // stack of open span indices into frames
+	err    error    // first structural misuse observed (unbalanced End)
+}
+
+// NewTracer returns a tracer delivering completed trees to sink. A nil
+// sink is allowed: spans are tracked (for OpenSpans/Spans accounting)
+// and discarded on completion.
+func NewTracer(sink Sink) *Tracer { return &Tracer{sink: sink} }
+
+// Span is a handle to an open span. The zero value is inert: End on it
+// is a no-op, which is what Begin on a nil tracer returns.
+type Span struct {
+	tr  *Tracer
+	idx int32
+}
+
+// Begin opens a span of phase p at virtual time t.
+func (tr *Tracer) Begin(t sim.Time, p Phase) Span {
+	return tr.BeginDev(t, p, "", -1, 0)
+}
+
+// BeginLBA opens a span annotated with its target LBA.
+func (tr *Tracer) BeginLBA(t sim.Time, p Phase, lba int64) Span {
+	return tr.BeginDev(t, p, "", lba, 1)
+}
+
+// BeginDev opens a fully annotated span (device name, LBA, page count).
+// Pass lba < 0 and n == 0 to omit the annotations from the trace.
+func (tr *Tracer) BeginDev(t sim.Time, p Phase, dev string, lba int64, n int) Span {
+	if tr == nil {
+		return Span{}
+	}
+	tr.nextID++
+	r := Record{ID: tr.nextID, Phase: p, Dev: dev, LBA: lba, N: n, Begin: t, End: t}
+	if len(tr.open) > 0 {
+		r.Parent = tr.frames[tr.open[len(tr.open)-1]].ID
+	}
+	if len(tr.frames) > 0 {
+		r.Req = tr.frames[0].ID
+	} else {
+		r.Req = r.ID
+	}
+	idx := int32(len(tr.frames))
+	tr.frames = append(tr.frames, r)
+	tr.open = append(tr.open, idx)
+	return Span{tr: tr, idx: idx}
+}
+
+// Mark records an instantaneous (zero-duration) span at t under the
+// currently open span. Used for events like an NVRAM stage that occupy
+// no virtual time but belong in the trace.
+func (tr *Tracer) Mark(t sim.Time, p Phase, lba int64) {
+	if tr == nil {
+		return
+	}
+	sp := tr.BeginLBA(t, p, lba)
+	sp.End(t)
+}
+
+// End closes the span at virtual time t. End before Begin is clamped
+// (zero-length span). Closing out of stack order force-closes the
+// intervening spans at t and records a structural error on the tracer,
+// so the property tests can assert the instrumentation is balanced.
+func (s Span) End(t sim.Time) {
+	tr := s.tr
+	if tr == nil {
+		return
+	}
+	pos := -1
+	for i := len(tr.open) - 1; i >= 0; i-- {
+		if tr.open[i] == s.idx {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		if tr.err == nil {
+			if int(s.idx) < len(tr.frames) {
+				tr.err = fmt.Errorf("obs: span %d (%s) closed twice", tr.frames[s.idx].ID, tr.frames[s.idx].Phase)
+			} else {
+				tr.err = fmt.Errorf("obs: span closed twice (its tree already completed)")
+			}
+		}
+		return
+	}
+	if pos != len(tr.open)-1 && tr.err == nil {
+		tr.err = fmt.Errorf("obs: span %d (%s) closed with %d children still open",
+			tr.frames[s.idx].ID, tr.frames[s.idx].Phase, len(tr.open)-1-pos)
+	}
+	for i := len(tr.open) - 1; i >= pos; i-- {
+		r := &tr.frames[tr.open[i]]
+		r.End = t
+		if r.End < r.Begin {
+			r.End = r.Begin
+		}
+	}
+	tr.open = tr.open[:pos]
+	if len(tr.open) == 0 {
+		if tr.sink != nil {
+			tr.sink.Tree(tr.frames)
+		}
+		tr.frames = tr.frames[:0]
+	}
+}
+
+// OpenSpans returns how many spans are currently open. After any
+// complete operation (including one unwound by an injected crash) this
+// must be zero; the crash-consistency rig asserts it.
+func (tr *Tracer) OpenSpans() int {
+	if tr == nil {
+		return 0
+	}
+	return len(tr.open)
+}
+
+// Spans returns the total number of spans opened over the tracer's
+// lifetime (marks included).
+func (tr *Tracer) Spans() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.nextID
+}
+
+// Err returns the first structural misuse observed (a span closed twice
+// or closed over still-open children), or nil.
+func (tr *Tracer) Err() error {
+	if tr == nil {
+		return nil
+	}
+	return tr.err
+}
+
+// Reset drops any partially built tree and clears the error, keeping
+// the ID counter (IDs stay unique across a reset).
+func (tr *Tracer) Reset() {
+	if tr == nil {
+		return
+	}
+	tr.frames = tr.frames[:0]
+	tr.open = tr.open[:0]
+	tr.err = nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"kddcache/internal/blockdev"
+	"kddcache/internal/obs"
 	"kddcache/internal/sim"
 )
 
@@ -54,7 +55,12 @@ type Array struct {
 	stale  map[int64]bool // rows whose parity is stale (delayed updates)
 	failed int            // count of currently failed disks
 	stats  Stats
+	tr     *obs.Tracer
 }
+
+// SetTracer installs a span tracer (nil disables tracing). Array entry
+// points appear as raid_* spans nested inside the calling operation.
+func (a *Array) SetTracer(tr *obs.Tracer) { a.tr = tr }
 
 // New builds an array over the given member devices, wrapping each in a
 // FaultDevice for failure injection.
@@ -129,6 +135,24 @@ func (a *Array) Injector(i int) *blockdev.FaultInjector { return a.disks[i] }
 // Stats returns a snapshot of operation counters.
 func (a *Array) Stats() Stats { return a.stats }
 
+// PublishMetrics writes the array's member-I/O accounting into reg.
+func (a *Array) PublishMetrics(reg *obs.Registry) {
+	s := a.stats
+	reg.SetCounter("raid_data_reads_total", "Member data-page reads for user requests.", s.DataReads)
+	reg.SetCounter("raid_data_writes_total", "Member data-page writes for user requests.", s.DataWrites)
+	reg.SetCounter("raid_parity_reads_total", "Parity-page reads (read-modify-write).", s.ParityReads)
+	reg.SetCounter("raid_parity_writes_total", "Parity-page writes.", s.ParityWrites)
+	reg.SetCounter("raid_rebuild_reads_total", "Member reads issued by rebuild.", s.RebuildReads)
+	reg.SetCounter("raid_rebuild_writes_total", "Member writes issued by rebuild.", s.RebuildWrite)
+	reg.SetCounter("raid_degraded_reads_total", "Reconstruct-on-read operations.", s.DegradedRead)
+	reg.SetCounter("raid_noparity_writes_total", "Writes issued through WriteNoParity.", s.NoParityWr)
+	reg.SetCounter("raid_parity_fixes_total", "Deferred parity updates applied.", s.ParityFixes)
+	reg.SetCounter("raid_media_errors_total", "Member reads that returned a media error.", s.MediaErrors)
+	reg.SetCounter("raid_read_repairs_total", "Pages reconstructed and rewritten in place.", s.ReadRepairs)
+	reg.SetGauge("raid_stale_rows", "Rows whose parity is currently stale.", float64(len(a.stale)))
+	reg.SetGauge("raid_failed_disks", "Currently failed member disks.", float64(a.failed))
+}
+
 // StaleRows returns the number of rows with stale parity.
 func (a *Array) StaleRows() int { return len(a.stale) }
 
@@ -194,14 +218,18 @@ func pageBuf(buf []byte, i int) []byte {
 
 // ReadPages implements blockdev.Device. Failed members trigger degraded
 // reconstruction where the level allows it.
-func (a *Array) ReadPages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+func (a *Array) ReadPages(t sim.Time, lba int64, count int, buf []byte) (done sim.Time, err error) {
 	if err := blockdev.CheckRange(lba, count, a.Pages()); err != nil {
 		return t, err
 	}
 	if err := blockdev.CheckBuf(buf, count); err != nil {
 		return t, err
 	}
-	done := t
+	if a.tr != nil {
+		sp := a.tr.BeginDev(t, obs.PhaseRAIDRead, a.Name(), lba, count)
+		defer func() { sp.End(done) }()
+	}
+	done = t
 	for i := 0; i < count; i++ {
 		c, err := a.readPage(t, lba+int64(i), pageBuf(buf, i))
 		if err != nil {
@@ -295,14 +323,18 @@ func (a *Array) mirrorRead(t sim.Time, lba int64, l loc, buf []byte) (sim.Time, 
 // immediate parity maintenance. Runs of pages covering an entire parity
 // row use reconstruct-write; single pages use read-modify-write — the two
 // modes named in §III-A.
-func (a *Array) WritePages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+func (a *Array) WritePages(t sim.Time, lba int64, count int, buf []byte) (done sim.Time, err error) {
 	if err := blockdev.CheckRange(lba, count, a.Pages()); err != nil {
 		return t, err
 	}
 	if err := blockdev.CheckBuf(buf, count); err != nil {
 		return t, err
 	}
-	done := t
+	if a.tr != nil {
+		sp := a.tr.BeginDev(t, obs.PhaseRAIDWrite, a.Name(), lba, count)
+		defer func() { sp.End(done) }()
+	}
+	done = t
 	for i := 0; i < count; i++ {
 		c, err := a.writePage(t, lba+int64(i), pageBuf(buf, i))
 		if err != nil {

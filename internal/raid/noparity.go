@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"kddcache/internal/blockdev"
+	"kddcache/internal/obs"
 	"kddcache/internal/sim"
 )
 
@@ -14,7 +15,7 @@ import (
 // WriteNoParity writes count data pages without touching parity, marking
 // the affected rows stale. This is KDD's write-hit fast path: one disk
 // write instead of the 4-I/O read-modify-write.
-func (a *Array) WriteNoParity(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+func (a *Array) WriteNoParity(t sim.Time, lba int64, count int, buf []byte) (done sim.Time, err error) {
 	if err := blockdev.CheckRange(lba, count, a.Pages()); err != nil {
 		return t, err
 	}
@@ -25,7 +26,11 @@ func (a *Array) WriteNoParity(t sim.Time, lba int64, count int, buf []byte) (sim
 		// Non-parity levels have nothing to delay; fall back.
 		return a.WritePages(t, lba, count, buf)
 	}
-	done := t
+	if a.tr != nil {
+		sp := a.tr.BeginDev(t, obs.PhaseRAIDWriteNP, a.Name(), lba, count)
+		defer func() { sp.End(done) }()
+	}
+	done = t
 	for i := 0; i < count; i++ {
 		l := a.geo.locate(lba + int64(i))
 		if a.disks[l.disk].Failed() {
@@ -61,7 +66,7 @@ func (a *Array) rowStale(l loc) bool { return a.stale[l.row] }
 // the read-modify-write flavour of the paper's background parity update
 // (§III-D). delta may be nil in timing mode. Deltas for several pages of
 // the same row can be applied in one call via lbas/deltas pairs.
-func (a *Array) ParityUpdateDelta(t sim.Time, lbas []int64, deltas [][]byte) (sim.Time, error) {
+func (a *Array) ParityUpdateDelta(t sim.Time, lbas []int64, deltas [][]byte) (done sim.Time, err error) {
 	if len(lbas) == 0 {
 		return t, nil
 	}
@@ -73,6 +78,10 @@ func (a *Array) ParityUpdateDelta(t sim.Time, lbas []int64, deltas [][]byte) (si
 	}
 	if a.cfg.Level != Level5 && a.cfg.Level != Level6 {
 		return t, nil
+	}
+	if a.tr != nil {
+		sp := a.tr.BeginDev(t, obs.PhaseParityRMW, a.Name(), lbas[0], len(lbas))
+		defer func() { sp.End(done) }()
 	}
 	if !a.rowStale(l) {
 		// Parity already reflects the member data — a resync healed the
@@ -166,7 +175,7 @@ func (a *Array) ParityUpdateDelta(t sim.Time, lbas []int64, deltas [][]byte) (si
 	}
 
 	// Write repaired parity.
-	done := phase1
+	done = phase1
 	a.stats.ParityWrites++
 	a.stats.ParityFixes++
 	c, err = a.disks[l.pDisk].WritePages(phase1, l.row, 1, p)
@@ -191,10 +200,14 @@ func (a *Array) ParityUpdateDelta(t sim.Time, lbas []int64, deltas [][]byte) (si
 // order) and writes it: the reconstruct-write flavour, used when every
 // data block of the stripe is resident in the SSD cache so no disk reads
 // are needed. rowData may be nil in timing mode.
-func (a *Array) ParityUpdateReconstruct(t sim.Time, lba int64, rowData [][]byte) (sim.Time, error) {
+func (a *Array) ParityUpdateReconstruct(t sim.Time, lba int64, rowData [][]byte) (done sim.Time, err error) {
 	l := a.geo.locate(lba)
 	if a.cfg.Level != Level5 && a.cfg.Level != Level6 {
 		return t, nil
+	}
+	if a.tr != nil {
+		sp := a.tr.BeginDev(t, obs.PhaseParityRecon, a.Name(), lba, 1)
+		defer func() { sp.End(done) }()
 	}
 	pOK := !a.disks[l.pDisk].Failed()
 	qOK := l.qDisk >= 0 && !a.disks[l.qDisk].Failed()
@@ -221,7 +234,7 @@ func (a *Array) ParityUpdateReconstruct(t sim.Time, lba int64, rowData [][]byte)
 			}
 		}
 	}
-	done := t
+	done = t
 	a.stats.ParityFixes++
 	if pOK {
 		a.stats.ParityWrites++

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"kddcache/internal/blockdev"
+	"kddcache/internal/obs"
 	"kddcache/internal/sim"
 )
 
@@ -421,9 +422,13 @@ func (a *Array) scrubMirrorRow(t sim.Time, rl rowLoc, rep *ScrubReport) (sim.Tim
 // data members always hold the current data (KDD dispatches every write
 // to RAID), so recomputing from them is always safe, just costlier than
 // the delta RMW.
-func (a *Array) ResyncRow(t sim.Time, lba int64) (sim.Time, error) {
+func (a *Array) ResyncRow(t sim.Time, lba int64) (done sim.Time, err error) {
 	if a.cfg.Level != Level5 && a.cfg.Level != Level6 {
 		return t, nil
+	}
+	if a.tr != nil {
+		sp := a.tr.BeginDev(t, obs.PhaseResync, a.Name(), lba, 1)
+		defer func() { sp.End(done) }()
 	}
 	l := a.geo.locate(lba)
 	return a.resyncRow(t, l.row)

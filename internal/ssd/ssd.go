@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"kddcache/internal/blockdev"
+	"kddcache/internal/obs"
 	"kddcache/internal/sim"
 )
 
@@ -97,7 +98,13 @@ type Device struct {
 	erases      int64
 	trims       int64
 	wornOut     bool
+
+	tr *obs.Tracer
 }
+
+// SetTracer installs a span tracer (nil disables tracing). Host reads and
+// writes appear as dev_read/dev_write spans carrying the device name.
+func (d *Device) SetTracer(tr *obs.Tracer) { d.tr = tr }
 
 // New returns a timing-mode SSD.
 func New(name string, cfg Config) *Device { return newDevice(name, cfg, nil) }
@@ -325,14 +332,18 @@ func isFree(free []int, b int) bool {
 }
 
 // ReadPages implements blockdev.Device.
-func (d *Device) ReadPages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+func (d *Device) ReadPages(t sim.Time, lba int64, count int, buf []byte) (done sim.Time, err error) {
 	if err := blockdev.CheckRange(lba, count, d.cfg.HostPages); err != nil {
 		return t, err
 	}
 	if err := blockdev.CheckBuf(buf, count); err != nil {
 		return t, err
 	}
-	done := t
+	if d.tr != nil {
+		sp := d.tr.BeginDev(t, obs.PhaseDevRead, d.name, lba, count)
+		defer func() { sp.End(done) }()
+	}
+	done = t
 	for i := 0; i < count; i++ {
 		l := lba + int64(i)
 		d.hostReads++
@@ -354,14 +365,18 @@ func (d *Device) ReadPages(t sim.Time, lba int64, count int, buf []byte) (sim.Ti
 }
 
 // WritePages implements blockdev.Device.
-func (d *Device) WritePages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+func (d *Device) WritePages(t sim.Time, lba int64, count int, buf []byte) (done sim.Time, err error) {
 	if err := blockdev.CheckRange(lba, count, d.cfg.HostPages); err != nil {
 		return t, err
 	}
 	if err := blockdev.CheckBuf(buf, count); err != nil {
 		return t, err
 	}
-	done := t
+	if d.tr != nil {
+		sp := d.tr.BeginDev(t, obs.PhaseDevWrite, d.name, lba, count)
+		defer func() { sp.End(done) }()
+	}
+	done = t
 	for i := 0; i < count; i++ {
 		l := lba + int64(i)
 		d.hostWrites++
@@ -445,6 +460,26 @@ func (d *Device) Stats() Stats {
 // log-structured allocation).
 func (d *Device) LifetimeFraction() float64 {
 	return d.Stats().AvgErase / float64(d.cfg.PECycles)
+}
+
+// PublishMetrics writes the FTL counters into reg.
+func (d *Device) PublishMetrics(reg *obs.Registry) {
+	s := d.Stats()
+	reg.SetCounter("ssd_host_reads_total", "Host page reads served.", s.HostReads)
+	reg.SetCounter("ssd_host_writes_total", "Host page writes served.", s.HostWrites)
+	reg.SetCounter("ssd_flash_reads_total", "Flash page reads (host + GC relocation).", s.FlashReads)
+	reg.SetCounter("ssd_flash_writes_total", "Flash page programs (host + GC relocation).", s.FlashWrites)
+	reg.SetCounter("ssd_gc_writes_total", "Flash programs caused by GC relocation.", s.GCWrites)
+	reg.SetCounter("ssd_erases_total", "Block erases performed.", s.Erases)
+	reg.SetCounter("ssd_trims_total", "Pages trimmed.", s.Trims)
+	reg.SetGauge("ssd_max_erase", "Highest per-block erase count.", float64(s.MaxErase))
+	reg.SetGauge("ssd_write_amplification", "Flash programs per host write.", s.WriteAmplification())
+	reg.SetGauge("ssd_lifetime_fraction", "Consumed fraction of the P/E budget.", d.LifetimeFraction())
+	worn := 0.0
+	if s.WornOut {
+		worn = 1
+	}
+	reg.SetGauge("ssd_worn_out", "1 when any block exhausted its P/E budget.", worn)
 }
 
 var (

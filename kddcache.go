@@ -313,6 +313,7 @@ var Experiments = map[string]func(scale float64) (string, error){
 	"degraded":            harness.DegradedPerformance,
 	"ablation-admission":  harness.AblationAdmission,
 	"motivation":          harness.Motivation,
+	"phases":              harness.PhaseBreakdown,
 	"sweep-associativity": harness.AblationAssociativity,
 	"sweep-staging":       harness.AblationStaging,
 }
