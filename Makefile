@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race chaos chaos-ssd check mutate fuzz cover bench-harness obs-test ci clean
+.PHONY: all build vet test race chaos chaos-ssd chaos-rebuild check mutate fuzz cover bench-harness obs-test ci clean
 
 all: ci
 
@@ -20,7 +20,7 @@ test:
 race:
 	$(GO) test -race ./internal/blockdev/ ./internal/core/ ./internal/raid/
 	$(GO) test -race -run 'FanOut|Deterministic|ParallelismKnob' ./internal/harness/
-	$(GO) test -race -short ./internal/check/ ./internal/model/
+	$(GO) test -race -short -timeout 20m ./internal/check/ ./internal/model/
 
 # Full chaos run: randomized seeded fault schedules with end-to-end
 # verification; non-zero exit on any violation.
@@ -31,6 +31,12 @@ chaos:
 # storm, reattach-then-rekill) under the race detector.
 chaos-ssd:
 	$(GO) test -race -run 'TestChaosSSD' ./internal/harness/
+
+# Rebuild-window chaos plans (member kill with a hot spare, power losses
+# inside the rebuild window, second member kill mid-window on RAID-6)
+# under the race detector.
+chaos-rebuild:
+	$(GO) test -race -run 'TestChaosRebuild' ./internal/harness/
 
 # Model-based crash-consistency checker, deterministic CI mode: every
 # crash point and media-fault site enumerated from the profile trace is
@@ -77,7 +83,7 @@ cover:
 bench-harness:
 	$(GO) run ./cmd/harnessbench -scale $(or $(BENCH_SCALE),0.01) -o BENCH_harness.json
 
-ci: vet build test race obs-test chaos-ssd check mutate cover
+ci: vet build test race obs-test chaos-ssd chaos-rebuild check mutate cover
 
 clean:
 	$(GO) clean ./...

@@ -79,6 +79,18 @@ func main() {
 			})
 			return r.Table(), nil
 		}},
+		{"chaos-rebuild", func(par int) (string, error) {
+			r := harness.Chaos(harness.ChaosOpts{
+				Schedules: *schedules, Ops: *ops, Parallel: par,
+				Kind: "disk-kill,rebuild-crash,double-kill",
+			})
+			return r.Table(), nil
+		}},
+		{"rebuild-impact", func(par int) (string, error) {
+			harness.SetParallelism(par)
+			defer harness.SetParallelism(0)
+			return harness.RebuildImpact(*scale)
+		}},
 		{"phases", func(par int) (string, error) {
 			harness.SetParallelism(par)
 			defer harness.SetParallelism(0)

@@ -34,12 +34,14 @@ func main() {
 		cache     = flag.Int64("cachepages", 0, "SSD cache data pages (0 = default 128)")
 		parallel  = flag.Int("parallel", 0, "worker-pool width for site replays; report is identical at any width (0 = GOMAXPROCS, 1 = serial)")
 		ci        = flag.Bool("ci", false, "deterministic CI mode: fixed small parameters, overrides -ops/-footprint")
+		rebuild   = flag.Bool("rebuild", false, "rebuild-window scenario: kill a member mid-workload with a hot spare parked (RAID-6), so every crash point and fault site fires against an online rebuild")
+		stride    = flag.Int("media-stride", 0, "sample every Nth member media-fault site (0/1 = exhaustive); crash and SSD sites are never strided — useful with -rebuild, where the rebuild touches every member page")
 	)
 	flag.Parse()
 	for _, v := range []struct {
 		name string
 		val  int64
-	}{{"seeds", int64(*seeds)}, {"ops", int64(*ops)}, {"footprint", *footprint}, {"cachepages", *cache}} {
+	}{{"seeds", int64(*seeds)}, {"ops", int64(*ops)}, {"footprint", *footprint}, {"cachepages", *cache}, {"media-stride", int64(*stride)}} {
 		if v.val < 0 {
 			fmt.Fprintf(os.Stderr, "kddcheck: -%s must be >= 0 (0 = default), got %d\n", v.name, v.val)
 			os.Exit(2)
@@ -47,12 +49,14 @@ func main() {
 	}
 
 	o := check.Options{
-		Seed:       *seed,
-		Seeds:      *seeds,
-		Ops:        *ops,
-		Footprint:  *footprint,
-		CachePages: *cache,
-		Parallel:   *parallel,
+		Seed:        *seed,
+		Seeds:       *seeds,
+		Ops:         *ops,
+		Footprint:   *footprint,
+		CachePages:  *cache,
+		Parallel:    *parallel,
+		Rebuild:     *rebuild,
+		MediaStride: *stride,
 	}
 	if *ci {
 		o.Ops = 120

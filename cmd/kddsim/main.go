@@ -47,6 +47,9 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "worker-pool width for experiment simulations; output is identical at any width (0 = GOMAXPROCS, 1 = serial)")
 		killAt     = flag.Int("kill-ssd-at", -1, "fail-stop the cache SSD before request #N; KDD folds parity and continues in pass-through (-1 = never)")
 		reattachAt = flag.Int("reattach-at", -1, "repair and re-attach a fresh cache SSD before request #N, KDD only (-1 = never)")
+		killDiskAt = flag.Int("kill-disk-at", -1, "fail-stop RAID member 2 before request #N (-1 = never)")
+		replaceAt  = flag.Int("replace-disk-at", -1, "provide a fresh replacement member before request #N: KDD parks it as a hot spare and paces the rebuild online; other policies rebuild blocking (-1 = never)")
+		rbRate     = flag.Int("rebuild-rate", 0, "KDD rebuild pump: max rows reconstructed per request when the array is idle (0 = default 8, -1 = pump disabled)")
 	)
 	flag.Parse()
 	kddcache.SetParallelism(*parallel)
@@ -107,24 +110,46 @@ func main() {
 		ob = obs.New()
 	}
 	st, err := harness.Build(harness.StackOpts{
-		Policy:     harness.PolicyKind(*policy),
-		DeltaMean:  *locality,
-		CachePages: pages,
-		MetaFrac:   *metaFrac,
-		DiskPages:  diskPagesFor(tr),
-		Seed:       spec.Seed,
-		Obs:        ob,
+		Policy:         harness.PolicyKind(*policy),
+		DeltaMean:      *locality,
+		CachePages:     pages,
+		MetaFrac:       *metaFrac,
+		DiskPages:      diskPagesFor(tr),
+		Seed:           spec.Seed,
+		RebuildRateMax: *rbRate,
+		Obs:            ob,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	if *killAt >= 0 || *reattachAt >= 0 {
+	if *killAt >= 0 || *reattachAt >= 0 || *killDiskAt >= 0 || *replaceAt >= 0 {
 		st.PerRequest = func(i int) {
 			if i == *killAt {
 				st.SSDInj.Fail()
 			}
 			if i == *reattachAt {
 				if err := st.ReattachSSD(0); err != nil {
+					fatal(err)
+				}
+			}
+			if i == *killDiskAt {
+				st.Array.FailDisk(2)
+			}
+			if i == *replaceAt {
+				fresh := st.FreshMember()
+				if *policy == string(harness.PolicyKDD) {
+					// Park the replacement as a hot spare: the engine folds
+					// pending deltas (§III-E) and paces the rebuild online.
+					if err := st.Array.AddSpare(fresh); err != nil {
+						fatal(err)
+					}
+					return
+				}
+				// No pump outside KDD: repair parity, then rebuild blocking.
+				if _, err := st.Policy.Flush(0); err != nil {
+					fatal(err)
+				}
+				if _, err := st.Array.ReplaceDisk(0, 2, fresh); err != nil {
 					fatal(err)
 				}
 			}
@@ -150,6 +175,12 @@ func main() {
 	fmt.Printf("failover    : failovers=%d breakerTrips=%d folds=%d (rmw=%d resync=%d) passReads=%d passWrites=%d reattaches=%d\n",
 		c.Failovers, c.BreakerTrips, c.EmergencyFolds, c.FoldRMWs, c.FoldResyncs,
 		c.PassReads, c.PassWrites, c.Reattaches)
+	if *killDiskAt >= 0 || *replaceAt >= 0 {
+		as := st.Array.Stats()
+		fmt.Printf("rebuild     : spareAttaches=%d pumpSteps=%d pumpRows=%d done=%d arrayRows=%d active=%v failedDisks=%v lostRows=%d\n",
+			c.SpareAttaches, c.RebuildSteps, c.RebuildRows, c.RebuildsDone,
+			as.RebuildRows, st.Array.RebuildActive(), st.Array.FailedDisks(), len(st.Array.LostRows()))
+	}
 	if ob != nil {
 		if err := ob.Tracer.Err(); err != nil {
 			fatal(fmt.Errorf("trace integrity: %w", err))

@@ -91,12 +91,12 @@ func (f *FaultInjector) Fail() { f.failed.Store(true) }
 // Repair replaces the device with a fresh (zeroed) one of the same size;
 // the caller is responsible for rebuilding contents (RAID rebuild). The
 // swap is atomic with respect to in-flight operations, and all page-level
-// fault state is cleared along with the old medium.
+// fault state is cleared along with the old medium. An armed crash point
+// (ArmCrash) survives the swap: it models node power loss, which does not
+// care that the medium behind this slot is new.
 func (f *FaultInjector) Repair(fresh Device) {
 	f.mu.Lock()
 	f.badPages = make(map[int64]int)
-	f.crashed = false
-	f.crashIn = 0
 	f.mu.Unlock()
 	f.inner.Store(&fresh)
 	f.failed.Store(false)

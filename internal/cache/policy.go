@@ -34,6 +34,20 @@ type Backend interface {
 	// policies stop deferring while degraded: a second failure before the
 	// deferred update would lose data, so staleness must not grow.
 	Healthy() bool
+
+	// Online member rebuild (incremental, crash-safe). The policy paces
+	// RebuildStep against foreground traffic and persists the watermark
+	// from RebuildTarget as a checkpoint; after a crash, ResumeRebuild
+	// re-opens the window from that checkpoint.
+	RebuildActive() bool
+	RebuildTarget() (disk int, watermark int64, active bool)
+	RebuildStep(t sim.Time, maxRows int) (done sim.Time, rowsDone int, complete bool, err error)
+	ResumeRebuild(disk int, watermark int64) error
+	// Hot spares: StartSpareRebuild attaches a parked spare to a failed
+	// member (no-op when nothing is failed, no spare is parked, or a
+	// rebuild is already running).
+	SpareCount() int
+	StartSpareRebuild(t sim.Time) (done sim.Time, started bool, err error)
 }
 
 // Policy is a cache management scheme over an SSD device and a Backend.

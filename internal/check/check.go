@@ -28,6 +28,19 @@ type Options struct {
 	CachePages int64  // SSD cache frame pages (0 = 128)
 	Parallel   int    // site-replay workers (0 = GOMAXPROCS, via harness.FanOut)
 	CrashOnly  bool   // explore only crash sites (used by the kddbug mutation self-test)
+	// Rebuild selects the rebuild-window scenario: a member is killed at
+	// Ops/3 with a hot spare parked, so every site fires against a stack
+	// whose pump is rebuilding the array online (RAID-6 geometry, so a
+	// member media fault inside the window stays recoverable). Crash sites
+	// then cover the rebuild checkpoint/resume path.
+	Rebuild bool
+	// MediaStride samples every Nth member media-fault site (0 or 1 =
+	// exhaustive). Crash sites, whole-SSD kill sites and SSD media sites
+	// are never strided — only the member fault fan-out, which the rebuild
+	// scenario inflates to every-page-on-every-member because the rebuild
+	// itself touches the whole array. The -race -short CI sweep uses this;
+	// the stride offset rotates per member so no member goes unsampled.
+	MediaStride int
 }
 
 func (o Options) withDefaults() Options {
@@ -148,14 +161,17 @@ func runSeed(seed uint64, o Options) SeedResult {
 	// failures would be noise on top of a broken stack.
 	r := newRig(seed, o)
 	r.inj.RecordOps(true)
-	for i := 0; i < checkDisks; i++ {
+	for i := 0; i < r.nDisks; i++ {
 		r.arr.Injector(i).RecordOps(true)
 	}
 	r.runOps()
 	r.inj.RecordOps(false)
-	for i := 0; i < checkDisks; i++ {
+	for i := 0; i < r.nDisks; i++ {
 		r.arr.Injector(i).RecordOps(false)
 	}
+	// Pump activity during the profile run, captured before verify (whose
+	// completion drive steps the array directly, not through the pump).
+	profileSteps := int(r.kdd.Stats().RebuildSteps)
 	r.verify()
 	if len(r.violations) > 0 {
 		for _, v := range r.violations {
@@ -164,9 +180,12 @@ func runSeed(seed uint64, o Options) SeedResult {
 		return res
 	}
 
-	// Enumerate. Crashes model whole-node power loss, so crash sites come
-	// only from the SSD injector (whose write ordinals cover the log, the
-	// cache frame, and DEZ commits); members contribute media sites only.
+	// Enumerate. Crashes model whole-node power loss. The SSD injector's
+	// write ordinals (log, cache frame, DEZ commits) are always crash
+	// sites; in the rebuild scenario the rebuild target's member writes
+	// are too — every rebuild step writes the target, so the sweep gets a
+	// crash point inside the window for every step. Other members
+	// contribute media sites only.
 	var sites []site
 	for _, fs := range blockdev.EnumerateSites(r.inj.Recorded(), seed^0x517E5) {
 		if o.CrashOnly && fs.Kind != blockdev.FaultCrashTorn {
@@ -175,10 +194,27 @@ func runSeed(seed uint64, o Options) SeedResult {
 		sites = append(sites, site{dev: "ssd", disk: -1, fs: fs})
 	}
 	if !o.CrashOnly {
-		for d := 0; d < checkDisks; d++ {
+		stride := o.MediaStride
+		if stride < 1 {
+			stride = 1
+		}
+		for d := 0; d < r.nDisks; d++ {
+			media := 0
 			for _, fs := range blockdev.EnumerateSites(r.arr.Injector(d).Recorded(), seed^uint64(d)) {
 				if fs.Kind == blockdev.FaultCrashTorn {
-					continue
+					if !o.Rebuild || d != rebuildVictim {
+						continue
+					}
+					// Member pages are write-atomic (the sector-atomicity
+					// assumption parity RAID is built on): a power loss
+					// mid-write persists nothing, unlike the SSD's torn
+					// multi-page log appends.
+					fs.TornPages, fs.TornBytes = 0, 0
+				} else {
+					media++
+					if (media-1)%stride != d%stride {
+						continue
+					}
 				}
 				sites = append(sites, site{dev: fmt.Sprintf("disk%d", d), disk: d, fs: fs})
 			}
@@ -200,6 +236,20 @@ func runSeed(seed uint64, o Options) SeedResult {
 			res.MediaSites++
 		}
 	}
+	if o.Rebuild {
+		// The rebuild scenario's whole point is crash coverage of the
+		// checkpoint/resume path: the pump must actually have stepped, and
+		// the sweep must arm at least one crash point per rebuild step.
+		if profileSteps == 0 {
+			res.Violations = append(res.Violations,
+				"profile: rebuild window never pumped a step")
+		}
+		if res.CrashSites < profileSteps {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"only %d crash sites enumerated for %d rebuild steps",
+				res.CrashSites, profileSteps))
+		}
+	}
 
 	outs, _ := harness.FanOut(o.Parallel, len(sites), func(i int) (siteOutcome, error) {
 		return runSite(seed, o, sites[i]), nil
@@ -218,6 +268,10 @@ func runSeed(seed uint64, o Options) SeedResult {
 // the profile run, so crash write-ordinals land where they were recorded.
 func runSite(seed uint64, o Options, s site) siteOutcome {
 	r := newRig(seed, o)
+	// An SSD fail-stop inside the rebuild window is a legal double fault:
+	// the deltas that died with the cache were the only way to repair
+	// stale parity before reconstructing the missing member (§III-E).
+	r.allowLost = o.Rebuild && s.disk < 0 && s.fs.Kind == blockdev.FaultFailStop
 	if s.disk < 0 {
 		r.inj.Arm(s.fs)
 	} else {

@@ -40,6 +40,39 @@ func TestCheckerCIMode(t *testing.T) {
 	}
 }
 
+// TestCheckerRebuildScenario sweeps every crash point and fault site
+// against a stack that is rebuilding a killed member online: crash sites
+// inside the rebuild window must resume from the NVRAM checkpoint (twice,
+// with equal digests), and no site may cost data despite the member hole.
+func TestCheckerRebuildScenario(t *testing.T) {
+	o := Options{Seeds: 2, Ops: 120, Footprint: 48, Rebuild: true}
+	if testing.Short() {
+		// One seed, and member media sites sampled 1-in-12: the rebuild
+		// touches every page of every member, so the exhaustive member
+		// fault fan-out alone is ~2500 replays — far past the -race CI
+		// budget. Crash sites (the checkpoint/resume coverage this
+		// scenario exists for) stay exhaustive.
+		o = Options{Seeds: 1, Ops: 90, Footprint: 32, Rebuild: true, MediaStride: 12}
+	}
+	rep := Run(o)
+	if v := rep.Violations(); len(v) > 0 {
+		max := len(v)
+		if max > 10 {
+			max = 10
+		}
+		t.Fatalf("%d violations (showing %d):\n%s", len(v), max, joinLines(v[:max]))
+	}
+	for _, res := range rep.Results {
+		if res.CrashSites == 0 {
+			t.Errorf("seed %#x: no crash sites enumerated", res.Seed)
+		}
+		if res.Crashes != res.CrashSites {
+			t.Errorf("seed %#x: %d crashes recovered but %d crash sites armed",
+				res.Seed, res.Crashes, res.CrashSites)
+		}
+	}
+}
+
 // TestCheckerDeterministic: the same options must produce the identical
 // report — the replay-from-seed promise printed on failure depends on it.
 func TestCheckerDeterministic(t *testing.T) {

@@ -22,6 +22,9 @@ const (
 	checkChunk     = 4
 	checkWays      = 16
 	checkMetaPages = 32
+
+	// rebuildVictim is the member the rebuild scenario kills at Ops/3.
+	rebuildVictim = 1
 )
 
 // rig is one run's stack: the real KDD+RAID-5 engine on one side, the
@@ -29,11 +32,12 @@ const (
 // All rig state is built from the seed, so a run is a pure function of
 // (seed, options, armed site) — replaying a violation needs only those.
 type rig struct {
-	o    Options
-	rng  *sim.RNG
-	mut  *delta.Mutator
-	mdl  *model.Model
-	halt bool
+	o      Options
+	rng    *sim.RNG
+	mut    *delta.Mutator
+	mdl    *model.Model
+	halt   bool
+	nDisks int
 
 	members []*blockdev.NullDevice
 	arr     *raid.Array
@@ -45,6 +49,14 @@ type rig struct {
 	pendingLBA int64 // lba of the write in flight at a crash; -1 none
 	crashes    int
 	violations []string
+
+	// allowLost excuses loud data loss (ErrUnrecoverable reads, LostRows
+	// accounting) for sites where losing pages is the spec: a whole-SSD
+	// fail-stop inside the rebuild window kills the only copy of the
+	// deltas that could repair stale parity, and a stale row plus the
+	// missing member exceeds even RAID-6's two-erasure budget. The loss
+	// must still be LOUD — silent corruption is never excused.
+	allowLost bool
 }
 
 func newRig(seed uint64, o Options) *rig {
@@ -55,17 +67,32 @@ func newRig(seed uint64, o Options) *rig {
 		mdl:        model.New(),
 		pendingLBA: -1,
 	}
+	// The rebuild scenario runs RAID-6 with one extra member: the armed
+	// member media faults may fire INSIDE the rebuild window (one member
+	// already missing), and the checker's zero-loss assertions only hold
+	// if the geometry tolerates that second hole.
+	r.nDisks = checkDisks
+	level := raid.Level5
+	if o.Rebuild {
+		r.nDisks = checkDisks + 1
+		level = raid.Level6
+	}
 	var members []blockdev.Device
-	for i := 0; i < checkDisks; i++ {
+	for i := 0; i < r.nDisks; i++ {
 		d := blockdev.NewNullDataDevice(fmt.Sprintf("d%d", i), checkDiskPages)
 		r.members = append(r.members, d)
 		members = append(members, d)
 	}
-	arr, err := raid.New(raid.Config{Level: raid.Level5, ChunkPages: checkChunk}, members)
+	arr, err := raid.New(raid.Config{Level: level, ChunkPages: checkChunk}, members)
 	if err != nil {
 		panic(err) // static geometry; cannot fail
 	}
 	r.arr = arr
+	if o.Rebuild {
+		if err := arr.AddSpare(blockdev.NewNullDataDevice("spare", checkDiskPages)); err != nil {
+			panic(err)
+		}
+	}
 	// Trace every run: crash sites that leak spans or drive counters
 	// negative are checker violations, exactly like torn writes.
 	r.tr = obs.NewTracer(obs.NewDigest())
@@ -94,6 +121,27 @@ func (r *rig) violf(format string, args ...any) {
 	r.violations = append(r.violations, fmt.Sprintf(format, args...))
 }
 
+// lostOK reports whether err is the loud lost-page refusal and the armed
+// site makes that loss legal (see allowLost).
+func (r *rig) lostOK(err error) bool {
+	return r.allowLost && errors.Is(err, raid.ErrUnrecoverable)
+}
+
+// anyCrashed reports whether any device's armed crash point has fired.
+// Crash points model whole-node power loss, so a member's crash is the
+// node's crash: the rig recovers exactly as it does for an SSD crash.
+func (r *rig) anyCrashed() bool {
+	if r.inj.Crashed() {
+		return true
+	}
+	for i := 0; i < r.nDisks; i++ {
+		if r.arr.Injector(i).Crashed() {
+			return true
+		}
+	}
+	return false
+}
+
 // pickLBA draws from the footprint with a hot front eighth; the draw
 // count is fixed, keeping the op stream in lockstep with the profile run
 // regardless of which fault site is armed.
@@ -110,13 +158,19 @@ func (r *rig) pickLBA() int64 {
 // crash site fires.
 func (r *rig) runOps() {
 	for i := 0; i < r.o.Ops && !r.halt; i++ {
+		if r.o.Rebuild && i == r.o.Ops/3 {
+			// Kill a member with a hot spare parked: the pump attaches it
+			// at the end of the next operation and rebuilds online under
+			// the remaining workload (and under whatever site is armed).
+			r.arr.FailDisk(rebuildVictim)
+		}
 		lba := r.pickLBA()
 		if r.rng.Float64() < 0.6 {
 			r.doWrite(lba)
 		} else {
 			r.doRead(lba)
 		}
-		if r.inj.Crashed() {
+		if r.anyCrashed() {
 			r.restore()
 		}
 	}
@@ -162,12 +216,15 @@ func (r *rig) doWrite(lba int64) {
 		r.mdl.Write(lba, page)
 		return
 	}
-	if r.inj.Crashed() {
+	if r.anyCrashed() {
 		// The crash hit mid-write: the page may legally resolve to either
 		// version, pinned at the first post-recovery read.
 		r.mdl.CrashWrite(lba, page)
 		r.pendingLBA = lba
 		return
+	}
+	if r.lostOK(err) {
+		return // the page was declared lost; the model keeps its old value
 	}
 	r.violf("write %d failed: %v", lba, err)
 }
@@ -181,8 +238,11 @@ func (r *rig) doRead(lba int64) {
 		_, err = r.kdd.Read(0, lba, buf)
 	}
 	if err != nil {
-		if r.inj.Crashed() {
+		if r.anyCrashed() {
 			return // the crash interrupted the read; recovery handles it
+		}
+		if r.lostOK(err) {
+			return
 		}
 		r.violf("read %d failed: %v", lba, err)
 		return
@@ -202,6 +262,12 @@ func (r *rig) restore() {
 	buffered := r.kdd.Log().BufferedEntries()
 	staging := r.kdd.Staging()
 	r.inj.ClearCrash()
+	for i := 0; i < r.nDisks; i++ {
+		r.arr.Injector(i).ClearCrash()
+	}
+	// The rebuild watermark is volatile array state: a power failure
+	// wipes it, and Restore must resume from the NVRAM checkpoint alone.
+	r.arr.CrashRebuildState()
 	k1, _, err := core.Restore(r.cfg, 0, ctr, buffered, staging)
 	if err != nil {
 		r.violf("restore after crash: %v", err)
@@ -237,6 +303,23 @@ func (r *rig) verify() {
 	if err := r.kdd.CheckInvariants(); err != nil {
 		r.violf("invariants: %v", err)
 	}
+	// Drive any in-flight rebuild to completion: the checks below (flush,
+	// scrub, content sweep, degraded proof) all assume full redundancy.
+	for r.arr.RebuildActive() {
+		_, _, complete, err := r.arr.RebuildStep(0, 64)
+		if err != nil {
+			r.violf("rebuild step during verify: %v", err)
+			break
+		}
+		if complete {
+			break
+		}
+	}
+	if r.o.Rebuild && !r.allowLost {
+		if lost := r.arr.LostRows(); len(lost) > 0 {
+			r.violf("rebuild window lost rows %v despite double-fault tolerance", lost)
+		}
+	}
 	for lba := int64(0); lba < r.o.Footprint; lba++ {
 		r.doRead(lba)
 	}
@@ -255,7 +338,7 @@ func (r *rig) verify() {
 		r.violf("scrub: %v", err)
 		return
 	}
-	if len(rep.Unrecoverable) > 0 {
+	if len(rep.Unrecoverable) > 0 && !r.allowLost {
 		r.violf("scrub reported unrecoverable rows %v", rep.Unrecoverable)
 	}
 	zero := make([]byte, blockdev.PageSize)
@@ -270,6 +353,9 @@ func (r *rig) verify() {
 			want = zero
 		}
 		if _, err := r.arr.ReadPages(0, lba, 1, buf); err != nil {
+			if r.lostOK(err) {
+				continue
+			}
 			r.violf("array read %d: %v", lba, err)
 			continue
 		}
@@ -283,13 +369,16 @@ func (r *rig) verify() {
 	}
 	// Degraded proof: drop one member and re-read the footprint through
 	// reconstruction; wrong parity anywhere shows up as a mismatch.
-	r.arr.FailDisk(r.rng.Intn(checkDisks))
+	r.arr.FailDisk(r.rng.Intn(r.nDisks))
 	for lba := int64(0); lba < r.o.Footprint; lba++ {
 		want, _ := r.mdl.Value(lba)
 		if want == nil {
 			want = zero
 		}
 		if _, err := r.arr.ReadPages(0, lba, 1, buf); err != nil {
+			if r.lostOK(err) {
+				continue
+			}
 			r.violf("degraded read %d: %v", lba, err)
 			continue
 		}
@@ -327,7 +416,9 @@ func (r *rig) verifyBypassRestore() {
 	}
 	buf := make([]byte, blockdev.PageSize)
 	if _, err := k2.Read(0, 0, buf); err != nil {
-		r.violf("read through dead-ssd-restored instance: %v", err)
+		if !r.lostOK(err) {
+			r.violf("read through dead-ssd-restored instance: %v", err)
+		}
 	} else if err := r.mdl.Check(0, buf); err != nil {
 		r.violf("dead-ssd-restored read 0: %v", err)
 	}
@@ -367,8 +458,14 @@ func (r *rig) sweepChecksums() {
 			}
 		}
 	}
-	for i, d := range r.members {
-		st := d.Store()
+	// Sweep through the injectors, not r.members: a spare attach swaps the
+	// medium behind member rebuildVictim's injector, and it is the medium
+	// actually serving reads that must checksum.
+	for i := 0; i < r.nDisks; i++ {
+		st := r.arr.Injector(i).Store()
+		if st == nil {
+			continue
+		}
 		for p := int64(0); p < checkDiskPages; p++ {
 			if !st.VerifyPage(p) {
 				r.violf("disk %d checksum mismatch at page %d", i, p)

@@ -65,5 +65,11 @@ func (k *KDD) StateDigest() uint64 {
 		h.Write(sd.D.Bytes)
 	}
 	put(uint64(k.health))
+	// Member-rebuild window: two restores from one NVRAM snapshot must
+	// resume to the same watermark (or both collapse the window).
+	disk, row, active := k.backend.RebuildTarget()
+	putBool(active)
+	put(uint64(disk))
+	put(uint64(row))
 	return h.Sum64()
 }

@@ -122,6 +122,10 @@ func (k *KDD) noteSwallowed(err error) {
 // transition, and drives probes and the rebuild probation.
 func (k *KDD) preOp(t sim.Time) error {
 	k.opSeq++
+	// Snapshot the RAID traffic counters: if they advance during this
+	// operation, it hit the array, and the rebuild pump refills at the
+	// throttled rate (rebuild.go).
+	k.fgMark = k.st.RAIDReads + k.st.RAIDWrites
 	if err := k.takeSticky(); err != nil {
 		if k.ssdFault(err) {
 			k.deadSSD = true

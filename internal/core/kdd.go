@@ -90,6 +90,15 @@ type Config struct {
 	BreakerThreshold int   // persistent failures in window that trip (default 32)
 	BreakerBackoff   int64 // ops before the first half-open probe (default 64, doubles)
 	RebuildProbation int64 // clean ops in Rebuilding before Normal (default 16)
+
+	// Online member-rebuild pacing (rebuild.go): member rows of rebuild
+	// I/O released per foreground operation. Max applies when the op never
+	// touched the array (served from cache), Min when it did — foreground
+	// pressure throttles the rebuild rather than the other way round.
+	// Zero selects the defaults; RebuildRateMax < 0 disables the pump
+	// entirely (the harness then drives RebuildStep itself).
+	RebuildRateMin int // rows/op under foreground RAID pressure (default 1)
+	RebuildRateMax int // rows/op when the array is otherwise idle (default 8)
 }
 
 // withDefaults fills zero fields.
@@ -125,6 +134,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RebuildProbation == 0 {
 		c.RebuildProbation = 16
+	}
+	if c.RebuildRateMin == 0 {
+		c.RebuildRateMin = 1
+	}
+	if c.RebuildRateMax == 0 {
+		c.RebuildRateMax = 8
 	}
 	return c
 }
@@ -179,6 +194,11 @@ type KDD struct {
 	backoffOps  int64 // current half-open probe backoff (ops)
 	probeAfter  int64 // opSeq at which the next probe may run
 	rebuildLeft int64 // ops left in Rebuilding probation
+
+	// Member-rebuild pump (rebuild.go) — the RAID rebuild, not the cache
+	// health machine's Rebuilding probation above.
+	rbTokens int   // accumulated rebuild-row budget
+	fgMark   int64 // RAIDReads+RAIDWrites at preOp (foreground-pressure probe)
 
 	st       stats.CacheStats
 	dataMode bool

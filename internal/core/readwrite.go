@@ -31,14 +31,22 @@ func (k *KDD) Read(t sim.Time, lba int64, buf []byte) (done sim.Time, err error)
 	}
 	k.st.Reads++
 	if k.passThrough() {
-		return k.passRead(t, lba, buf)
+		done, err = k.passRead(t, lba, buf)
+	} else {
+		done, err = k.readCached(t, lba, buf)
+		if err != nil && k.ssdFault(err) {
+			k.failover(t, HealthBypass)
+			done, err = k.passRead(t, lba, buf)
+		}
 	}
-	done, err = k.readCached(t, lba, buf)
-	if err != nil && k.ssdFault(err) {
-		k.failover(t, HealthBypass)
-		return k.passRead(t, lba, buf)
+	if err != nil {
+		return done, err
 	}
-	return done, err
+	// Background rebuild work rides behind the response (like maybeClean):
+	// it shares the disks from `done` onward but never extends the
+	// operation's own completion time.
+	k.pumpRebuild(done)
+	return done, nil
 }
 
 // readCached is the cache-enabled read path.
@@ -192,18 +200,23 @@ func (k *KDD) Write(t sim.Time, lba int64, buf []byte) (done sim.Time, err error
 	}
 	k.st.Writes++
 	if k.passThrough() {
-		return k.passWrite(t, lba, buf)
+		done, err = k.passWrite(t, lba, buf)
+	} else {
+		done, err = k.writeCached(t, lba, buf)
+		if err != nil && k.ssdFault(err) {
+			// The cache device died somewhere inside the write. Fail over
+			// (folding any stale parity) and re-issue the write conventionally:
+			// a duplicate RAID data write is content-idempotent, and the fold
+			// has already made the row's parity consistent.
+			k.failover(t, HealthBypass)
+			done, err = k.passWrite(t, lba, buf)
+		}
 	}
-	done, err = k.writeCached(t, lba, buf)
-	if err != nil && k.ssdFault(err) {
-		// The cache device died somewhere inside the write. Fail over
-		// (folding any stale parity) and re-issue the write conventionally:
-		// a duplicate RAID data write is content-idempotent, and the fold
-		// has already made the row's parity consistent.
-		k.failover(t, HealthBypass)
-		return k.passWrite(t, lba, buf)
+	if err != nil {
+		return done, err
 	}
-	return done, err
+	k.pumpRebuild(done)
+	return done, nil
 }
 
 // writeCached is the cache-enabled write path.
@@ -266,6 +279,21 @@ func (k *KDD) writeCached(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 		d = k.codec.Encode(nil, nil)
 	}
 
+	// Dispatch the data to RAID without touching parity. This must come
+	// BEFORE the delta is staged: if the data write dies (a member crash
+	// tearing it away), a staged delta would describe an update that never
+	// landed — recovery would keep it, reads would serve old⊕δ, and the
+	// eventual fold would drop the "obsolete" delta and flip the page back
+	// to the old bytes. Failing first leaves no trace. The delta itself
+	// goes to NVRAM (no device I/O), so no crash point can separate the
+	// successful data write from the staging that follows it.
+	k.st.RAIDWrites++
+	done, err := k.backend.WriteNoParity(t, lba, 1, buf)
+	if err != nil {
+		return t, err
+	}
+	k.st.SmallWritesSaved++
+
 	// Supersede any committed DEZ delta for this page.
 	if od, ok := k.oldDeltas[slot]; ok && !od.staged {
 		k.releaseDez(t, od.dez)
@@ -276,14 +304,6 @@ func (k *KDD) writeCached(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	if k.frame.Slot(slot).State == cache.Clean {
 		k.frame.Transition(slot, cache.Old)
 	}
-
-	// Dispatch the data to RAID without touching parity.
-	k.st.RAIDWrites++
-	done, err := k.backend.WriteNoParity(t, lba, 1, buf)
-	if err != nil {
-		return t, err
-	}
-	k.st.SmallWritesSaved++
 
 	// Commit a DEZ page if the staging buffer filled.
 	if k.staging.Full() {

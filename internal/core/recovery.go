@@ -96,6 +96,22 @@ func Restore(cfg Config, t sim.Time, ctr *nvram.Counters,
 		dp.used += od.length
 		_ = slot
 	}
+
+	// 4. Re-open any member-rebuild window from its NVRAM checkpoint. The
+	// watermark is volatile array state, so the crash wiped it (the rig
+	// models that via CrashRebuildState); without the resume the array
+	// would silently serve the un-rebuilt region of the target as zeros.
+	// Rows between the checkpoint and the true crash-time watermark are
+	// simply reconstructed again — re-rebuilding a row is idempotent.
+	// ResumeRebuild no-ops when the target has since failed or the
+	// checkpoint already covers the disk; re-checkpointing afterwards
+	// records that collapse, keeping a second Restore identical.
+	if ctr.RebuildActive {
+		if err := k.backend.ResumeRebuild(int(ctr.RebuildDisk), ctr.RebuildRow); err != nil {
+			return nil, t, fmt.Errorf("core: resuming member rebuild: %w", err)
+		}
+		k.checkpointRebuild()
+	}
 	return k, done, nil
 }
 

@@ -83,6 +83,8 @@ type ChaosScheduleResult struct {
 	Unrecoverable int   // rows reported unrecoverable (only the dedicated plan expects any)
 	Failovers     int64 // cache transitions into pass-through (breaker trips + fail-stops)
 	Reattaches    int64 // successful cache re-attachments
+	SpareAttaches int64 // hot spares auto-attached by the rebuild pump
+	RebuildRows   int64 // member rows reconstructed by the paced rebuild
 
 	Spans       uint64 // spans emitted by the always-on tracer
 	TraceDigest uint64 // FNV-1a of the canonical trace bytes; equal across reruns
@@ -113,27 +115,31 @@ func (r *ChaosReport) Violations() []string {
 func (r *ChaosReport) Table() string {
 	var b strings.Builder
 	b.WriteString("== Chaos: randomized partial-fault schedules over the KDD stack ==\n")
-	fmt.Fprintf(&b, "%3s  %-14s %-18s %7s %9s %9s %6s %6s %6s %5s %5s %8s  %-16s %s\n",
-		"#", "kind", "seed", "crashes", "detected", "repaired", "folds", "unrec", "failov", "reatt", "viol", "spans", "tracedigest", "fingerprint")
+	fmt.Fprintf(&b, "%3s  %-14s %-18s %7s %9s %9s %6s %6s %6s %5s %6s %6s %5s %8s  %-16s %s\n",
+		"#", "kind", "seed", "crashes", "detected", "repaired", "folds", "unrec", "failov", "reatt", "spares", "rbrows", "viol", "spans", "tracedigest", "fingerprint")
 	var crashes, unrec, viol int
-	var detected, repaired, failov, reatt int64
+	var detected, repaired, failov, reatt, spares, rbrows int64
 	for _, res := range r.Results {
-		fmt.Fprintf(&b, "%3d  %-14s %-18s %7d %9d %9d %6d %6d %6d %5d %5d %8d  %016x %016x\n",
+		fmt.Fprintf(&b, "%3d  %-14s %-18s %7d %9d %9d %6d %6d %6d %5d %6d %6d %5d %8d  %016x %016x\n",
 			res.Schedule, res.Kind, fmt.Sprintf("%#x", res.Seed),
 			res.Crashes, res.Detected, res.Repaired, res.StaleFolds,
 			res.Unrecoverable, res.Failovers, res.Reattaches,
+			res.SpareAttaches, res.RebuildRows,
 			len(res.Violations), res.Spans, res.TraceDigest, res.Fingerprint)
 		crashes += res.Crashes
 		detected += res.Detected
 		repaired += res.Repaired
 		failov += res.Failovers
 		reatt += res.Reattaches
+		spares += res.SpareAttaches
+		rbrows += res.RebuildRows
 		unrec += res.Unrecoverable
 		viol += len(res.Violations)
 	}
 	fmt.Fprintf(&b, "\n%d schedules: %d crashes recovered, %d media errors detected, "+
-		"%d repairs, %d cache failovers, %d reattaches, %d unrecoverable rows, %d violations\n",
-		len(r.Results), crashes, detected, repaired, failov, reatt, unrec, viol)
+		"%d repairs, %d cache failovers, %d reattaches, %d spare attaches, "+
+		"%d rebuild rows, %d unrecoverable rows, %d violations\n",
+		len(r.Results), crashes, detected, repaired, failov, reatt, spares, rbrows, unrec, viol)
 	if viol == 0 {
 		b.WriteString("PASS: zero invariant violations, zero undetected corruption\n")
 	} else {
@@ -191,6 +197,9 @@ func Chaos(o ChaosOpts) *ChaosReport {
 // chaosPlan is one fault-injection strategy; the schedule driver is shared.
 type chaosPlan struct {
 	kind                string
+	level               raid.Level                    // array level (zero = RAID-5)
+	disks               int                           // member count (zero = chaosDisks)
+	spares              int                           // hot spares parked at build time
 	cfg                 func(*core.Config, ChaosOpts) // tweak the KDD config before core.New
 	setup               func(*chaosRig)
 	everyOp             func(*chaosRig, int)
@@ -235,6 +244,16 @@ type chaosRig struct {
 	detectedKDD int64          // cache-layer media errors harvested across KDD instances
 	lastScrub   raid.ScrubReport
 
+	// Rebuild-pump counters banked across KDD instances (crash recoveries
+	// replace the instance), plus window-tracking state for the rebuild
+	// plans.
+	spareAttaches      int64
+	rebuildSteps       int64
+	rebuildRows        int64
+	rebuildsDone       int64
+	rebuildResumes     int  // crash recoveries that re-opened a rebuild window from the NVRAM checkpoint
+	secondKillInWindow bool // the plan's second member failure landed inside an open rebuild window
+
 	res *ChaosScheduleResult
 }
 
@@ -249,17 +268,30 @@ func newChaosRig(plan *chaosPlan, seed uint64, o ChaosOpts) *chaosRig {
 		proofFailed: -1,
 		res:         &ChaosScheduleResult{Kind: plan.kind, Seed: seed},
 	}
+	level := plan.level
+	if level == 0 {
+		level = raid.Level5
+	}
+	nDisks := plan.disks
+	if nDisks == 0 {
+		nDisks = chaosDisks
+	}
 	var members []blockdev.Device
-	for i := 0; i < chaosDisks; i++ {
+	for i := 0; i < nDisks; i++ {
 		d := blockdev.NewNullDataDevice(fmt.Sprintf("d%d", i), chaosDiskPages)
 		c.members = append(c.members, d)
 		members = append(members, d)
 	}
-	arr, err := raid.New(raid.Config{Level: raid.Level5, ChunkPages: chaosChunk}, members)
+	arr, err := raid.New(raid.Config{Level: level, ChunkPages: chaosChunk}, members)
 	if err != nil {
 		panic(err) // static geometry; cannot fail
 	}
 	c.arr = arr
+	for i := 0; i < plan.spares; i++ {
+		if err := arr.AddSpare(blockdev.NewNullDataDevice(fmt.Sprintf("spare%d", i), chaosDiskPages)); err != nil {
+			panic(err) // spare geometry matches by construction
+		}
+	}
 	// The tracer runs on every schedule: its digest is folded into the
 	// fingerprint, so span structure must survive crashes, failovers, and
 	// re-attachments deterministically too.
@@ -312,7 +344,7 @@ func runChaosSchedule(plan *chaosPlan, seed uint64, o ChaosOpts) *ChaosScheduleR
 	// phase measures what the faults left behind, not new ones.
 	c.inj.ClearCrash()
 	c.inj.SetProfile(blockdev.FaultProfile{})
-	for i := 0; i < chaosDisks; i++ {
+	for i := range c.members {
 		c.arr.Injector(i).SetProfile(blockdev.FaultProfile{})
 	}
 	if !c.halt {
@@ -322,8 +354,10 @@ func runChaosSchedule(plan *chaosPlan, seed uint64, o ChaosOpts) *ChaosScheduleR
 		}
 	}
 	c.harvestKDD()
+	c.res.SpareAttaches = c.spareAttaches
+	c.res.RebuildRows = c.rebuildRows
 	c.res.Detected = c.inj.MediaErrors() + c.arr.Stats().MediaErrors + c.detectedKDD
-	for i := 0; i < chaosDisks; i++ {
+	for i := range c.members {
 		c.res.Detected += c.arr.Injector(i).MediaErrors()
 	}
 	c.res.Repaired += c.arr.Stats().ReadRepairs
@@ -351,6 +385,22 @@ func (c *chaosRig) harvestKDD() {
 	c.detectedKDD += ks.SSDMediaErrors
 	c.res.Failovers += ks.Failovers
 	c.res.Reattaches += ks.Reattaches
+	c.spareAttaches += ks.SpareAttaches
+	c.rebuildSteps += ks.RebuildSteps
+	c.rebuildRows += ks.RebuildRows
+	c.rebuildsDone += ks.RebuildsDone
+}
+
+// pumpRebuildStats returns the rebuild-pump counters summed across every
+// KDD instance this schedule has run: restore() banks each pre-crash
+// instance's stats, and the live instance's are added on top. Finish
+// hooks use this — the final harvest has not run when they execute.
+func (c *chaosRig) pumpRebuildStats() (attaches, steps, rows, done int64) {
+	ks := c.kdd.Stats()
+	return c.spareAttaches + ks.SpareAttaches,
+		c.rebuildSteps + ks.RebuildSteps,
+		c.rebuildRows + ks.RebuildRows,
+		c.rebuildsDone + ks.RebuildsDone
 }
 
 // writtenLBA draws a random LBA that has actually been written, so
@@ -465,6 +515,11 @@ func (c *chaosRig) restore() {
 	buffered := c.kdd.Log().BufferedEntries()
 	staging := c.kdd.Staging()
 	c.inj.ClearCrash()
+	// The rebuild watermark is volatile array software state: the power
+	// loss forgets it, and recovery must resume from the checkpoint the
+	// engine persisted in NVRAM — or the un-rebuilt region of the target
+	// would silently be served as valid zeros.
+	c.arr.CrashRebuildState()
 	k, _, err := core.Restore(c.cfg, 0, ctr, buffered, staging)
 	if err != nil {
 		c.violf("restore after crash: %v", err)
@@ -472,6 +527,9 @@ func (c *chaosRig) restore() {
 		return
 	}
 	c.kdd = k
+	if c.arr.RebuildActive() {
+		c.rebuildResumes++
+	}
 	if err := k.CheckInvariants(); err != nil {
 		c.violf("post-restore invariants: %v", err)
 	}
@@ -526,6 +584,41 @@ func (c *chaosRig) verify() {
 	if err := c.kdd.CheckInvariants(); err != nil {
 		c.violf("post-flush invariants: %v", err)
 	}
+	// Drive any open rebuild window to completion and attach remaining
+	// parked spares before judging the array: whenever a spare was
+	// available the acceptance bar is full redundancy, and the scrub,
+	// content sweep, and degraded proof below all want a settled array.
+	// The workload's own pump activity did the paced part; this loop is
+	// the backstop for windows still open at schedule end. Deltas are
+	// folded before each attach (§III-E: parity_update precedes rebuild).
+	for guard := 0; !c.arr.Healthy(); guard++ {
+		if guard > len(c.members)+2 {
+			c.violf("verify: array did not settle to full redundancy")
+			break
+		}
+		if c.arr.RebuildActive() {
+			if _, _, _, err := c.arr.RebuildStep(0, int(chaosDiskPages)); err != nil {
+				c.violf("verify: rebuild step: %v", err)
+				break
+			}
+			continue
+		}
+		if c.arr.SpareCount() == 0 {
+			break // degraded with no spare left: a legal end state
+		}
+		if _, err := c.kdd.Clean(0, true); err != nil {
+			c.violf("verify: delta fold before spare attach: %v", err)
+			break
+		}
+		_, started, err := c.arr.StartSpareRebuild(0)
+		if err != nil {
+			c.violf("verify: spare attach: %v", err)
+			break
+		}
+		if !started {
+			break
+		}
+	}
 	_, rep, err := c.arr.Scrub(0)
 	if err != nil {
 		c.violf("scrub: %v", err)
@@ -558,7 +651,7 @@ func (c *chaosRig) verify() {
 	// Parity proof: drop one member and re-read everything through
 	// reconstruction. Wrong parity anywhere in the footprint shows up
 	// here as a mismatch.
-	c.proofFailed = c.rng.Intn(chaosDisks)
+	c.proofFailed = c.rng.Intn(len(c.members))
 	c.arr.FailDisk(c.proofFailed)
 	for lba := int64(0); lba < c.o.Footprint; lba++ {
 		want := c.oracle[lba]
@@ -600,6 +693,8 @@ func (c *chaosRig) fingerprint() uint64 {
 	put(uint64(c.res.Unrecoverable))
 	put(uint64(c.res.Failovers))
 	put(uint64(c.res.Reattaches))
+	put(uint64(c.res.SpareAttaches))
+	put(uint64(c.res.RebuildRows))
 	put(c.res.Spans)
 	put(c.res.TraceDigest)
 	put(uint64(len(c.res.Violations)))
@@ -1031,6 +1126,115 @@ var chaosPlans = []*chaosPlan{
 			}
 			if h := c.kdd.Health(); h != core.HealthBypass {
 				c.violf("ssd-reattach: health %v after rekill, want bypass", h)
+			}
+		},
+	},
+	{
+		// Fail-stop a member with a hot spare parked: the pump must fold
+		// the pending deltas (§III-E), attach the spare, and pace the
+		// rebuild against the live workload until full redundancy returns
+		// — all without a single wrong byte served from the half-rebuilt
+		// window.
+		kind:   "disk-kill",
+		spares: 1,
+		everyOp: func(c *chaosRig, i int) {
+			if i == c.o.Ops/3 {
+				c.arr.FailDisk(1)
+			}
+		},
+		finish: func(c *chaosRig) {
+			attaches, _, rows, _ := c.pumpRebuildStats()
+			if attaches == 0 {
+				c.violf("disk-kill: the pump never attached the spare")
+			}
+			if rows == 0 {
+				c.violf("disk-kill: no rebuild rows were pumped under foreground load")
+			}
+			if c.arr.Stats().RebuildsCompleted == 0 {
+				c.violf("disk-kill: rebuild never completed")
+			}
+			// The degraded proof runs only on a fully redundant array, so
+			// proofFailed doubles as the post-rebuild health witness.
+			if c.proofFailed < 0 {
+				c.violf("disk-kill: array not fully redundant after verify")
+			}
+			if lost := c.arr.LostRows(); len(lost) != 0 {
+				c.violf("disk-kill: %d rows lost during a single-failure rebuild", len(lost))
+			}
+		},
+	},
+	{
+		// Power losses landing inside the rebuild window: the watermark is
+		// volatile, so every recovery must resume from the NVRAM checkpoint
+		// — restarting from zero is merely slow, but forgetting the window
+		// would serve the un-rebuilt region as zeros.
+		kind:       "rebuild-crash",
+		spares:     1,
+		rearmCrash: true,
+		everyOp: func(c *chaosRig, i int) {
+			switch i {
+			case c.o.Ops / 3:
+				c.arr.FailDisk(1)
+			case c.o.Ops/3 + 5:
+				// Arm once the window is open; the 1024-row rebuild spans
+				// >120 ops, so this crash deterministically lands inside it.
+				if !c.inj.Crashed() {
+					c.armNext()
+				}
+			}
+		},
+		finish: func(c *chaosRig) {
+			if c.res.Crashes == 0 {
+				c.violf("rebuild-crash: no crash fired")
+			}
+			if c.rebuildResumes == 0 {
+				c.violf("rebuild-crash: no recovery resumed a rebuild from the checkpoint")
+			}
+			if c.arr.Stats().RebuildsCompleted == 0 {
+				c.violf("rebuild-crash: rebuild never completed across the crashes")
+			}
+			if c.proofFailed < 0 {
+				c.violf("rebuild-crash: array not fully redundant after verify")
+			}
+			if lost := c.arr.LostRows(); len(lost) != 0 {
+				c.violf("rebuild-crash: %d rows lost", len(lost))
+			}
+		},
+	},
+	{
+		// RAID-6 with two hot spares: a second member dies while the first
+		// rebuild window is still open. Double redundancy keeps every row
+		// reconstructable (two erasures above the watermark); the pump
+		// finishes the first rebuild, then attaches the second spare.
+		kind:   "double-kill",
+		level:  raid.Level6,
+		disks:  6,
+		spares: 2,
+		everyOp: func(c *chaosRig, i int) {
+			switch i {
+			case c.o.Ops / 4:
+				c.arr.FailDisk(1)
+			case c.o.Ops / 3:
+				c.secondKillInWindow = c.arr.RebuildActive()
+				c.arr.FailDisk(3)
+			}
+		},
+		finish: func(c *chaosRig) {
+			if !c.secondKillInWindow {
+				c.violf("double-kill: second failure missed the rebuild window")
+			}
+			attaches, _, _, _ := c.pumpRebuildStats()
+			if attaches < 2 {
+				c.violf("double-kill: %d spare attaches, want 2", attaches)
+			}
+			if n := c.arr.Stats().RebuildsCompleted; n < 2 {
+				c.violf("double-kill: %d rebuilds completed, want 2", n)
+			}
+			if c.proofFailed < 0 {
+				c.violf("double-kill: array not fully redundant after verify")
+			}
+			if lost := c.arr.LostRows(); len(lost) != 0 {
+				c.violf("double-kill: %d rows lost despite RAID-6 redundancy", len(lost))
 			}
 		},
 	},

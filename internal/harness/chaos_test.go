@@ -80,6 +80,43 @@ func TestChaosSSD(t *testing.T) {
 	}
 }
 
+// TestChaosRebuild runs only the rebuild-window plans: a member kill with
+// a hot spare (the pump attaches and paces the rebuild under load), power
+// losses landing inside the rebuild window (recovery resumes from the
+// NVRAM checkpoint), and a second member kill mid-window on RAID-6.
+// `make chaos-rebuild` runs this under the race detector; the acceptance
+// bar is full redundancy, zero lost rows, and deterministic fingerprints.
+func TestChaosRebuild(t *testing.T) {
+	const kinds = "disk-kill,rebuild-crash,double-kill"
+	rep := Chaos(ChaosOpts{Kind: kinds, Schedules: 9})
+	if v := rep.Violations(); len(v) != 0 {
+		t.Fatalf("%d violations:\n%s", len(v), strings.Join(v, "\n"))
+	}
+	seen := make(map[string]bool)
+	var attaches, rows int64
+	var crashes int
+	for _, res := range rep.Results {
+		seen[res.Kind] = true
+		attaches += res.SpareAttaches
+		rows += res.RebuildRows
+		crashes += res.Crashes
+	}
+	for _, k := range strings.Split(kinds, ",") {
+		if !seen[k] {
+			t.Errorf("plan %q never ran", k)
+		}
+	}
+	if attaches == 0 {
+		t.Error("no spare was attached across the rebuild schedules")
+	}
+	if rows == 0 {
+		t.Error("no rebuild rows were pumped across the rebuild schedules")
+	}
+	if crashes == 0 {
+		t.Error("no crash landed inside a rebuild window")
+	}
+}
+
 // TestChaosSeedSensitivity checks that different master seeds change the
 // schedule fingerprints (the fault streams really are seed-driven).
 func TestChaosSeedSensitivity(t *testing.T) {

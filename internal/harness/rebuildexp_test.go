@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRebuildImpact runs the rebuild-impact experiment at a tiny scale:
+// both policies must reach full redundancy (a rebuild time is printed,
+// not "-"), and the table must carry one row per compared policy.
+func TestRebuildImpact(t *testing.T) {
+	out, err := RebuildImpact(0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Nossd", "KDD-25%", "rebuild time"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 0 || (f[0] != "Nossd" && f[0] != "KDD-25%") {
+			continue
+		}
+		if strings.Contains(line, " - ") {
+			t.Fatalf("policy %s never reached full redundancy:\n%s", f[0], out)
+		}
+	}
+}
+
+// TestRebuildImpactDeterministic: the experiment fans simulations over the
+// worker pool; its table must be byte-identical at any width.
+func TestRebuildImpactDeterministic(t *testing.T) {
+	SetParallelism(1)
+	a, errA := RebuildImpact(0.002)
+	SetParallelism(4)
+	b, errB := RebuildImpact(0.002)
+	SetParallelism(0)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if a != b {
+		t.Fatalf("serial and parallel tables diverge:\n--- serial\n%s--- parallel\n%s", a, b)
+	}
+}

@@ -78,6 +78,18 @@ type StackOpts struct {
 	// Seed drives every stochastic component.
 	Seed uint64
 
+	// Spares parks this many hot-spare member devices on the array at
+	// build time; the KDD engine auto-attaches one when a member fails
+	// and paces the rebuild against foreground traffic.
+	Spares int
+
+	// RebuildRateMin/Max override the KDD rebuild pump's token refill in
+	// rows per operation (under / free of foreground RAID pressure). Zero
+	// keeps the engine defaults (1/8); RebuildRateMax < 0 disables the
+	// pump so the caller drives Array.RebuildStep itself.
+	RebuildRateMin int
+	RebuildRateMax int
+
 	// NVBPages sizes the NVRAM write buffer for PolicyNVB (default 2048
 	// pages = 8MB: NVRAM is small "for power and cost efficiency").
 	NVBPages int
@@ -186,6 +198,11 @@ func Build(o StackOpts) (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
+	for i := 0; i < o.Spares; i++ {
+		if err := array.AddSpare(buildMember(o, fmt.Sprintf("spare%d", i), o.DiskPages, 1900+uint64(i)*7)); err != nil {
+			return nil, err
+		}
+	}
 	var tr *obs.Tracer
 	if o.Obs != nil {
 		tr = o.Obs.Tracer
@@ -276,6 +293,8 @@ func Build(o StackOpts) (*Stack, error) {
 			SelectiveAdmission: o.SelectiveAdmission,
 			HighWater:          o.HighWater,
 			LowWater:           o.LowWater,
+			RebuildRateMin:     o.RebuildRateMin,
+			RebuildRateMax:     o.RebuildRateMax,
 			Tracer:             tr,
 		}
 		k, err := core.New(st.KDDConfig)
@@ -347,17 +366,31 @@ func (st *Stack) PublishMetrics(reg *obs.Registry) {
 	}
 }
 
+// buildMember constructs one member-class device honoring the stack's
+// device mode — used for hot spares at build time and for rebuild
+// replacements.
+func buildMember(o StackOpts, name string, diskPages int64, seedOff uint64) blockdev.Device {
+	switch {
+	case o.Timing && o.DataMode:
+		return hdd.NewData(name, hdd.DefaultConfig(diskPages), o.Seed+seedOff)
+	case o.Timing:
+		return hdd.New(name, hdd.DefaultConfig(diskPages), o.Seed+seedOff)
+	case o.DataMode:
+		return blockdev.NewNullDataDevice(name, diskPages)
+	default:
+		return blockdev.NewNullDevice(name, diskPages)
+	}
+}
+
 // freshMember builds a replacement disk matching the stack's device mode
 // (for rebuild experiments).
 func freshMember(st *Stack, diskPages int64) blockdev.Device {
-	switch {
-	case st.Opts.Timing && st.Opts.DataMode:
-		return hdd.NewData("fresh", hdd.DefaultConfig(diskPages), st.Opts.Seed+991)
-	case st.Opts.Timing:
-		return hdd.New("fresh", hdd.DefaultConfig(diskPages), st.Opts.Seed+991)
-	case st.Opts.DataMode:
-		return blockdev.NewNullDataDevice("fresh", diskPages)
-	default:
-		return blockdev.NewNullDevice("fresh", diskPages)
-	}
+	return buildMember(st.Opts, "fresh", diskPages, 991)
+}
+
+// FreshMember builds a replacement member disk matching the stack's
+// device mode and geometry, for disk-kill/replace experiments driven from
+// the cmd tools.
+func (st *Stack) FreshMember() blockdev.Device {
+	return freshMember(st, st.Opts.withDefaults().DiskPages)
 }

@@ -288,7 +288,14 @@ func (l *Log) Reinit(dev blockdev.Device) {
 	if dev != nil {
 		l.dev = dev
 	}
-	l.ctr = &nvram.Counters{}
+	// The RAID member-rebuild checkpoint shares the NVRAM counter block
+	// but belongs to the array, not the log: wiping the log (a cache
+	// failover) must not lose a half-done rebuild's watermark.
+	l.ctr = &nvram.Counters{
+		RebuildActive: l.ctr.RebuildActive,
+		RebuildDisk:   l.ctr.RebuildDisk,
+		RebuildRow:    l.ctr.RebuildRow,
+	}
 	l.bufOrder = nil
 	l.buf = make(map[uint32]Entry)
 	l.bufBytes = 0

@@ -135,10 +135,18 @@ func (s *Staging) All() []StagedDelta {
 }
 
 // Counters are the metadata-log head and tail sequence numbers, stored in
-// NVRAM so recovery knows the live extent of the circular log (§III-B).
+// NVRAM so recovery knows the live extent of the circular log (§III-B),
+// plus the RAID rebuild checkpoint: the watermark is volatile array state,
+// so recovery needs an NVRAM copy to resume a half-done rebuild instead of
+// silently serving the un-rebuilt region as zeros.
 type Counters struct {
 	Head uint64 // oldest live metadata page sequence number
 	Tail uint64 // next metadata page sequence number to write
+
+	// RAID member-rebuild checkpoint, updated after every rebuild step.
+	RebuildActive bool
+	RebuildDisk   int32 // member being rebuilt
+	RebuildRow    int64 // rows [0, RebuildRow) are reconstructed
 }
 
 // Live returns the number of live metadata pages.

@@ -54,6 +54,12 @@ const (
 	PhaseDevRead
 	PhaseDevWrite
 
+	// Redundancy-maintenance phases: background reconstruction work the
+	// array interleaves with foreground traffic.
+	PhaseRebuild    // one rebuild step (a batch of member rows)
+	PhaseRebuildRow // reconstruction of a single member row
+	PhaseScrub      // patrol scrub pass
+
 	phaseCount
 )
 
@@ -80,6 +86,9 @@ var phaseNames = [phaseCount]string{
 	PhaseResync:      "resync",
 	PhaseDevRead:     "dev_read",
 	PhaseDevWrite:    "dev_write",
+	PhaseRebuild:     "rebuild",
+	PhaseRebuildRow:  "rebuild_row",
+	PhaseScrub:       "scrub",
 }
 
 // String returns the wire name of the phase.

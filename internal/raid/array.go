@@ -41,6 +41,15 @@ type Stats struct {
 	ParityFixes  int64 // deferred parity updates applied
 	MediaErrors  int64 // member reads that returned blockdev.ErrMedia
 	ReadRepairs  int64 // single pages reconstructed and rewritten in place
+
+	// Online rebuild and hot spares.
+	RebuildRows       int64 // member rows reconstructed by RebuildStep
+	RebuildBytes      int64 // bytes written onto rebuild targets
+	RebuildsStarted   int64
+	RebuildsCompleted int64
+	RebuildsAborted   int64 // rebuilds abandoned because the target died
+	SpareAttaches     int64 // hot spares auto-attached to failed members
+	LostPages         int64 // member pages whose content was declared lost
 }
 
 // Array is a parity-protected disk array over member block devices.
@@ -56,6 +65,17 @@ type Array struct {
 	failed int            // count of currently failed disks
 	stats  Stats
 	tr     *obs.Tracer
+
+	// Online rebuild state (rebuild.go). lost maps a member row to the
+	// bitmask of disks whose page content there is unrecoverable; such
+	// pages read back as ErrUnrecoverable until overwritten.
+	rebuild *rebuildState
+	spares  []blockdev.Device
+	lost    map[int64]uint32
+
+	// Patrol-scrub progress (rows scanned of total, last/current pass).
+	scrubRow   int64
+	scrubTotal int64
 }
 
 // SetTracer installs a span tracer (nil disables tracing). Array entry
@@ -107,6 +127,7 @@ func New(cfg Config, members []blockdev.Device) (*Array, error) {
 			diskPages:  pages,
 		},
 		stale: make(map[int64]bool),
+		lost:  make(map[int64]uint32),
 	}
 	for _, m := range members {
 		a.disks = append(a.disks, blockdev.NewFaultDevice(m))
@@ -149,8 +170,25 @@ func (a *Array) PublishMetrics(reg *obs.Registry) {
 	reg.SetCounter("raid_parity_fixes_total", "Deferred parity updates applied.", s.ParityFixes)
 	reg.SetCounter("raid_media_errors_total", "Member reads that returned a media error.", s.MediaErrors)
 	reg.SetCounter("raid_read_repairs_total", "Pages reconstructed and rewritten in place.", s.ReadRepairs)
+	reg.SetCounter("raid_rebuild_rows_done_total", "Member rows reconstructed by the online rebuild.", s.RebuildRows)
+	reg.SetCounter("raid_rebuild_bytes_total", "Bytes written onto rebuild targets.", s.RebuildBytes)
+	reg.SetCounter("raid_rebuilds_started_total", "Member rebuilds opened.", s.RebuildsStarted)
+	reg.SetCounter("raid_rebuilds_completed_total", "Member rebuilds run to completion.", s.RebuildsCompleted)
+	reg.SetCounter("raid_rebuilds_aborted_total", "Member rebuilds abandoned because the target died.", s.RebuildsAborted)
+	reg.SetCounter("raid_spare_attaches_total", "Hot spares auto-attached to failed members.", s.SpareAttaches)
+	reg.SetCounter("raid_lost_pages_total", "Member pages declared unrecoverable.", s.LostPages)
 	reg.SetGauge("raid_stale_rows", "Rows whose parity is currently stale.", float64(len(a.stale)))
 	reg.SetGauge("raid_failed_disks", "Currently failed member disks.", float64(a.failed))
+	active, watermark := 0.0, 0.0
+	if a.rebuild != nil {
+		active, watermark = 1, float64(a.rebuild.next)
+	}
+	reg.SetGauge("raid_rebuild_active", "1 while a member rebuild is in progress.", active)
+	reg.SetGauge("raid_rebuild_watermark", "Rows of the rebuild target already reconstructed.", watermark)
+	reg.SetGauge("raid_spares", "Hot spares currently parked.", float64(len(a.spares)))
+	reg.SetGauge("raid_lost_rows", "Rows currently holding at least one lost page.", float64(len(a.lost)))
+	reg.SetGauge("raid_scrub_progress_rows", "Rows scanned by the last/current patrol scrub pass.", float64(a.scrubRow))
+	reg.SetGauge("raid_scrub_total_rows", "Rows a full patrol scrub pass covers.", float64(a.scrubTotal))
 }
 
 // StaleRows returns the number of rows with stale parity.
@@ -263,7 +301,10 @@ func (a *Array) readPage(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	if a.cfg.Level == Level1 {
 		return a.mirrorRead(t, lba, l, buf)
 	}
-	if !a.disks[l.disk].Failed() {
+	if a.pageLost(l.disk, l.row) {
+		return t, fmt.Errorf("%w: page %d lost in a rebuild window", ErrUnrecoverable, lba)
+	}
+	if !a.missing(l.disk, l.row) {
 		a.stats.DataReads++
 		c, err := a.memberRead(t, l.disk, l.row, buf)
 		if err == nil {
@@ -289,8 +330,9 @@ func (a *Array) mirrorRead(t sim.Time, lba int64, l loc, buf []byte) (sim.Time, 
 	var bad []int // mirrors that returned ErrMedia for this page
 	anyHealthy := false
 	for k := 0; k < n; k++ {
-		d := a.disks[(start+k)%n]
-		if d.Failed() {
+		idx := (start + k) % n
+		d := a.disks[idx]
+		if a.missing(idx, l.row) {
 			continue
 		}
 		anyHealthy = true
@@ -357,8 +399,8 @@ func (a *Array) writePage(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	case Level1:
 		done := t
 		wrote := 0
-		for _, d := range a.disks {
-			if d.Failed() {
+		for i, d := range a.disks {
+			if a.missing(i, l.row) {
 				continue
 			}
 			a.stats.DataWrites++
@@ -386,8 +428,8 @@ func (a *Array) writePage(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 // parallel — "two read and two write disk I/O operations" (§I) for RAID-5.
 func (a *Array) smallWrite(t sim.Time, l loc, buf []byte) (sim.Time, error) {
 	dataDev := a.disks[l.disk]
-	if dataDev.Failed() || a.disks[l.pDisk].Failed() ||
-		(l.qDisk >= 0 && a.disks[l.qDisk].Failed()) {
+	if a.missing(l.disk, l.row) || a.missing(l.pDisk, l.row) ||
+		(l.qDisk >= 0 && a.missing(l.qDisk, l.row)) {
 		return a.degradedWrite(t, l, buf)
 	}
 
@@ -472,26 +514,33 @@ func (a *Array) smallWrite(t sim.Time, l loc, buf []byte) (sim.Time, error) {
 		}
 		done = sim.MaxTime(done, c)
 	}
+	a.clearLost(l.disk, l.row) // the page now holds known bytes again
 	return done, nil
 }
 
 // rereadParity recovers from a media error on a parity page read inside
-// the RMW path: the parity is recomputed from the member data (the write
-// heals the latent page and clears any stale mark) and read back. Any
+// the RMW path. On a stale row the lost copy carried no information, so
+// the parity is recomputed from the member data and read back; on a
+// current row the copy is recomputed by decoding the row — which, unlike
+// a data-only resync, still works when a member is missing (RAID-6
+// absorbs the media page plus the rebuild hole as two erasures). Any
 // error other than ErrMedia is passed through untouched.
 func (a *Array) rereadParity(t sim.Time, disk int, l loc, buf []byte, readErr error) (sim.Time, error) {
 	if !errors.Is(readErr, blockdev.ErrMedia) {
 		return t, readErr
 	}
 	a.stats.MediaErrors++
-	done, err := a.resyncRow(t, l.row)
-	if err != nil {
-		return t, err
+	if a.rowStale(l) {
+		done, err := a.resyncRow(t, l.row)
+		if err != nil {
+			return t, err
+		}
+		a.stats.ParityFixes++
+		c, err := a.disks[disk].ReadPages(done, l.row, 1, buf)
+		if err != nil {
+			return t, err
+		}
+		return sim.MaxTime(done, c), nil
 	}
-	a.stats.ParityFixes++
-	c, err := a.disks[disk].ReadPages(done, l.row, 1, buf)
-	if err != nil {
-		return t, err
-	}
-	return sim.MaxTime(done, c), nil
+	return a.repairParityRow(t, l.row, disk, buf)
 }

@@ -33,10 +33,12 @@ func (a *Array) WriteNoParity(t sim.Time, lba int64, count int, buf []byte) (don
 	done = t
 	for i := 0; i < count; i++ {
 		l := a.geo.locate(lba + int64(i))
-		if a.disks[l.disk].Failed() {
-			// Cannot place the data without redundancy; use the degraded
-			// full path instead.
-			c, err := a.degradedWrite(t, l, pageBuf(buf, i))
+		if a.rebuild != nil || a.missing(l.disk, l.row) || a.lost[l.row] != 0 {
+			// Inside a rebuild window a new stale row would widen the loss
+			// surface (stale parity plus a missing member page cannot be
+			// reconstructed), and damaged rows must heal through the full
+			// parity path. Fall back to the immediate-parity write.
+			c, err := a.writePage(t, lba+int64(i), pageBuf(buf, i))
 			if err != nil {
 				return t, err
 			}
@@ -90,8 +92,8 @@ func (a *Array) ParityUpdateDelta(t sim.Time, lbas []int64, deltas [][]byte) (do
 		// corrupt it; the deltas are simply obsolete.
 		return t, nil
 	}
-	pFailed := a.disks[l.pDisk].Failed()
-	qFailed := l.qDisk >= 0 && a.disks[l.qDisk].Failed()
+	pFailed := a.missing(l.pDisk, l.row)
+	qFailed := l.qDisk >= 0 && a.missing(l.qDisk, l.row)
 	if pFailed && (l.qDisk < 0 || qFailed) {
 		// Every parity device of this row is lost. The data disks hold
 		// the current data (KDD always dispatches data), so the rebuild
@@ -115,6 +117,19 @@ func (a *Array) ParityUpdateDelta(t sim.Time, lbas []int64, deltas [][]byte) (do
 			rl.row = li.row
 			c, err := a.applyParityDiff(t, li, rl, diff, !pFailed, !qFailed)
 			if err != nil {
+				if errors.Is(err, blockdev.ErrMedia) {
+					// The surviving copy is ALSO unreadable: every fold
+					// target is gone, so recompute parity from the member
+					// data outright (the resync accounts any page the dead
+					// member takes with it).
+					a.stats.MediaErrors++
+					done, err = a.resyncRow(t, l.row)
+					if err != nil {
+						return t, err
+					}
+					a.stats.ParityFixes++
+					return done, nil
+				}
 				return t, err
 			}
 			done = sim.MaxTime(done, c)
@@ -133,24 +148,41 @@ func (a *Array) ParityUpdateDelta(t sim.Time, lbas []int64, deltas [][]byte) (do
 		}
 	}
 
-	// Read stale parity. If the parity page itself is lost to a media
-	// error, the fold target is gone — recompute parity from the current
-	// member data instead (the members always hold the current bytes,
-	// so the resync result IS the state the deltas were driving toward;
-	// they become obsolete and the stale mark is cleared by the resync).
+	// Read stale parity, tracking each copy separately. A media-bad copy
+	// loses its RMW fold target, but on RAID-6 the deltas still fold into
+	// the surviving copy, after which the bad one is recomputed from a
+	// full-row decode. Only when every copy is unreadable does the repair
+	// fall back to recomputing parity from the current member data (the
+	// members always hold the current bytes, so the resync result IS the
+	// state the deltas were driving toward; they become obsolete and the
+	// stale mark is cleared by the resync).
 	phase1 := t
+	pBad, qBad := false, false
 	a.stats.ParityReads++
 	c, err := a.memberRead(t, l.pDisk, l.row, p)
-	if err == nil && l.qDisk >= 0 {
-		phase1 = sim.MaxTime(phase1, c)
-		a.stats.ParityReads++
-		c, err = a.memberRead(t, l.qDisk, l.row, q)
-	}
 	if err != nil {
 		if !errors.Is(err, blockdev.ErrMedia) {
 			return t, err
 		}
 		a.stats.MediaErrors++
+		pBad = true
+	} else {
+		phase1 = sim.MaxTime(phase1, c)
+	}
+	if l.qDisk >= 0 {
+		a.stats.ParityReads++
+		c, err = a.memberRead(t, l.qDisk, l.row, q)
+		if err != nil {
+			if !errors.Is(err, blockdev.ErrMedia) {
+				return t, err
+			}
+			a.stats.MediaErrors++
+			qBad = true
+		} else {
+			phase1 = sim.MaxTime(phase1, c)
+		}
+	}
+	if pBad && (l.qDisk < 0 || qBad) {
 		done, err := a.resyncRow(t, l.row)
 		if err != nil {
 			return t, err
@@ -158,17 +190,18 @@ func (a *Array) ParityUpdateDelta(t sim.Time, lbas []int64, deltas [][]byte) (do
 		a.stats.ParityFixes++
 		return done, nil
 	}
-	phase1 = sim.MaxTime(phase1, c)
 
-	// Fold every delta in.
+	// Fold every delta into the readable copy (or copies).
 	if data {
 		for i, lbaI := range lbas {
 			if deltas[i] == nil {
 				continue
 			}
 			li := a.geo.locate(lbaI)
-			xorInto(p, deltas[i])
-			if q != nil {
+			if !pBad {
+				xorInto(p, deltas[i])
+			}
+			if q != nil && !qBad {
 				gfMulInto(q, deltas[i], gfPow(li.dataIdx))
 			}
 		}
@@ -176,14 +209,16 @@ func (a *Array) ParityUpdateDelta(t sim.Time, lbas []int64, deltas [][]byte) (do
 
 	// Write repaired parity.
 	done = phase1
-	a.stats.ParityWrites++
 	a.stats.ParityFixes++
-	c, err = a.disks[l.pDisk].WritePages(phase1, l.row, 1, p)
-	if err != nil {
-		return t, err
+	if !pBad {
+		a.stats.ParityWrites++
+		c, err = a.disks[l.pDisk].WritePages(phase1, l.row, 1, p)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
 	}
-	done = sim.MaxTime(done, c)
-	if l.qDisk >= 0 {
+	if l.qDisk >= 0 && !qBad {
 		a.stats.ParityWrites++
 		c, err = a.disks[l.qDisk].WritePages(phase1, l.row, 1, q)
 		if err != nil {
@@ -192,6 +227,20 @@ func (a *Array) ParityUpdateDelta(t sim.Time, lbas []int64, deltas [][]byte) (do
 		done = sim.MaxTime(done, c)
 	}
 	delete(a.stale, l.row)
+	if pBad || qBad {
+		// The row is current again through the surviving copy; recompute
+		// the unreadable one from a row decode now, so a cleared transient
+		// can never resurface its stale bytes as valid parity.
+		bad := l.pDisk
+		if qBad {
+			bad = l.qDisk
+		}
+		c, err := a.repairParityRow(done, l.row, bad, nil)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
 	return done, nil
 }
 
@@ -209,8 +258,8 @@ func (a *Array) ParityUpdateReconstruct(t sim.Time, lba int64, rowData [][]byte)
 		sp := a.tr.BeginDev(t, obs.PhaseParityRecon, a.Name(), lba, 1)
 		defer func() { sp.End(done) }()
 	}
-	pOK := !a.disks[l.pDisk].Failed()
-	qOK := l.qDisk >= 0 && !a.disks[l.qDisk].Failed()
+	pOK := !a.missing(l.pDisk, l.row)
+	qOK := l.qDisk >= 0 && !a.missing(l.qDisk, l.row)
 	if !pOK && (l.qDisk < 0 || !qOK) {
 		// All parity members lost: rebuild recomputes from data.
 		delete(a.stale, l.row)
@@ -284,8 +333,8 @@ func (a *Array) WriteRow(t sim.Time, firstLBA int64, buf []byte) (sim.Time, erro
 	}
 	done := t
 	for i, disk := range rl.dataDisks {
-		if a.disks[disk].Failed() {
-			continue // reconstructible from parity after rebuild
+		if a.missing(disk, l.row) {
+			continue // reconstructible from the new parity after rebuild
 		}
 		a.stats.DataWrites++
 		c, err := a.disks[disk].WritePages(t, l.row, 1, pageBuf(buf, i))
@@ -294,7 +343,7 @@ func (a *Array) WriteRow(t sim.Time, firstLBA int64, buf []byte) (sim.Time, erro
 		}
 		done = sim.MaxTime(done, c)
 	}
-	if rl.pDisk >= 0 && !a.disks[rl.pDisk].Failed() {
+	if rl.pDisk >= 0 && !a.missing(rl.pDisk, l.row) {
 		a.stats.ParityWrites++
 		c, err := a.disks[rl.pDisk].WritePages(t, l.row, 1, p)
 		if err != nil {
@@ -302,7 +351,7 @@ func (a *Array) WriteRow(t sim.Time, firstLBA int64, buf []byte) (sim.Time, erro
 		}
 		done = sim.MaxTime(done, c)
 	}
-	if rl.qDisk >= 0 && !a.disks[rl.qDisk].Failed() {
+	if rl.qDisk >= 0 && !a.missing(rl.qDisk, l.row) {
 		a.stats.ParityWrites++
 		c, err := a.disks[rl.qDisk].WritePages(t, l.row, 1, q)
 		if err != nil {
@@ -310,6 +359,9 @@ func (a *Array) WriteRow(t sim.Time, firstLBA int64, buf []byte) (sim.Time, erro
 		}
 		done = sim.MaxTime(done, c)
 	}
+	// Every page of the row now holds defined content (missing members are
+	// reconstructible from the fresh parity), so any lost marks are healed.
 	delete(a.stale, l.row)
+	delete(a.lost, l.row)
 	return done, nil
 }

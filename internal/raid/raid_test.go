@@ -378,22 +378,65 @@ func TestReplaceDiskRebuild(t *testing.T) {
 	}
 }
 
-func TestReplaceDiskRequiresResync(t *testing.T) {
+func TestReplaceDiskAutoResync(t *testing.T) {
+	// ReplaceDisk runs the §III-E resync itself (parity_update precedes
+	// rebuild), so callers no longer see a bare ErrNeedResync. A stale row
+	// whose data all survives (the failed member holds its parity) is
+	// healed transparently; a stale row whose data was on the failed
+	// member really lost that page, and the rebuild must say so loudly.
 	a := newDataArray(t, Level5, 5, 96, 16)
-	writeAll(t, a, 100)
-	if _, err := a.WriteNoParity(0, 5, 1, fillPage(1)); err != nil {
+	oracle := writeAll(t, a, 100)
+
+	// Stripe 0 parity lives on disk 4: a stale row there loses only parity.
+	p0 := fillPage(0xA1)
+	if _, err := a.WriteNoParity(0, 5, 1, p0); err != nil {
 		t.Fatal(err)
 	}
+	oracle[5] = p0
+	a.FailDisk(4)
+	if _, err := a.ReplaceDisk(0, 4, blockdev.NewNullDataDevice("f", 96)); err != nil {
+		t.Fatalf("auto-resync rebuild: %v", err)
+	}
+	if n := len(a.LostRows()); n != 0 {
+		t.Fatalf("lost rows after parity-only staleness: %d", n)
+	}
+	if a.StaleRows() != 0 {
+		t.Fatal("stale rows survived ReplaceDisk")
+	}
+	verifyAll(t, a, oracle)
+
+	// Make a row stale again and fail the member holding lba 53, a data
+	// page of that row: the §III-E window lost it for real.
+	p1 := fillPage(0xB2)
+	if _, err := a.WriteNoParity(0, 5, 1, p1); err != nil {
+		t.Fatal(err)
+	}
+	oracle[5] = p1
 	a.FailDisk(3)
-	if _, err := a.ReplaceDisk(0, 3, blockdev.NewNullDataDevice("f", 96)); !errors.Is(err, ErrNeedResync) {
-		t.Fatalf("err = %v, want ErrNeedResync", err)
+	if _, err := a.ReplaceDisk(0, 3, blockdev.NewNullDataDevice("g", 96)); err != nil {
+		t.Fatalf("rebuild with lost data: %v", err)
 	}
-	// §III-E order: parity update first, then rebuild. With disk 3 failed
-	// the stale row may not be repairable if it involves disk 3, so heal
-	// order matters; resync all rows that survived.
-	if _, err := a.Resync(0); err != nil && !errors.Is(err, ErrTooManyFailures) {
+	if n := len(a.LostRows()); n != 1 {
+		t.Fatalf("lost rows = %d, want 1", n)
+	}
+	buf := make([]byte, blockdev.PageSize)
+	if _, err := a.ReadPages(0, 53, 1, buf); !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("read of lost page: err = %v, want ErrUnrecoverable", err)
+	}
+	// Unaffected pages of the same row still read fine.
+	if _, err := a.ReadPages(0, 5, 1, buf); err != nil {
+		t.Fatalf("read of surviving page: %v", err)
+	}
+	// Overwriting the lost page heals it.
+	p2 := fillPage(0xC3)
+	if _, err := a.WritePages(0, 53, 1, p2); err != nil {
 		t.Fatal(err)
 	}
+	oracle[53] = p2
+	if len(a.LostRows()) != 0 {
+		t.Fatal("overwrite did not heal the lost page")
+	}
+	verifyAll(t, a, oracle)
 }
 
 func TestReplaceHealthyDiskRejected(t *testing.T) {

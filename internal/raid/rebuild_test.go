@@ -1,0 +1,407 @@
+package raid
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/sim"
+)
+
+// scrubClean runs a patrol scrub and fails the test if it found any
+// parity mismatch or unrecoverable row: the post-rebuild invariant.
+func scrubClean(t *testing.T, a *Array) {
+	t.Helper()
+	_, rep, err := a.Scrub(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ParityFixed != 0 {
+		t.Fatalf("scrub fixed %d parity pages after rebuild", rep.ParityFixed)
+	}
+	if len(rep.Unrecoverable) != 0 {
+		t.Fatalf("scrub found unrecoverable rows after rebuild: %v", rep.Unrecoverable)
+	}
+}
+
+// TestRebuildWatermarkWriteProperty is the foreground-vs-watermark race
+// property test: at every rebuild step position it issues writes below,
+// at, and above the watermark (plus reads of both regions), then checks
+// array-vs-model equality and parity consistency on completion.
+func TestRebuildWatermarkWriteProperty(t *testing.T) {
+	for _, level := range []Level{Level5, Level6} {
+		disks := 5
+		if level == Level6 {
+			disks = 6
+		}
+		a := newDataArray(t, level, disks, 64, 4)
+		oracle := writeAll(t, a, a.Pages())
+		rng := sim.NewRNG(42)
+
+		a.FailDisk(1)
+		if _, err := a.StartRebuild(0, 1, blockdev.NewNullDataDevice("fresh", 64)); err != nil {
+			t.Fatalf("%v: StartRebuild: %v", level, err)
+		}
+		buf := make([]byte, blockdev.PageSize)
+		step := 0
+		for {
+			_, watermark, active := a.RebuildTarget()
+			if !active {
+				break
+			}
+			// One write below, one at, and one above the watermark; rows
+			// are picked by scanning the logical space for a matching
+			// DataLocation, so every step position is exercised.
+			var below, at, above int64 = -1, -1, -1
+			for lba := int64(0); lba < a.Pages(); lba++ {
+				_, row := a.DataLocation(lba)
+				switch {
+				case row < watermark && below < 0:
+					below = lba
+				case row == watermark && at < 0:
+					at = lba
+				case row > watermark && above < 0:
+					above = lba
+				}
+			}
+			for _, lba := range []int64{below, at, above} {
+				if lba < 0 {
+					continue
+				}
+				p := fillPage(byte(rng.Uint64()))
+				p[0] = byte(lba)
+				p[1] = byte(lba >> 8)
+				if _, err := a.WritePages(0, lba, 1, p); err != nil {
+					t.Fatalf("%v step %d: write %d: %v", level, step, lba, err)
+				}
+				oracle[lba] = p
+				if _, err := a.ReadPages(0, lba, 1, buf); err != nil {
+					t.Fatalf("%v step %d: read-back %d: %v", level, step, lba, err)
+				}
+				if !bytes.Equal(buf, p) {
+					t.Fatalf("%v step %d: read-back of %d diverged", level, step, lba)
+				}
+			}
+			// WriteNoParity must not open a stale window mid-rebuild.
+			if above >= 0 {
+				p := fillPage(byte(rng.Uint64()))
+				if _, err := a.WriteNoParity(0, above, 1, p); err != nil {
+					t.Fatalf("%v step %d: WriteNoParity: %v", level, step, err)
+				}
+				oracle[above] = p
+			}
+			if a.StaleRows() != 0 {
+				t.Fatalf("%v step %d: WriteNoParity left stale rows mid-rebuild", level, step)
+			}
+			if _, _, _, err := a.RebuildStep(0, 1); err != nil {
+				t.Fatalf("%v step %d: RebuildStep: %v", level, step, err)
+			}
+			step++
+		}
+		if !a.Healthy() {
+			t.Fatalf("%v: not healthy after rebuild", level)
+		}
+		if n := len(a.LostRows()); n != 0 {
+			t.Fatalf("%v: %d lost rows after clean rebuild", level, n)
+		}
+		verifyAll(t, a, oracle)
+		scrubClean(t, a)
+	}
+}
+
+// TestRebuildSecondFailureRaid6Continues: losing a second member inside
+// the rebuild window is within RAID-6's tolerance — the rebuild finishes
+// with no lost pages and the second member rebuilds afterwards.
+func TestRebuildSecondFailureRaid6Continues(t *testing.T) {
+	a := newDataArray(t, Level6, 6, 64, 4)
+	oracle := writeAll(t, a, a.Pages())
+	a.FailDisk(1)
+	if _, err := a.StartRebuild(0, 1, blockdev.NewNullDataDevice("f1", 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := a.RebuildStep(0, 20); err != nil {
+		t.Fatal(err)
+	}
+	a.FailDisk(3) // second failure mid-rebuild
+	for a.RebuildActive() {
+		if _, _, _, err := a.RebuildStep(0, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(a.LostRows()); n != 0 {
+		t.Fatalf("RAID-6 lost %d rows with two failures", n)
+	}
+	if _, err := a.ReplaceDisk(0, 3, blockdev.NewNullDataDevice("f2", 64)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Healthy() {
+		t.Fatal("not healthy after both rebuilds")
+	}
+	verifyAll(t, a, oracle)
+	scrubClean(t, a)
+}
+
+// TestRebuildSecondFailureRaid5LostAccounting: a second failure inside a
+// RAID-5 rebuild window exceeds the tolerance for un-rebuilt rows. Those
+// rows are accounted as lost and served loudly; rebuilt rows and the
+// survivors' own pages keep working, and a full-row rewrite heals.
+func TestRebuildSecondFailureRaid5LostAccounting(t *testing.T) {
+	a := newDataArray(t, Level5, 5, 64, 4)
+	oracle := writeAll(t, a, a.Pages())
+	a.FailDisk(1)
+	if _, err := a.StartRebuild(0, 1, blockdev.NewNullDataDevice("f1", 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := a.RebuildStep(0, 20); err != nil {
+		t.Fatal(err)
+	}
+	_, watermark, _ := a.RebuildTarget()
+	a.FailDisk(3) // second failure: beyond RAID-5 tolerance above the watermark
+	for a.RebuildActive() {
+		if _, _, _, err := a.RebuildStep(0, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lost := a.LostRows()
+	if len(lost) == 0 {
+		t.Fatal("RAID-5 double failure mid-rebuild reported no lost rows")
+	}
+	for _, row := range lost {
+		if row < watermark {
+			t.Fatalf("row %d below the watermark %d was marked lost", row, watermark)
+		}
+	}
+	buf := make([]byte, blockdev.PageSize)
+	readable, unreadable := 0, 0
+	for lba := int64(0); lba < a.Pages(); lba++ {
+		_, err := a.ReadPages(0, lba, 1, buf)
+		switch {
+		case err == nil:
+			readable++
+			if !bytes.Equal(buf, oracle[lba]) {
+				t.Fatalf("lba %d survived but diverged", lba)
+			}
+		case errors.Is(err, ErrUnrecoverable):
+			unreadable++
+			_, row := a.DataLocation(lba)
+			if row < watermark {
+				t.Fatalf("lba %d (row %d) below watermark unreadable", lba, row)
+			}
+		default:
+			t.Fatalf("lba %d: unexpected error %v", lba, err)
+		}
+	}
+	if unreadable == 0 {
+		t.Fatal("no page read returned ErrUnrecoverable")
+	}
+	if readable == 0 {
+		t.Fatal("no page survived")
+	}
+	// Replace the second casualty; rows lost on both members stay lost
+	// (the rebuild must not fabricate their bytes)...
+	if _, err := a.ReplaceDisk(0, 3, blockdev.NewNullDataDevice("f2", 64)); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.LostRows()) == 0 {
+		t.Fatal("rebuild of the second casualty laundered the lost rows")
+	}
+	// ...until a full-row rewrite supplies fresh content for every page.
+	row := a.LostRows()[0]
+	peers := a.RowPeers(a.rowFirstLBA(row))
+	full := make([]byte, len(peers)*blockdev.PageSize)
+	for i := range full {
+		full[i] = byte(0xD0 + i)
+	}
+	if _, err := a.WriteRow(0, peers[0], full); err != nil {
+		t.Fatal(err)
+	}
+	for i, lba := range peers {
+		oracle[lba] = append([]byte(nil), full[i*blockdev.PageSize:(i+1)*blockdev.PageSize]...)
+		if _, err := a.ReadPages(0, lba, 1, buf); err != nil {
+			t.Fatalf("lba %d still unreadable after WriteRow: %v", lba, err)
+		}
+		if !bytes.Equal(buf, oracle[lba]) {
+			t.Fatalf("lba %d wrong after WriteRow heal", lba)
+		}
+	}
+	for _, r := range a.LostRows() {
+		if r == row {
+			t.Fatal("WriteRow did not clear the lost marks")
+		}
+	}
+}
+
+// rowFirstLBA returns the logical LBA of data index 0 in the given row
+// (test helper).
+func (a *Array) rowFirstLBA(row int64) int64 {
+	stripe := row / a.geo.chunkPages
+	return a.geo.logicalLBA(stripe, 0, row%a.geo.chunkPages)
+}
+
+// TestSpareAutoAttach: a parked hot spare is attached to a failed member
+// and rebuilt to completion.
+func TestSpareAutoAttach(t *testing.T) {
+	a := newDataArray(t, Level5, 5, 64, 4)
+	oracle := writeAll(t, a, a.Pages())
+	if err := a.AddSpare(blockdev.NewNullDataDevice("spare", 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddSpare(blockdev.NewNullDataDevice("tiny", 32)); err == nil {
+		t.Fatal("geometry-mismatched spare accepted")
+	}
+	if _, started, err := a.StartSpareRebuild(0); err != nil || started {
+		t.Fatalf("spare attach without failure: started=%v err=%v", started, err)
+	}
+	a.FailDisk(2)
+	_, started, err := a.StartSpareRebuild(0)
+	if err != nil || !started {
+		t.Fatalf("spare attach: started=%v err=%v", started, err)
+	}
+	if a.SpareCount() != 0 {
+		t.Fatal("spare still parked after attach")
+	}
+	for a.RebuildActive() {
+		if _, _, _, err := a.RebuildStep(0, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !a.Healthy() {
+		t.Fatal("not healthy after spare rebuild")
+	}
+	if a.Stats().SpareAttaches != 1 {
+		t.Fatalf("SpareAttaches = %d", a.Stats().SpareAttaches)
+	}
+	verifyAll(t, a, oracle)
+	scrubClean(t, a)
+}
+
+// TestResumeRebuildIdempotent: a crash forgets the watermark; resuming
+// from the checkpoint — even twice, as a double-Restore does — finishes
+// the rebuild correctly. Resuming at an older watermark than reality is
+// also safe (rows are re-rebuilt with identical bytes).
+func TestResumeRebuildIdempotent(t *testing.T) {
+	a := newDataArray(t, Level5, 5, 64, 4)
+	oracle := writeAll(t, a, a.Pages())
+	a.FailDisk(1)
+	if _, err := a.StartRebuild(0, 1, blockdev.NewNullDataDevice("f", 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := a.RebuildStep(0, 17); err != nil {
+		t.Fatal(err)
+	}
+	disk, watermark, active := a.RebuildTarget()
+	if !active || disk != 1 || watermark != 17 {
+		t.Fatalf("RebuildTarget = %d,%d,%v", disk, watermark, active)
+	}
+	a.CrashRebuildState()
+	if a.RebuildActive() {
+		t.Fatal("crash kept the rebuild state")
+	}
+	// Resume from an older checkpoint, twice (double-Restore idempotence).
+	if err := a.ResumeRebuild(disk, watermark-5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ResumeRebuild(disk, watermark-5); err != nil {
+		t.Fatal(err)
+	}
+	_, got, active := a.RebuildTarget()
+	if !active || got != watermark-5 {
+		t.Fatalf("resumed watermark = %d,%v", got, active)
+	}
+	for a.RebuildActive() {
+		if _, _, _, err := a.RebuildStep(0, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verifyAll(t, a, oracle)
+	scrubClean(t, a)
+
+	// A checkpoint at/after the end means the rebuild already finished.
+	a.FailDisk(2)
+	if _, err := a.StartRebuild(0, 2, blockdev.NewNullDataDevice("g", 64)); err != nil {
+		t.Fatal(err)
+	}
+	a.CrashRebuildState()
+	if err := a.ResumeRebuild(2, 64); err != nil {
+		t.Fatal(err)
+	}
+	if a.RebuildActive() {
+		t.Fatal("completed checkpoint resumed as active")
+	}
+	// ...but the device content above row 0 was never rebuilt here; finish
+	// the job properly for the remaining assertions.
+	a.FailDisk(2)
+	if _, err := a.ReplaceDisk(0, 2, blockdev.NewNullDataDevice("h", 64)); err != nil {
+		t.Fatal(err)
+	}
+	verifyAll(t, a, oracle)
+
+	// Resuming onto a member that has since died is a no-op.
+	a.FailDisk(3)
+	if err := a.ResumeRebuild(3, 10); err != nil {
+		t.Fatal(err)
+	}
+	if a.RebuildActive() {
+		t.Fatal("resume onto a failed member went active")
+	}
+	if err := a.ResumeRebuild(99, 0); err == nil {
+		t.Fatal("out-of-range checkpoint accepted")
+	}
+}
+
+// TestFailDiskAbandonsRebuild: the target dying mid-rebuild abandons the
+// rebuild and counts it.
+func TestFailDiskAbandonsRebuild(t *testing.T) {
+	a := newDataArray(t, Level5, 5, 64, 4)
+	writeAll(t, a, 64)
+	a.FailDisk(1)
+	if _, err := a.StartRebuild(0, 1, blockdev.NewNullDataDevice("f", 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := a.RebuildStep(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	a.FailDisk(1)
+	if a.RebuildActive() {
+		t.Fatal("rebuild survived its target's death")
+	}
+	if a.Stats().RebuildsAborted != 1 {
+		t.Fatalf("RebuildsAborted = %d", a.Stats().RebuildsAborted)
+	}
+}
+
+// TestResyncErrorTyped: the typed resync failure wraps ErrNeedResync so
+// existing errors.Is call sites keep working, and carries the count.
+func TestResyncErrorTyped(t *testing.T) {
+	err := &ResyncError{StaleRows: 3, Err: ErrTooManyFailures}
+	if !errors.Is(err, ErrNeedResync) {
+		t.Fatal("ResyncError does not wrap ErrNeedResync")
+	}
+	if err.StaleRows != 3 {
+		t.Fatal("stale-row count lost")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "3 stale parity rows") || !strings.Contains(msg, ErrTooManyFailures.Error()) {
+		t.Fatalf("error text lost the count or cause: %q", msg)
+	}
+}
+
+// TestRowHasData pins the rotating-parity layout query the RAID-5
+// lost-row accounting depends on: across a full rotation period every
+// row sees each disk carry data in exactly disks-1 rows.
+func TestRowHasData(t *testing.T) {
+	a := newDataArray(t, Level5, 4, 64, 1)
+	for disk := 0; disk < 4; disk++ {
+		data := 0
+		for row := int64(0); row < 4; row++ {
+			if a.rowHasData(disk, row) {
+				data++
+			}
+		}
+		if data != 3 {
+			t.Fatalf("disk %d carries data in %d of 4 rows, want 3 (one parity row per rotation)", disk, data)
+		}
+	}
+}

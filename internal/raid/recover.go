@@ -1,6 +1,7 @@
 package raid
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -14,11 +15,17 @@ import (
 // through reconstruct-write", and "if a HDD fails, KDD first updates all
 // parity blocks ... then triggers the rebuilding process".
 
-// FailDisk marks member disk i as failed.
+// FailDisk marks member disk i as failed. Failing the target of an
+// active rebuild abandons the rebuild: there is nothing left to resume
+// onto, and a later spare attach must start over from row 0.
 func (a *Array) FailDisk(i int) {
 	if !a.disks[i].Failed() {
 		a.disks[i].Fail()
 		a.failed++
+		if a.rebuild != nil && a.rebuild.disk == i {
+			a.rebuild = nil
+			a.stats.RebuildsAborted++
+		}
 	}
 }
 
@@ -33,8 +40,10 @@ func (a *Array) FailedDisks() []int {
 	return out
 }
 
-// Healthy reports whether no member disk is failed.
-func (a *Array) Healthy() bool { return a.failed == 0 }
+// Healthy reports whether no member disk is failed and no rebuild is in
+// progress: inside the rebuild window the array still has rows with
+// reduced redundancy, so callers (the KDD engine) must stay conservative.
+func (a *Array) Healthy() bool { return a.failed == 0 && a.rebuild == nil }
 
 // Survivable reports whether current failures are within the level's
 // tolerance.
@@ -43,8 +52,18 @@ func (a *Array) Survivable() bool {
 }
 
 // degradedRead reconstructs the data page at l from surviving members.
+// "Missing" is per-row: a rebuild target above the watermark is treated
+// exactly like a failed disk for its un-rebuilt rows.
 func (a *Array) degradedRead(t sim.Time, l loc, buf []byte) (sim.Time, error) {
-	if !a.Survivable() {
+	if a.lost[l.row] != 0 {
+		// Redundancy of this row was exhausted during a rebuild window and
+		// some of its pages were declared lost; reconstruction would serve
+		// fabricated bytes.
+		return t, fmt.Errorf("%w: row %d holds pages lost in a rebuild window", ErrUnrecoverable, l.row)
+	}
+	rl := a.geo.locateRow(l.stripe)
+	rl.row = l.row
+	if a.rowErasures(rl) > a.cfg.Level.faultTolerance(len(a.disks)) {
 		return t, ErrTooManyFailures
 	}
 	if a.rowStale(l) {
@@ -53,17 +72,56 @@ func (a *Array) degradedRead(t sim.Time, l loc, buf []byte) (sim.Time, error) {
 		return t, ErrStaleParity
 	}
 	a.stats.DegradedRead++
-	rl := a.geo.locateRow(l.stripe)
-	rl.row = l.row
 
+	var done sim.Time
+	var err error
 	switch a.cfg.Level {
 	case Level5:
-		return a.reconstructXOR(t, l, rl, buf)
+		done, err = a.reconstructXOR(t, l, rl, buf)
 	case Level6:
-		return a.reconstructRS(t, l, rl, buf)
+		done, err = a.reconstructRS(t, l, rl, buf)
 	default:
 		return t, ErrTooManyFailures
 	}
+	if err != nil && errors.Is(err, blockdev.ErrMedia) {
+		// A survivor page is unreadable on top of the missing member. The
+		// streaming reconstruction cannot route around it, but the general
+		// row decode can treat it as one more erasure — within RAID-6
+		// tolerance even inside a rebuild window.
+		a.stats.MediaErrors++
+		return a.reconstructViaRow(t, l, rl, buf)
+	}
+	return done, err
+}
+
+// reconstructViaRow is degradedRead's fallback when a survivor read hits
+// a persistent media error: decode the whole row with the bad page as an
+// additional erasure, serve the target page, and write the decoded
+// content back onto the media-bad data pages (best effort) so the latent
+// error heals in place.
+func (a *Array) reconstructViaRow(t sim.Time, l loc, rl rowLoc, buf []byte) (sim.Time, error) {
+	st, done, err := a.readRow(t, rl, nil)
+	if err != nil {
+		return t, err
+	}
+	if !a.recoverable(st) {
+		return t, fmt.Errorf("%w: row %d has more erasures than the level tolerates", ErrUnrecoverable, l.row)
+	}
+	if buf != nil {
+		if err := a.solveRow(st); err != nil {
+			return t, fmt.Errorf("%w: row %d", err, l.row)
+		}
+		copy(buf, st.data[l.dataIdx])
+		for i, disk := range rl.dataDisks {
+			if st.media[disk] {
+				a.stats.ReadRepairs++
+				if c, werr := a.disks[disk].WritePages(done, rl.row, 1, st.data[i]); werr == nil {
+					done = sim.MaxTime(done, c)
+				}
+			}
+		}
+	}
+	return done, nil
 }
 
 // reconstructXOR rebuilds one data page as the XOR of the surviving data
@@ -80,6 +138,11 @@ func (a *Array) reconstructXOR(t sim.Time, l loc, rl rowLoc, buf []byte) (sim.Ti
 		if disk == l.disk {
 			continue
 		}
+		if a.missing(disk, l.row) {
+			// A source is itself missing. Never read it: a rebuild target
+			// above the watermark answers with unwritten zeros, not data.
+			return t, ErrTooManyFailures
+		}
 		c, err := a.readMember(t, disk, l.row, tmp)
 		if err != nil {
 			return t, err
@@ -88,6 +151,9 @@ func (a *Array) reconstructXOR(t sim.Time, l loc, rl rowLoc, buf []byte) (sim.Ti
 		if buf != nil {
 			xorInto(buf, tmp)
 		}
+	}
+	if a.missing(rl.pDisk, l.row) {
+		return t, ErrTooManyFailures
 	}
 	c, err := a.readMember(t, rl.pDisk, l.row, tmp)
 	if err != nil {
@@ -103,15 +169,16 @@ func (a *Array) reconstructXOR(t sim.Time, l loc, rl rowLoc, buf []byte) (sim.Ti
 // reconstructRS rebuilds one data page on a RAID-6 row with up to two
 // erasures, using P and/or Q as needed.
 func (a *Array) reconstructRS(t sim.Time, l loc, rl rowLoc, buf []byte) (sim.Time, error) {
-	// Identify failures relevant to this row.
+	// Identify erasures relevant to this row (failed disks plus the
+	// un-rebuilt region of an active rebuild target).
 	var failedData []int // data indices
 	for i, disk := range rl.dataDisks {
-		if a.disks[disk].Failed() {
+		if a.missing(disk, l.row) {
 			failedData = append(failedData, i)
 		}
 	}
-	pOK := !a.disks[rl.pDisk].Failed()
-	qOK := !a.disks[rl.qDisk].Failed()
+	pOK := !a.missing(rl.pDisk, l.row)
+	qOK := !a.missing(rl.qDisk, l.row)
 
 	// Accumulators (nil in timing mode).
 	data := buf != nil
@@ -125,7 +192,7 @@ func (a *Array) reconstructRS(t sim.Time, l loc, rl rowLoc, buf []byte) (sim.Tim
 
 	// Read surviving data pages.
 	for i, disk := range rl.dataDisks {
-		if a.disks[disk].Failed() {
+		if a.missing(disk, l.row) {
 			continue
 		}
 		c, err := a.readMember(t, disk, l.row, tmp)
@@ -192,22 +259,28 @@ func (a *Array) reconstructRS(t sim.Time, l loc, rl rowLoc, buf []byte) (sim.Tim
 	return done, nil
 }
 
-// degradedWrite services a write when the data disk or a parity disk of
-// the target row has failed, folding the new data into the surviving
-// redundancy.
+// degradedWrite services a write when the data page or a parity page of
+// the target row is missing (failed disk, or the un-rebuilt region of a
+// rebuild target), folding the new data into the surviving redundancy.
 func (a *Array) degradedWrite(t sim.Time, l loc, buf []byte) (sim.Time, error) {
-	if !a.Survivable() {
-		return t, ErrTooManyFailures
-	}
 	rl := a.geo.locateRow(l.stripe)
 	rl.row = l.row
+	if a.lost[l.row]&^(1<<uint(l.disk)) != 0 {
+		// Pages other than the target are lost: the row's parity no longer
+		// describes its data, and anything short of a full-row rewrite
+		// would launder the loss into plausible-looking bytes.
+		return t, fmt.Errorf("%w: row %d holds pages lost in a rebuild window", ErrUnrecoverable, l.row)
+	}
+	if a.rowErasures(rl) > a.cfg.Level.faultTolerance(len(a.disks)) {
+		return t, ErrTooManyFailures
+	}
 	data := buf != nil
 
-	dataFailed := a.disks[l.disk].Failed()
-	pOK := rl.pDisk >= 0 && !a.disks[rl.pDisk].Failed()
-	qOK := rl.qDisk >= 0 && !a.disks[rl.qDisk].Failed()
+	dataMissing := a.missing(l.disk, l.row)
+	pOK := rl.pDisk >= 0 && !a.missing(rl.pDisk, l.row)
+	qOK := rl.qDisk >= 0 && !a.missing(rl.qDisk, l.row)
 
-	if !dataFailed {
+	if !dataMissing {
 		// Only parity lost: write the data; surviving parity (if any) is
 		// updated via RMW against that disk alone.
 		done := t
@@ -216,6 +289,13 @@ func (a *Array) degradedWrite(t sim.Time, l loc, buf []byte) (sim.Time, error) {
 			old = make([]byte, blockdev.PageSize)
 			c, err := a.readMember(t, l.disk, l.row, old)
 			if err != nil {
+				if errors.Is(err, blockdev.ErrMedia) {
+					// The old copy is unreadable, so the parity diff cannot
+					// be formed: place the write via a full-row decode, which
+					// absorbs the bad page as one more erasure.
+					a.stats.MediaErrors++
+					return a.degradedWriteTwoMissing(t, l, rl, buf)
+				}
 				return t, err
 			}
 			t = sim.MaxTime(t, c)
@@ -234,14 +314,22 @@ func (a *Array) degradedWrite(t sim.Time, l loc, buf []byte) (sim.Time, error) {
 			}
 			c, err := a.applyParityDiff(t, l, rl, diff, pOK, qOK)
 			if err != nil {
+				if errors.Is(err, blockdev.ErrMedia) {
+					// The surviving parity copy is unreadable: the data write
+					// already landed, so a full-row decode recomputes that
+					// copy from the current bytes (the diff becomes moot).
+					a.stats.MediaErrors++
+					return a.degradedWriteTwoMissing(t, l, rl, buf)
+				}
 				return t, err
 			}
 			done = sim.MaxTime(done, c)
 		}
+		a.clearLost(l.disk, l.row)
 		return done, nil
 	}
 
-	// Data disk failed: fold the new value into parity via reconstruction
+	// Data page missing: fold the new value into parity via reconstruction
 	// from the surviving data pages (reconstruct-write).
 	done := t
 	var p, q []byte
@@ -258,11 +346,19 @@ func (a *Array) degradedWrite(t sim.Time, l loc, buf []byte) (sim.Time, error) {
 		if disk == l.disk {
 			continue
 		}
-		if a.disks[disk].Failed() {
-			return t, ErrTooManyFailures // second data failure: RAID-6 only via full decode; unsupported write path
+		if a.missing(disk, l.row) {
+			// A second data page of the row is missing: only a RAID-6
+			// full-row decode can still place this write.
+			return a.degradedWriteTwoMissing(t, l, rl, buf)
 		}
 		c, err := a.readMember(t, disk, l.row, tmp)
 		if err != nil {
+			if errors.Is(err, blockdev.ErrMedia) {
+				// A survivor page is unreadable on top of the missing
+				// target: the full-row decode treats it as a second erasure.
+				a.stats.MediaErrors++
+				return a.degradedWriteTwoMissing(t, l, rl, buf)
+			}
 			return t, err
 		}
 		done = sim.MaxTime(done, c)
@@ -294,6 +390,85 @@ func (a *Array) degradedWrite(t sim.Time, l loc, buf []byte) (sim.Time, error) {
 		return t, ErrTooManyFailures
 	}
 	delete(a.stale, l.row)
+	a.clearLost(l.disk, l.row) // parity now encodes the page's new bytes
+	return done, nil
+}
+
+// degradedWriteTwoMissing places a write on a row with two effective
+// erasures — the target's data page plus a second missing page, or a
+// missing page plus a media-unreadable one: a full-row decode recovers
+// every old page from the surviving redundancy, the new data is
+// substituted, and both parities are recomputed and rewritten (plus the
+// data page itself when its device is physically writable). A missing
+// page keeps its old (decoded) value in the new parity, so it remains
+// exactly as reconstructible as before the write.
+func (a *Array) degradedWriteTwoMissing(t sim.Time, l loc, rl rowLoc, buf []byte) (sim.Time, error) {
+	if a.rowStale(l) {
+		// Stale parity cannot decode the missing pages.
+		return t, ErrStaleParity
+	}
+	st, done, err := a.readRow(t, rl, nil)
+	if err != nil {
+		return t, err
+	}
+	if !a.recoverable(st) {
+		return t, ErrTooManyFailures
+	}
+	dataMode := a.dataMode()
+	var p, q []byte
+	if dataMode {
+		if err := a.solveRow(st); err != nil {
+			return t, err
+		}
+		if buf != nil {
+			copy(st.data[l.dataIdx], buf)
+		}
+		p = make([]byte, blockdev.PageSize)
+		if rl.qDisk >= 0 {
+			q = make([]byte, blockdev.PageSize)
+		}
+		for i := range st.data {
+			xorInto(p, st.data[i])
+			if q != nil {
+				gfMulInto(q, st.data[i], gfPow(i))
+			}
+		}
+	}
+	if !a.missing(l.disk, l.row) {
+		// The target device is alive (the decode path was taken for a media
+		// error elsewhere in the row): land the data bytes too, or a healed
+		// transient page could later resurface its old content against the
+		// new parity.
+		a.stats.DataWrites++
+		c, err := a.disks[l.disk].WritePages(done, l.row, 1, buf)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+	}
+	wrote := false
+	if rl.pDisk >= 0 && !a.missing(rl.pDisk, l.row) {
+		a.stats.ParityWrites++
+		c, err := a.disks[rl.pDisk].WritePages(done, l.row, 1, p)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+		wrote = true
+	}
+	if rl.qDisk >= 0 && !a.missing(rl.qDisk, l.row) {
+		a.stats.ParityWrites++
+		c, err := a.disks[rl.qDisk].WritePages(done, l.row, 1, q)
+		if err != nil {
+			return t, err
+		}
+		done = sim.MaxTime(done, c)
+		wrote = true
+	}
+	if !wrote {
+		return t, ErrTooManyFailures
+	}
+	a.clearLost(l.disk, l.row)
 	return done, nil
 }
 
@@ -308,7 +483,7 @@ func (a *Array) applyParityDiff(t sim.Time, l loc, rl rowLoc, diff []byte, pOK, 
 			p = make([]byte, blockdev.PageSize)
 		}
 		a.stats.ParityReads++
-		c, err := a.disks[rl.pDisk].ReadPages(t, l.row, 1, p)
+		c, err := a.memberRead(t, rl.pDisk, l.row, p)
 		if err != nil {
 			return t, err
 		}
@@ -328,7 +503,7 @@ func (a *Array) applyParityDiff(t sim.Time, l loc, rl rowLoc, diff []byte, pOK, 
 			q = make([]byte, blockdev.PageSize)
 		}
 		a.stats.ParityReads++
-		c, err := a.disks[rl.qDisk].ReadPages(t, l.row, 1, q)
+		c, err := a.memberRead(t, rl.qDisk, l.row, q)
 		if err != nil {
 			return t, err
 		}
@@ -382,8 +557,8 @@ func (a *Array) resyncRow(t sim.Time, row int64) (sim.Time, error) {
 	stripe := row / a.geo.chunkPages
 	rl := a.geo.locateRow(stripe)
 	rl.row = row
-	pOK := !a.disks[rl.pDisk].Failed()
-	qOK := rl.qDisk >= 0 && !a.disks[rl.qDisk].Failed()
+	pOK := !a.missing(rl.pDisk, row)
+	qOK := rl.qDisk >= 0 && !a.missing(rl.qDisk, row)
 	if !pOK && (rl.qDisk < 0 || !qOK) {
 		// Every parity member of this row is lost; the rebuild recomputes
 		// it from the (current) data, so the row is no longer stale.
@@ -401,13 +576,29 @@ func (a *Array) resyncRow(t sim.Time, row int64) (sim.Time, error) {
 	tmp := pageScratch(dataMode)
 	phase1 := t
 	for i, disk := range rl.dataDisks {
-		if a.disks[disk].Failed() {
-			// A data member is gone AND parity is stale: the row cannot
-			// be resynchronised from data alone.
-			return t, ErrTooManyFailures
+		if a.missing(disk, row) {
+			// A data member is gone AND parity is stale: that page's current
+			// content is beyond every redundancy (stale parity cannot decode
+			// it). Account the loss loudly and resynchronise over the
+			// survivors — the lost page is defined as zeros, matching the
+			// zero-fill the rebuild writes when its watermark passes the row.
+			a.markLost(disk, row)
+			continue
 		}
 		c, err := a.readMember(t, disk, row, tmp)
 		if err != nil {
+			if errors.Is(err, blockdev.ErrMedia) {
+				// Same loss through a different hole: the page is unreadable
+				// and the stale parity cannot reconstruct it. Zero-fill the
+				// physical page so a remap or a cleared transient can never
+				// resurface its old bytes against the fresh parity.
+				a.stats.MediaErrors++
+				a.markLost(disk, row)
+				if c, werr := a.disks[disk].WritePages(t, row, 1, pageScratch(dataMode)); werr == nil {
+					phase1 = sim.MaxTime(phase1, c)
+				}
+				continue
+			}
 			return t, err
 		}
 		phase1 = sim.MaxTime(phase1, c)
@@ -440,140 +631,24 @@ func (a *Array) resyncRow(t sim.Time, row int64) (sim.Time, error) {
 }
 
 // ReplaceDisk swaps member i for a fresh device and rebuilds its contents
-// from the survivors. Stale parity rows must be resynchronised first
-// (§III-E: parity_update precedes rebuild), otherwise ErrNeedResync.
+// from the survivors, blocking until the rebuild completes. Stale parity
+// rows are resynchronised automatically first (§III-E: parity_update
+// precedes rebuild), so callers need not know the ordering; rows that
+// cannot be resynced surface as lost pages, not as an error. Online
+// callers drive StartRebuild/RebuildStep themselves instead.
 func (a *Array) ReplaceDisk(t sim.Time, i int, fresh blockdev.Device) (sim.Time, error) {
-	if !a.disks[i].Failed() {
-		return t, ErrNotDegraded
+	done, err := a.StartRebuild(t, i, fresh)
+	if err != nil {
+		return t, err
 	}
-	if len(a.stale) > 0 {
-		return t, ErrNeedResync
-	}
-	if fresh.Pages() != a.geo.diskPages {
-		return t, fmt.Errorf("%w: replacement size mismatch", ErrBadGeometry)
-	}
-	a.disks[i].Repair(fresh)
-	a.failed--
-	return a.rebuildDisk(t, i)
-}
-
-// rebuildDisk reconstructs every row of disk i from the other members.
-func (a *Array) rebuildDisk(t sim.Time, i int) (sim.Time, error) {
-	dataMode := a.dataMode()
-	tmp := pageScratch(dataMode)
-	out := pageScratch(dataMode)
-	done := t
-	for row := int64(0); row < a.geo.diskPages; row++ {
-		stripe := row / a.geo.chunkPages
-		rl := a.geo.locateRow(stripe)
-		rl.row = row
-		var err error
-		var c sim.Time
-		switch a.cfg.Level {
-		case Level1:
-			// Copy from any healthy mirror.
-			src := -1
-			for j, d := range a.disks {
-				if j != i && !d.Failed() {
-					src = j
-					break
-				}
-			}
-			if src == -1 {
-				return t, ErrTooManyFailures
-			}
-			if c, err = a.readMember(t, src, row, out); err != nil {
-				return t, err
-			}
-		case Level5, Level6:
-			c, err = a.reconstructMemberPage(t, i, rl, tmp, out)
-			if err != nil {
-				return t, err
-			}
-		default:
-			return t, ErrTooManyFailures
-		}
-		a.stats.RebuildWrite++
-		c, err = a.disks[i].WritePages(c, row, 1, out)
+	t = done
+	for a.rebuild != nil {
+		c, _, _, err := a.RebuildStep(t, 1024)
 		if err != nil {
 			return t, err
 		}
 		done = sim.MaxTime(done, c)
 		t = c
-	}
-	return done, nil
-}
-
-// reconstructMemberPage rebuilds the page of member disk i at rl.row,
-// whether it holds data, P, or Q there.
-func (a *Array) reconstructMemberPage(t sim.Time, i int, rl rowLoc, tmp, out []byte) (sim.Time, error) {
-	dataMode := out != nil
-	if dataMode {
-		for j := range out {
-			out[j] = 0
-		}
-	}
-	done := t
-	switch {
-	case rl.pDisk == i:
-		// P = Σ D_j.
-		for _, disk := range rl.dataDisks {
-			c, err := a.readMember(t, disk, rl.row, tmp)
-			if err != nil {
-				return t, err
-			}
-			done = sim.MaxTime(done, c)
-			if dataMode {
-				xorInto(out, tmp)
-			}
-		}
-	case rl.qDisk == i:
-		// Q = Σ g^j·D_j.
-		for j, disk := range rl.dataDisks {
-			c, err := a.readMember(t, disk, rl.row, tmp)
-			if err != nil {
-				return t, err
-			}
-			done = sim.MaxTime(done, c)
-			if dataMode {
-				gfMulInto(out, tmp, gfPow(j))
-			}
-		}
-	default:
-		// Data page: XOR of the other data pages and P.
-		dataIdx := -1
-		for j, disk := range rl.dataDisks {
-			if disk == i {
-				dataIdx = j
-				break
-			}
-		}
-		if dataIdx == -1 {
-			// Row does not involve disk i (possible with uneven chunk
-			// tails); leave zeros.
-			return t, nil
-		}
-		for _, disk := range rl.dataDisks {
-			if disk == i {
-				continue
-			}
-			c, err := a.readMember(t, disk, rl.row, tmp)
-			if err != nil {
-				return t, err
-			}
-			done = sim.MaxTime(done, c)
-			if dataMode {
-				xorInto(out, tmp)
-			}
-		}
-		c, err := a.readMember(t, rl.pDisk, rl.row, tmp)
-		if err != nil {
-			return t, err
-		}
-		done = sim.MaxTime(done, c)
-		if dataMode {
-			xorInto(out, tmp)
-		}
 	}
 	return done, nil
 }

@@ -54,7 +54,10 @@ func (a *Array) readRow(t sim.Time, rl rowLoc, knownBad map[int]bool) (*rowState
 			st.media[disk] = true
 			return nil, false, nil
 		}
-		if a.disks[disk].Failed() {
+		if a.missing(disk, rl.row) {
+			// Failed outright, or the un-rebuilt region of a rebuild
+			// target: physically readable there, but holding unwritten
+			// zeros — never valid as a reconstruction source.
 			return nil, false, nil
 		}
 		buf := pageScratch(dataMode)
@@ -239,6 +242,70 @@ func (a *Array) readRepair(t sim.Time, l loc, buf []byte) (sim.Time, error) {
 	return sim.MaxTime(done, c), nil
 }
 
+// repairParityRow recomputes an unreadable parity copy of one row in
+// place. The row is decoded with the named copy treated as an erasure (a
+// stale row additionally distrusts every parity copy, so the decode
+// degenerates into a resync from the full data); every distrusted copy
+// whose device is physically present is rewritten — remap-on-write heals
+// the latent page — and the stale mark is cleared. buf, when non-nil,
+// receives the recomputed page of disk.
+func (a *Array) repairParityRow(t sim.Time, row int64, disk int, buf []byte) (sim.Time, error) {
+	rl := a.geo.locateRow(row / a.geo.chunkPages)
+	rl.row = row
+	knownBad := map[int]bool{disk: true}
+	if a.stale[row] {
+		if rl.pDisk >= 0 {
+			knownBad[rl.pDisk] = true
+		}
+		if rl.qDisk >= 0 {
+			knownBad[rl.qDisk] = true
+		}
+	}
+	st, done, err := a.readRow(t, rl, knownBad)
+	if err != nil {
+		return t, err
+	}
+	if !a.recoverable(st) {
+		return t, fmt.Errorf("%w: row %d has more erasures than the level tolerates", ErrUnrecoverable, row)
+	}
+	if a.dataMode() {
+		if err := a.solveRow(st); err != nil {
+			return t, fmt.Errorf("%w: row %d", err, row)
+		}
+	}
+	write := func(d int, page []byte) error {
+		if !knownBad[d] || a.missing(d, row) {
+			return nil
+		}
+		a.stats.ParityWrites++
+		c, werr := a.disks[d].WritePages(done, row, 1, page)
+		if werr != nil {
+			return werr
+		}
+		done = sim.MaxTime(done, c)
+		return nil
+	}
+	if rl.pDisk >= 0 {
+		if err := write(rl.pDisk, st.p); err != nil {
+			return t, err
+		}
+		if buf != nil && disk == rl.pDisk {
+			copy(buf, st.p)
+		}
+	}
+	if rl.qDisk >= 0 {
+		if err := write(rl.qDisk, st.q); err != nil {
+			return t, err
+		}
+		if buf != nil && disk == rl.qDisk {
+			copy(buf, st.q)
+		}
+	}
+	delete(a.stale, row)
+	a.stats.ParityFixes++
+	return done, nil
+}
+
 // Scrub walks every parity row of the array under virtual time, verifying
 // that each member page is readable and (in data mode) that parity
 // matches the data. Unreadable pages are reconstructed from redundancy
@@ -248,13 +315,26 @@ func (a *Array) readRepair(t sim.Time, l loc, buf []byte) (sim.Time, error) {
 // will fold the staged deltas in later. Rows with more erasures than the
 // level tolerates are reported in the ScrubReport, never silently
 // patched.
-func (a *Array) Scrub(t sim.Time) (sim.Time, ScrubReport, error) {
-	var rep ScrubReport
+func (a *Array) Scrub(t sim.Time) (done sim.Time, rep ScrubReport, err error) {
 	usable := a.geo.diskPages - a.geo.diskPages%a.geo.chunkPages
-	done := t
+	if a.tr != nil {
+		sp := a.tr.BeginDev(t, obs.PhaseScrub, a.Name(), 0, int(usable))
+		defer func() { sp.End(done) }()
+	}
+	a.scrubTotal = usable
+	a.scrubRow = 0
+	done = t
 	for row := int64(0); row < usable; row++ {
+		a.scrubRow = row + 1
 		if a.stale[row] {
 			rep.RowsSkipped++
+			continue
+		}
+		if a.lost[row] != 0 {
+			// Pages of this row were declared lost in a rebuild window;
+			// nothing the scrub writes could bring them back. Report, never
+			// patch.
+			rep.Unrecoverable = append(rep.Unrecoverable, row)
 			continue
 		}
 		rep.RowsScanned++
@@ -365,7 +445,7 @@ func (a *Array) scrubMirrorRow(t sim.Time, rl rowLoc, rep *ScrubReport) (sim.Tim
 		disk int
 		buf  []byte
 	}
-	var bad []int      // mirrors with media errors
+	var bad []int       // mirrors with media errors
 	var rest []copyInfo // readable mirrors after the first
 	anyHealthy := false
 	for i, d := range a.disks {

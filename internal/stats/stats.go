@@ -56,6 +56,12 @@ type CacheStats struct {
 	PassReads      int64 // reads served in pass-through mode
 	PassWrites     int64 // writes served in pass-through mode
 	Reattaches     int64 // successful cache re-attachments
+
+	// Online member rebuild (the cache paces the array's rebuild engine).
+	RebuildSteps  int64 // rebuild steps pumped between foreground ops
+	RebuildRows   int64 // member rows reconstructed by pumped steps
+	RebuildsDone  int64 // member rebuilds driven to completion by the pump
+	SpareAttaches int64 // hot spares auto-attached to failed members
 }
 
 // Requests returns the total number of request pages processed.
@@ -132,6 +138,10 @@ func (s *CacheStats) Add(o *CacheStats) {
 	s.PassReads += o.PassReads
 	s.PassWrites += o.PassWrites
 	s.Reattaches += o.Reattaches
+	s.RebuildSteps += o.RebuildSteps
+	s.RebuildRows += o.RebuildRows
+	s.RebuildsDone += o.RebuildsDone
+	s.SpareAttaches += o.SpareAttaches
 }
 
 func (s *CacheStats) String() string {

@@ -311,6 +311,7 @@ var Experiments = map[string]func(scale float64) (string, error){
 	"lifetime":            harness.LifetimeSummary,
 	"recovery-tradeoff":   harness.RecoveryTradeoff,
 	"degraded":            harness.DegradedPerformance,
+	"rebuild-impact":      harness.RebuildImpact,
 	"ablation-admission":  harness.AblationAdmission,
 	"motivation":          harness.Motivation,
 	"phases":              harness.PhaseBreakdown,
