@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race chaos chaos-ssd chaos-rebuild check mutate fuzz cover bench-harness obs-test ci clean
+.PHONY: all build vet test race chaos chaos-ssd chaos-rebuild check mutate fuzz cover bench-harness bench-gate obs-test ci clean
 
 all: ci
 
@@ -79,11 +79,18 @@ cover:
 		print "FAIL: coverage " t "% is more than 0.5 points below baseline " b "%"; exit 1 } }'
 
 # Serial vs parallel wall-clock of the experiment harness; asserts the
-# outputs are byte-identical and writes BENCH_harness.json.
+# outputs are byte-identical and appends one entry to the
+# BENCH_harness.json trajectory.
 bench-harness:
 	$(GO) run ./cmd/harnessbench -scale $(or $(BENCH_SCALE),0.01) -o BENCH_harness.json
 
-ci: vet build test race obs-test chaos-ssd chaos-rebuild check mutate cover
+# Perf gate: same measurement, but fail if traced observability overhead
+# exceeds its budget or an experiment's serial wall clock regresses
+# sharply against the last comparable trajectory entry.
+bench-gate:
+	$(GO) run ./cmd/harnessbench -scale $(or $(BENCH_SCALE),0.01) -o BENCH_harness.json -gate
+
+ci: vet build test race obs-test chaos-ssd chaos-rebuild check mutate cover bench-gate
 
 clean:
 	$(GO) clean ./...

@@ -1,10 +1,24 @@
 // Command harnessbench measures the experiment harness's serial vs
-// parallel wall clock and verifies the outputs are byte-identical at both
-// widths — the determinism contract of the fan-out runner. Results go to
-// a JSON file (BENCH_harness.json by default) so CI can archive the perf
-// trajectory.
+// parallel wall clock, verifies the outputs are byte-identical at both
+// widths (the determinism contract of the fan-out runner), and bounds
+// the observability overhead of the span tracer. Each run APPENDS one
+// entry to a trajectory file (BENCH_harness.json by default) so the
+// perf history across PRs is reviewable in one place; CI archives it.
+//
+// GOMAXPROCS is raised to at least the pool width before timing: a
+// parallel-vs-serial comparison on one scheduler thread measures
+// nothing, and an overhead comparison starved of cores overstates the
+// tracer's cost (the committed pre-fix entry shows exactly that:
+// parallel=4 on gomaxprocs=1 reported a fictitious 70% overhead).
+//
+// With -gate the run also acts as a CI perf gate: it fails if any
+// experiment's parallel output diverges from serial, if the traced
+// overhead exceeds -max-overhead-pct, or if an experiment's serial
+// wall clock regresses by more than -max-slowdown versus the last
+// comparable trajectory entry (same scale, same width).
 //
 //	harnessbench -scale 0.01 -o BENCH_harness.json
+//	harnessbench -scale 0.01 -o BENCH_harness.json -gate
 package main
 
 import (
@@ -34,8 +48,9 @@ type obsOverheadResult struct {
 	OverheadPct float64 `json:"overhead_pct"`
 }
 
-// benchReport is the BENCH_harness.json schema.
-type benchReport struct {
+// benchEntry is one trajectory point: a full harnessbench run.
+type benchEntry struct {
+	Time        string             `json:"time,omitempty"`
 	Scale       float64            `json:"scale"`
 	Parallel    int                `json:"parallel"`
 	GOMAXPROCS  int                `json:"gomaxprocs"`
@@ -43,13 +58,24 @@ type benchReport struct {
 	ObsOverhead *obsOverheadResult `json:"obs_overhead,omitempty"`
 }
 
+// benchFile is the BENCH_harness.json schema: a perf trajectory, newest
+// entry last. (Earlier revisions stored a single bare entry; readEntries
+// migrates those transparently.)
+type benchFile struct {
+	Entries []benchEntry `json:"entries"`
+}
+
 func main() {
 	var (
 		scale     = flag.Float64("scale", 0.01, "experiment scale factor")
-		out       = flag.String("o", "BENCH_harness.json", "output JSON file")
+		out       = flag.String("o", "BENCH_harness.json", "trajectory JSON file (appended to)")
 		parallel  = flag.Int("parallel", 0, "parallel pool width to compare against serial (0 = GOMAXPROCS)")
 		schedules = flag.Int("chaos-schedules", 8, "chaos schedules for the chaos comparison")
 		ops       = flag.Int("chaos-ops", 300, "ops per chaos schedule")
+		gate      = flag.Bool("gate", false, "fail on perf regressions vs the last comparable trajectory entry")
+		maxOvh    = flag.Float64("max-overhead-pct", 15, "with -gate: max allowed traced-vs-untraced overhead")
+		maxSlow   = flag.Float64("max-slowdown", 1.75, "with -gate: max allowed serial wall-clock ratio vs the last comparable entry")
+		keep      = flag.Int("keep", 50, "trajectory entries to retain (oldest dropped first; 0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -57,7 +83,19 @@ func main() {
 	if width <= 0 {
 		width = runtime.GOMAXPROCS(0)
 	}
-	rep := benchReport{Scale: *scale, Parallel: width, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	// A meaningful parallel arm needs at least `width` scheduler
+	// threads; a meaningful overhead arm needs the run not to be
+	// core-starved. Raise GOMAXPROCS rather than silently timing a
+	// serialized "parallel" run.
+	if runtime.GOMAXPROCS(0) < width {
+		runtime.GOMAXPROCS(width)
+	}
+	entry := benchEntry{
+		Time:       time.Now().UTC().Format(time.RFC3339),
+		Scale:      *scale,
+		Parallel:   width,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 
 	runs := []struct {
 		name string
@@ -118,50 +156,140 @@ func main() {
 		allIdentical = allIdentical && r.Identical
 		fmt.Printf("%-8s serial %6.2fs  parallel(%d) %6.2fs  speedup %.2fx  identical=%v\n",
 			r.Name, r.SerialSec, width, r.ParallelSec, r.Speedup, r.Identical)
-		rep.Experiments = append(rep.Experiments, r)
+		entry.Experiments = append(entry.Experiments, r)
 	}
 
-	// Observability overhead: best of three traced vs untraced timing runs.
-	best := func(traced bool) float64 {
-		b := 0.0
-		for i := 0; i < 3; i++ {
-			start := time.Now()
-			if err := harness.ObsOverheadRun(*scale, traced); err != nil {
-				fatal(fmt.Errorf("obs overhead (traced=%v): %w", traced, err))
-			}
-			sec := time.Since(start).Seconds()
-			if i == 0 || sec < b {
-				b = sec
-			}
+	// Observability overhead: interleaved best-of-five traced vs
+	// untraced timing runs. Interleaving (rather than all of one arm
+	// then all of the other) keeps slow drift — page cache, thermal,
+	// noisy neighbors — from landing entirely on one arm, and taking
+	// the minimum of several rounds discards scheduling hiccups.
+	var untraced, traced float64
+	for i := 0; i < 5; i++ {
+		u := timeOverhead(*scale, false)
+		tr := timeOverhead(*scale, true)
+		if i == 0 || u < untraced {
+			untraced = u
 		}
-		return b
+		if i == 0 || tr < traced {
+			traced = tr
+		}
 	}
-	untraced := best(false)
-	traced := best(true)
-	rep.ObsOverhead = &obsOverheadResult{
+	entry.ObsOverhead = &obsOverheadResult{
 		UntracedSec: untraced,
 		TracedSec:   traced,
 		OverheadPct: 100 * (traced - untraced) / untraced,
 	}
 	fmt.Printf("obs      untraced %5.2fs  traced %5.2fs  overhead %+.1f%%\n",
-		untraced, traced, rep.ObsOverhead.OverheadPct)
+		untraced, traced, entry.ObsOverhead.OverheadPct)
 
-	f, err := os.Create(*out)
+	prev := readEntries(*out)
+	var gateErrs []error
+	if *gate {
+		gateErrs = checkGate(entry, lastComparable(prev, entry), *maxOvh, *maxSlow)
+	}
+
+	all := append(prev, entry)
+	if *keep > 0 && len(all) > *keep {
+		all = all[len(all)-*keep:]
+	}
+	writeEntries(*out, all)
+	fmt.Printf("wrote %s (%d entries)\n", *out, len(all))
+
+	if !allIdentical {
+		fatal(fmt.Errorf("parallel output differs from serial output"))
+	}
+	for _, err := range gateErrs {
+		fmt.Fprintln(os.Stderr, "harnessbench: GATE:", err)
+	}
+	if len(gateErrs) > 0 {
+		os.Exit(1)
+	}
+}
+
+// timeOverhead runs one arm of the obs-overhead comparison.
+func timeOverhead(scale float64, traced bool) float64 {
+	start := time.Now()
+	if err := harness.ObsOverheadRun(scale, traced); err != nil {
+		fatal(fmt.Errorf("obs overhead (traced=%v): %w", traced, err))
+	}
+	return time.Since(start).Seconds()
+}
+
+// readEntries loads the existing trajectory, migrating the legacy
+// single-object schema (one bare benchEntry) to a one-entry history.
+// A missing or unreadable file is an empty trajectory, never an error:
+// the bench must be runnable from a clean checkout.
+func readEntries(path string) []benchEntry {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err == nil && f.Entries != nil {
+		return f.Entries
+	}
+	var legacy benchEntry
+	if err := json.Unmarshal(data, &legacy); err == nil && len(legacy.Experiments) > 0 {
+		return []benchEntry{legacy}
+	}
+	fmt.Fprintf(os.Stderr, "harnessbench: %s is not a trajectory file; starting fresh\n", path)
+	return nil
+}
+
+func writeEntries(path string, entries []benchEntry) {
+	f, err := os.Create(path)
 	if err != nil {
 		fatal(err)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := enc.Encode(benchFile{Entries: entries}); err != nil {
 		fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s\n", *out)
-	if !allIdentical {
-		fatal(fmt.Errorf("parallel output differs from serial output"))
+}
+
+// lastComparable returns the newest prior entry measured at the same
+// scale and pool width with a sane GOMAXPROCS, or nil. Wall-clock
+// comparisons across different scales or widths are meaningless, and
+// entries timed with GOMAXPROCS below the pool width (the pre-fix
+// committed entry) mis-measured both arms.
+func lastComparable(prev []benchEntry, cur benchEntry) *benchEntry {
+	for i := len(prev) - 1; i >= 0; i-- {
+		e := prev[i]
+		if e.Scale == cur.Scale && e.Parallel == cur.Parallel && e.GOMAXPROCS >= e.Parallel {
+			return &e
+		}
 	}
+	return nil
+}
+
+// checkGate applies the perf-gate rules to the fresh entry.
+func checkGate(cur benchEntry, base *benchEntry, maxOvh, maxSlow float64) []error {
+	var errs []error
+	if o := cur.ObsOverhead; o != nil && o.OverheadPct > maxOvh {
+		errs = append(errs, fmt.Errorf("traced overhead %+.1f%% exceeds budget %.1f%%",
+			o.OverheadPct, maxOvh))
+	}
+	if base == nil {
+		fmt.Println("gate: no comparable trajectory entry (same scale/parallel); absolute checks only")
+		return errs
+	}
+	for _, b := range base.Experiments {
+		for _, c := range cur.Experiments {
+			if c.Name != b.Name || b.SerialSec <= 0 {
+				continue
+			}
+			if ratio := c.SerialSec / b.SerialSec; ratio > maxSlow {
+				errs = append(errs, fmt.Errorf("%s serial %.2fs is %.2fx the last comparable entry (%.2fs), budget %.2fx",
+					c.Name, c.SerialSec, ratio, b.SerialSec, maxSlow))
+			}
+		}
+	}
+	return errs
 }
 
 // timed runs f at the given pool width and returns its output and seconds.

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func entry(scale float64, par, maxprocs int, ovh float64, exps ...experimentResult) benchEntry {
+	return benchEntry{
+		Scale:       scale,
+		Parallel:    par,
+		GOMAXPROCS:  maxprocs,
+		Experiments: exps,
+		ObsOverhead: &obsOverheadResult{OverheadPct: ovh},
+	}
+}
+
+func TestTrajectoryRoundTripAndLegacyMigration(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+
+	if got := readEntries(path); got != nil {
+		t.Fatalf("missing file read as %d entries, want none", len(got))
+	}
+
+	// Legacy schema: a single bare entry object at top level.
+	legacy := `{"scale":0.008,"parallel":4,"gomaxprocs":1,
+		"experiments":[{"name":"fig6","serial_sec":4,"parallel_sec":3.9,"speedup":1.02,"identical":true}],
+		"obs_overhead":{"untraced_sec":0.12,"traced_sec":0.2,"overhead_pct":69.7}}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries := readEntries(path)
+	if len(entries) != 1 || entries[0].Scale != 0.008 || entries[0].Parallel != 4 {
+		t.Fatalf("legacy migration read %+v", entries)
+	}
+
+	entries = append(entries, entry(0.01, 1, 1, 5.3,
+		experimentResult{Name: "fig6", SerialSec: 4.5, ParallelSec: 4.6, Speedup: 0.98, Identical: true}))
+	writeEntries(path, entries)
+	got := readEntries(path)
+	if len(got) != 2 || got[0].Scale != 0.008 || got[1].Scale != 0.01 {
+		t.Fatalf("round trip read %+v", got)
+	}
+	if got[1].ObsOverhead == nil || got[1].ObsOverhead.OverheadPct != 5.3 {
+		t.Fatalf("overhead lost in round trip: %+v", got[1].ObsOverhead)
+	}
+
+	// Garbage files start a fresh trajectory instead of failing the bench.
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := readEntries(path); got != nil {
+		t.Fatalf("garbage file read as %d entries, want none", len(got))
+	}
+}
+
+func TestLastComparable(t *testing.T) {
+	cur := entry(0.01, 4, 4, 5)
+	prev := []benchEntry{
+		entry(0.01, 4, 4, 8),  // comparable, but an older one
+		entry(0.008, 4, 4, 8), // different scale
+		entry(0.01, 2, 4, 8),  // different width
+		entry(0.01, 4, 1, 70), // core-starved: gomaxprocs < parallel
+		entry(0.01, 4, 4, 6),  // newest comparable — the one to pick
+	}
+	base := lastComparable(prev, cur)
+	if base == nil || base.ObsOverhead.OverheadPct != 6 {
+		t.Fatalf("lastComparable = %+v, want the newest same-scale same-width entry", base)
+	}
+	if got := lastComparable(prev[1:4], cur); got != nil {
+		t.Fatalf("lastComparable over incomparable entries = %+v, want nil", got)
+	}
+}
+
+func TestCheckGate(t *testing.T) {
+	base := entry(0.01, 1, 1, 6,
+		experimentResult{Name: "fig6", SerialSec: 4.0},
+		experimentResult{Name: "fig5", SerialSec: 5.0})
+
+	ok := entry(0.01, 1, 1, 8,
+		experimentResult{Name: "fig6", SerialSec: 4.4},
+		experimentResult{Name: "fig5", SerialSec: 5.1})
+	if errs := checkGate(ok, &base, 15, 1.75); len(errs) != 0 {
+		t.Fatalf("healthy run failed the gate: %v", errs)
+	}
+
+	slow := entry(0.01, 1, 1, 8,
+		experimentResult{Name: "fig6", SerialSec: 8.0}, // 2x the base
+		experimentResult{Name: "fig5", SerialSec: 5.0})
+	if errs := checkGate(slow, &base, 15, 1.75); len(errs) != 1 {
+		t.Fatalf("2x serial regression produced %d gate errors, want 1: %v", len(errs), errs)
+	}
+
+	hot := entry(0.01, 1, 1, 22,
+		experimentResult{Name: "fig6", SerialSec: 4.0})
+	if errs := checkGate(hot, &base, 15, 1.75); len(errs) != 1 {
+		t.Fatalf("22%% overhead produced %d gate errors, want 1: %v", len(errs), errs)
+	}
+
+	// No comparable base: absolute checks still apply, ratios don't.
+	if errs := checkGate(slow, nil, 15, 1.75); len(errs) != 0 {
+		t.Fatalf("baseless run failed ratio checks: %v", errs)
+	}
+	if errs := checkGate(hot, nil, 15, 1.75); len(errs) != 1 {
+		t.Fatalf("baseless overheated run produced %d gate errors, want 1: %v", len(errs), errs)
+	}
+}

@@ -37,11 +37,12 @@ func main() {
 		out     = flag.String("o", "results", "output directory")
 		only    = flag.String("only", "", "name prefix filter, e.g. 'fig' or 'ablation'")
 		workers = flag.Int("j", runtime.NumCPU()/2+1, "parallel experiments")
-		// Default 1: -j already keeps every core busy across experiments;
-		// stacking a per-experiment pool on top oversubscribes. Raise it
-		// (or set -j 1 -parallel 0) to parallelize within experiments
-		// instead — useful when regenerating a single slow figure.
-		parallel = flag.Int("parallel", 1, "worker-pool width inside each experiment; output is identical at any width (0 = GOMAXPROCS)")
+		// Same default as kddsim/kddchaos/kddcheck: 0 selects GOMAXPROCS.
+		// The Go scheduler multiplexes -j experiments times -parallel
+		// workers onto GOMAXPROCS threads, so oversubscription costs
+		// context switches, not correctness; set -parallel 1 to time
+		// experiments serially inside each -j slot.
+		parallel = flag.Int("parallel", 0, "worker-pool width for experiment simulations; output is identical at any width (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 	kddcache.SetParallelism(*parallel)

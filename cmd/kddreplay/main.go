@@ -114,7 +114,7 @@ func main() {
 		if n := ob.Tracer.OpenSpans(); n != 0 {
 			fatal(fmt.Errorf("trace integrity: %d spans still open after flush", n))
 		}
-		fmt.Print(ob.Profile.Table())
+		fmt.Print(ob.Profile().Table())
 		if *traceOut != "" {
 			if err := os.WriteFile(*traceOut, ob.TraceJSONL(), 0o644); err != nil {
 				fatal(err)

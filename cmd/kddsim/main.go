@@ -189,7 +189,7 @@ func main() {
 			fatal(fmt.Errorf("trace integrity: %d spans still open after flush", n))
 		}
 		fmt.Printf("spans       : %d\n", ob.Tracer.Spans())
-		fmt.Print(ob.Profile.Table())
+		fmt.Print(ob.Profile().Table())
 		if *traceOut != "" {
 			if err := os.WriteFile(*traceOut, ob.TraceJSONL(), 0o644); err != nil {
 				fatal(err)

@@ -3,6 +3,7 @@ package blockdev
 import (
 	"bytes"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -224,5 +225,57 @@ func TestRepairConcurrentWithIO(t *testing.T) {
 	wg.Wait()
 	if f.Failed() {
 		t.Fatal("final Repair should leave the device healthy")
+	}
+}
+
+// TestFaultAccessors covers the inspection surface the chaos harness
+// and checker use: error rendering, bad-page bookkeeping, op counters,
+// site stringification, and checksum verification helpers.
+func TestFaultAccessors(t *testing.T) {
+	ioe := &IOError{Dev: "ssd0", Op: OpWrite, LBA: 42, Err: ErrMedia}
+	if s := ioe.Error(); !strings.Contains(s, "ssd0") || !strings.Contains(s, "42") {
+		t.Fatalf("IOError.Error() = %q", s)
+	}
+
+	f := NewFaultInjector(NewNullDataDevice("d", 16), 1)
+	ms := f.Store()
+	if ms == nil {
+		t.Fatal("Store() lost the inner MemStore")
+	}
+	buf := make([]byte, PageSize)
+	if _, err := f.WritePages(0, 5, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	f.InjectTransient(5, 1)
+	if n := f.BadPages(); n != 1 {
+		t.Fatalf("BadPages = %d, want 1", n)
+	}
+	f.ClearBadPage(5)
+	if n := f.BadPages(); n != 0 {
+		t.Fatalf("BadPages after clear = %d, want 0", n)
+	}
+	if f.Ops() == 0 {
+		t.Fatal("Ops counter never advanced")
+	}
+
+	if !ms.VerifyPage(5) || !ms.VerifyPage(9999) {
+		t.Fatal("VerifyPage failed on a good/unwritten page")
+	}
+	if ms.TruncatePage(9999, 10) {
+		t.Fatal("TruncatePage succeeded on an unwritten page")
+	}
+	if !ms.TruncatePage(5, 10) || !ms.VerifyPage(5) {
+		t.Fatal("TruncatePage left an inconsistent page")
+	}
+
+	for _, site := range []FaultSite{
+		{Kind: FaultCrashTorn, WriteOp: 3, TornPages: 1, TornBytes: 7},
+		{Kind: FaultLatent, LBA: 8},
+		{Kind: FaultTransient, LBA: 9, Fails: 2},
+		{Kind: FaultFailStop, WriteOp: 2},
+	} {
+		if site.Kind.String() == "" || site.String() == "" {
+			t.Fatalf("empty String() for %+v", site)
+		}
 	}
 }

@@ -1,0 +1,44 @@
+package blockdev
+
+import "sync"
+
+// Page-buffer pool. Content mode allocates single-page scratch buffers
+// on nearly every operation — read staging, parity accumulators, delta
+// expansion — and at simulation rates those allocations dominate GC
+// pressure. The pool recycles them.
+//
+// Ownership rules (see DESIGN.md "Performance"):
+//
+//   - GetPage returns a buffer with ARBITRARY content; callers that
+//     accumulate into it (XOR/parity targets) must use GetZeroPage.
+//   - PutPage hands the buffer back; the caller must not retain any
+//     reference to it afterwards. Double-put is a caller bug the pool
+//     cannot detect.
+//   - Only return buffers whose lifetime provably ends: never a buffer
+//     stored into a cache, staged as an NVRAM delta, or handed to a
+//     device that retains it. When in doubt, don't put — an unpooled
+//     buffer is garbage, never a correctness bug.
+//   - PutPage silently drops buffers of the wrong shape, so foreign
+//     slices (sub-slices of multi-page buffers, nil in timing mode) are
+//     always safe to pass.
+var pagePool = sync.Pool{New: func() any { return new([PageSize]byte) }}
+
+// GetPage returns a PageSize scratch buffer with arbitrary content.
+func GetPage() []byte { return pagePool.Get().(*[PageSize]byte)[:] }
+
+// GetZeroPage returns a zeroed PageSize buffer — for XOR and parity
+// accumulators that fold pages into an all-zero start state.
+func GetZeroPage() []byte {
+	b := GetPage()
+	clear(b)
+	return b
+}
+
+// PutPage returns a buffer obtained from GetPage to the pool. Buffers
+// that are nil (timing mode) or not exactly one pooled page are ignored.
+func PutPage(b []byte) {
+	if len(b) != PageSize || cap(b) != PageSize {
+		return
+	}
+	pagePool.Put((*[PageSize]byte)(b))
+}

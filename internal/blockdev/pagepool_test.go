@@ -1,0 +1,43 @@
+package blockdev
+
+import "testing"
+
+func TestPagePoolRoundTrip(t *testing.T) {
+	b := GetPage()
+	if len(b) != PageSize || cap(b) != PageSize {
+		t.Fatalf("GetPage shape = len %d cap %d", len(b), cap(b))
+	}
+	for i := range b {
+		b[i] = 0xA5
+	}
+	PutPage(b)
+
+	z := GetZeroPage()
+	if len(z) != PageSize {
+		t.Fatalf("GetZeroPage len = %d", len(z))
+	}
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("GetZeroPage byte %d = %#x after a dirty page was pooled", i, v)
+		}
+	}
+	PutPage(z)
+}
+
+func TestPutPageDropsForeignShapes(t *testing.T) {
+	// None of these may enter the pool (or panic): nil timing-mode
+	// buffers, short slices, and sub-slices of multi-page buffers whose
+	// capacity extends past PageSize.
+	PutPage(nil)
+	PutPage(make([]byte, 16))
+	PutPage(make([]byte, PageSize, 2*PageSize))
+	multi := make([]byte, 3*PageSize)
+	PutPage(multi[:PageSize])
+
+	// The pool still serves correctly-shaped pages afterwards.
+	b := GetPage()
+	if len(b) != PageSize || cap(b) != PageSize {
+		t.Fatalf("GetPage shape after foreign puts = len %d cap %d", len(b), cap(b))
+	}
+	PutPage(b)
+}

@@ -214,16 +214,23 @@ func (k *KDD) parityReconstruct(t sim.Time, peers []int64, cached []peerInfo) (s
 	var rowData [][]byte
 	if k.dataMode {
 		rowData = make([][]byte, len(peers))
+		// Row pages are scratch: the backend XORs them into fresh parity
+		// and keeps nothing, so they all go back to the pool on exit.
+		defer func() {
+			for _, b := range rowData {
+				blockdev.PutPage(b)
+			}
+		}()
 		bySlot := make(map[int64]int32, len(cached))
 		for _, pi := range cached {
 			bySlot[pi.lba] = pi.slot
 		}
 		for i, p := range peers {
-			buf := make([]byte, blockdev.PageSize)
+			buf := blockdev.GetPage() // fully overwritten by readCurrent
+			rowData[i] = buf
 			if _, err := k.readCurrent(t, p, bySlot[p], buf); err != nil {
 				return t, err
 			}
-			rowData[i] = buf
 		}
 	} else {
 		// Timing mode: charge the SSD reads for gathering the row.
@@ -241,6 +248,13 @@ func (k *KDD) parityRMW(t sim.Time, oldPeers []peerInfo) (sim.Time, error) {
 	var deltas [][]byte
 	if k.dataMode {
 		deltas = make([][]byte, 0, len(oldPeers))
+		// The expanded XOR pages are dead once the backend has folded
+		// them into parity; release them on any exit.
+		defer func() {
+			for _, x := range deltas {
+				blockdev.PutPage(x)
+			}
+		}()
 	}
 	for _, pi := range oldPeers {
 		lbas = append(lbas, pi.lba)
@@ -284,27 +298,34 @@ func (k *KDD) expandXor(t sim.Time, slot int32) ([]byte, error) {
 		}
 		d = sd.D
 	} else {
-		dezBuf := make([]byte, blockdev.PageSize)
+		dezBuf := blockdev.GetPage() // fully overwritten by the DEZ read
+		defer blockdev.PutPage(dezBuf)
 		if _, err := k.ssdRead(t, k.cacheLBA(od.dez), dezBuf); err != nil {
 			return nil, err
 		}
 		d = delta.Delta{Len: od.length, Raw: od.raw, Bytes: dezBuf[od.off : od.off+od.length]}
 	}
-	xor := make([]byte, blockdev.PageSize)
+	// The xor page is returned to the caller, who owns it (parityRMW
+	// releases it after the backend folds it into parity).
+	xor := blockdev.GetZeroPage()
 	if d.Raw {
 		// xor = old ⊕ new: need the old page.
-		oldBuf := make([]byte, blockdev.PageSize)
+		oldBuf := blockdev.GetPage() // fully overwritten by the DAZ read
 		if _, err := k.ssdRead(t, k.cacheLBA(slot), oldBuf); err != nil {
+			blockdev.PutPage(oldBuf)
+			blockdev.PutPage(xor)
 			return nil, err
 		}
 		for i := range xor {
 			xor[i] = oldBuf[i] ^ d.Bytes[i]
 		}
+		blockdev.PutPage(oldBuf)
 		return xor, nil
 	}
 	// Codecs compress the XOR itself, so applying the delta to a zero
 	// page decompresses it.
 	if err := k.codec.Apply(xor, d, xor); err != nil {
+		blockdev.PutPage(xor)
 		return nil, fmt.Errorf("%w: %v", ErrNotCombinable, err)
 	}
 	return xor, nil
@@ -330,7 +351,8 @@ func (k *KDD) reclaimOld(t sim.Time, lba int64, slot int32) (sim.Time, error) {
 		var buf []byte
 		var err error
 		if k.dataMode {
-			buf = make([]byte, blockdev.PageSize)
+			buf = blockdev.GetPage() // fully overwritten by the RAID read
+			defer blockdev.PutPage(buf)
 			// The delta is gone from the books but the combine must use
 			// it; materialisation is done by re-reading from RAID, which
 			// already holds the current data (always dispatched).

@@ -302,13 +302,16 @@ func (k *KDD) foldRowRMW(t sim.Time, peers []peerInfo) (sim.Time, bool) {
 			// needs the old page from the SSD we no longer trust.
 			return t, false
 		}
-		xor := make([]byte, blockdev.PageSize)
+		xor := blockdev.GetZeroPage()
+		deltas = append(deltas, xor)
 		if err := k.codec.Apply(xor, sd.D, xor); err != nil {
 			return t, false
 		}
-		deltas = append(deltas, xor)
 	}
 	c, err := k.backend.ParityUpdateDelta(t, lbas, deltas)
+	for _, x := range deltas {
+		blockdev.PutPage(x)
+	}
 	if err != nil {
 		return t, false
 	}
@@ -353,7 +356,8 @@ func (k *KDD) maybeProbe(t sim.Time) {
 func (k *KDD) probeSSD(t sim.Time) bool {
 	var buf []byte
 	if k.dataMode {
-		buf = make([]byte, blockdev.PageSize)
+		buf = blockdev.GetZeroPage() // probe writes the buffer as-is
+		defer blockdev.PutPage(buf)
 	}
 	if k.log != nil {
 		if _, err := k.ssd.ReadPages(t, k.cfg.MetaStart, 1, buf); err != nil {

@@ -22,11 +22,12 @@ import (
 // the health machinery fails over to pass-through and the read is served
 // from the RAID, which always holds the current data.
 func (k *KDD) Read(t sim.Time, lba int64, buf []byte) (done sim.Time, err error) {
+	var sp obs.Span
 	if k.tr != nil {
-		sp := k.tr.BeginLBA(t, obs.PhaseRead, lba)
-		defer func() { sp.End(done) }()
+		sp = k.tr.BeginLBA(t, obs.PhaseRead, lba)
 	}
 	if err = k.preOp(t); err != nil {
+		sp.End(t)
 		return t, err
 	}
 	k.st.Reads++
@@ -40,12 +41,14 @@ func (k *KDD) Read(t sim.Time, lba int64, buf []byte) (done sim.Time, err error)
 		}
 	}
 	if err != nil {
+		sp.End(done)
 		return done, err
 	}
 	// Background rebuild work rides behind the response (like maybeClean):
 	// it shares the disks from `done` onward but never extends the
 	// operation's own completion time.
 	k.pumpRebuild(done)
+	sp.End(done)
 	return done, nil
 }
 
@@ -91,10 +94,16 @@ func (k *KDD) readOld(t sim.Time, lba int64, slot int32, buf []byte) (sim.Time, 
 	if !ok {
 		return t, fmt.Errorf("%w: old slot %d has no delta record", ErrNotCombinable, slot)
 	}
-	var oldBuf []byte
+	var oldBuf, dezBuf []byte
 	if k.dataMode && buf != nil {
-		oldBuf = make([]byte, blockdev.PageSize)
+		oldBuf = blockdev.GetPage() // fully overwritten by the DAZ read
 	}
+	// Both scratch pages are dead once ApplyAny has combined them into
+	// buf (d.Bytes may alias dezBuf until then), so release on any exit.
+	defer func() {
+		blockdev.PutPage(oldBuf)
+		blockdev.PutPage(dezBuf)
+	}()
 	// Read the old version from DAZ.
 	spD := k.tr.BeginLBA(t, obs.PhaseDAZRead, lba)
 	done, err := k.ssdRead(t, k.cacheLBA(slot), oldBuf)
@@ -111,9 +120,8 @@ func (k *KDD) readOld(t sim.Time, lba int64, slot int32, buf []byte) (sim.Time, 
 		d = sd.D
 	} else {
 		// Read the DEZ page concurrently with the DAZ read (issued at t).
-		var dezBuf []byte
 		if k.dataMode && buf != nil {
-			dezBuf = make([]byte, blockdev.PageSize)
+			dezBuf = blockdev.GetPage() // fully overwritten by the DEZ read
 		}
 		spZ := k.tr.BeginLBA(t, obs.PhaseDEZRead, lba)
 		c, err := k.ssdRead(t, k.cacheLBA(od.dez), dezBuf)
@@ -191,11 +199,12 @@ func (k *KDD) fill(done sim.Time, lba int64, buf []byte) {
 // DEZ. The response completes when the RAID data write completes — delta
 // generation overlaps the (much slower) disk write (§IV-B2).
 func (k *KDD) Write(t sim.Time, lba int64, buf []byte) (done sim.Time, err error) {
+	var sp obs.Span
 	if k.tr != nil {
-		sp := k.tr.BeginLBA(t, obs.PhaseWrite, lba)
-		defer func() { sp.End(done) }()
+		sp = k.tr.BeginLBA(t, obs.PhaseWrite, lba)
 	}
 	if err = k.preOp(t); err != nil {
+		sp.End(t)
 		return t, err
 	}
 	k.st.Writes++
@@ -213,9 +222,11 @@ func (k *KDD) Write(t sim.Time, lba int64, buf []byte) (done sim.Time, err error
 		}
 	}
 	if err != nil {
+		sp.End(done)
 		return done, err
 	}
 	k.pumpRebuild(done)
+	sp.End(done)
 	return done, nil
 }
 
@@ -259,11 +270,12 @@ func (k *KDD) writeCached(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	// single XOR.)
 	var d delta.Delta
 	if k.dataMode && buf != nil {
-		oldBuf := make([]byte, blockdev.PageSize)
+		oldBuf := blockdev.GetPage() // fully overwritten by the DAZ read
 		sp := k.tr.BeginLBA(t, obs.PhaseDAZRead, lba)
 		c, err := k.ssdRead(t, k.cacheLBA(slot), oldBuf)
 		sp.End(c)
 		if err != nil {
+			blockdev.PutPage(oldBuf)
 			if errors.Is(err, blockdev.ErrMedia) {
 				// The old version is gone: no delta can describe this
 				// update, so heal the row and take the conventional path.
@@ -272,6 +284,7 @@ func (k *KDD) writeCached(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 			return t, err
 		}
 		d = k.codec.Encode(oldBuf, buf)
+		blockdev.PutPage(oldBuf) // codecs copy; d never aliases oldBuf
 		if d.Len >= blockdev.PageSize {
 			d = delta.NewRaw(buf)
 		}
@@ -386,7 +399,7 @@ func (k *KDD) commitDez(t sim.Time) (sim.Time, error) {
 
 	var image []byte
 	if k.dataMode {
-		image = make([]byte, blockdev.PageSize)
+		image = blockdev.GetZeroPage() // gaps past the packed tail stay zero
 	}
 	offs := make([]int, len(packed))
 	off := 0
@@ -399,13 +412,16 @@ func (k *KDD) commitDez(t sim.Time) (sim.Time, error) {
 	}
 
 	if bugDezLogFirst {
-		return k.commitDezLogFirst(t, dezSlot, packed, offs, image)
+		done, err := k.commitDezLogFirst(t, dezSlot, packed, offs, image)
+		blockdev.PutPage(image)
+		return done, err
 	}
 
 	// The DEZ page must be durable BEFORE any mapping entry points at it:
 	// a crash between the two would leave Old entries referencing a page
 	// that was never written.
 	done, err := k.ssd.WritePages(t, k.cacheLBA(dezSlot), 1, image)
+	blockdev.PutPage(image) // the device copied it (or ignored it on error)
 	if err != nil {
 		// Undo: the deltas were only drained into this aborted page, so
 		// they go back to NVRAM staging and the slot back to the free pool.

@@ -25,6 +25,7 @@ func BenchmarkCodecs(b *testing.B) {
 		for _, codec := range []Codec{ZRLE{}, Flate{}} {
 			b.Run(fmt.Sprintf("%s/encode/%d%%", codec.Name(), int(ratio*100)), func(b *testing.B) {
 				b.SetBytes(blockdev.PageSize)
+				b.ReportAllocs()
 				var last Delta
 				for i := 0; i < b.N; i++ {
 					last = codec.Encode(old, newPage)
@@ -35,6 +36,7 @@ func BenchmarkCodecs(b *testing.B) {
 			out := make([]byte, blockdev.PageSize)
 			b.Run(fmt.Sprintf("%s/apply/%d%%", codec.Name(), int(ratio*100)), func(b *testing.B) {
 				b.SetBytes(blockdev.PageSize)
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if err := codec.Apply(old, d, out); err != nil {
 						b.Fatal(err)
@@ -57,6 +59,7 @@ func BenchmarkMutator(b *testing.B) {
 	page := make([]byte, blockdev.PageSize)
 	mut.FillRandom(page)
 	b.SetBytes(blockdev.PageSize)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		mut.Mutate(page)
 	}

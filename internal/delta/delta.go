@@ -194,7 +194,8 @@ func (f Flate) Encode(old, new []byte) Delta {
 	if len(old) < blockdev.PageSize || len(new) < blockdev.PageSize {
 		panic("delta: Flate.Encode needs two full pages")
 	}
-	x := make([]byte, blockdev.PageSize)
+	x := blockdev.GetPage() // every byte assigned by the XOR below
+	defer blockdev.PutPage(x)
 	for i := range x {
 		x[i] = old[i] ^ new[i]
 	}
@@ -223,7 +224,8 @@ func (Flate) Apply(old []byte, d Delta, out []byte) error {
 	}
 	r := flate.NewReader(bytes.NewReader(d.Bytes))
 	defer r.Close()
-	x := make([]byte, blockdev.PageSize)
+	x := blockdev.GetPage() // fully filled by ReadFull or abandoned
+	defer blockdev.PutPage(x)
 	if _, err := io.ReadFull(r, x); err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}

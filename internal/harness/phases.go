@@ -78,8 +78,8 @@ func PhaseBreakdown(scale float64) (string, error) {
 	merged := obs.NewProfile()
 	for _, po := range outs {
 		fmt.Fprintf(&b, "\n-- %s (%d spans) --\n", po.name, po.spans)
-		b.WriteString(po.ob.Profile.Table())
-		merged.Merge(po.ob.Profile)
+		b.WriteString(po.ob.Profile().Table())
+		merged.Merge(po.ob.Profile())
 	}
 	b.WriteString("\n-- all workloads --\n")
 	b.WriteString(merged.Table())
@@ -101,6 +101,7 @@ func ObsOverheadRun(scale float64, traced bool) error {
 	o.Timing = true
 	if traced {
 		o.Obs = obs.New()
+		defer o.Obs.Release() // recycle ring storage across timing runs
 	}
 	st, err := Build(o)
 	if err != nil {
@@ -129,7 +130,7 @@ func PhaseArtifacts(scale float64) (trace, prom []byte, err error) {
 	var buf bytes.Buffer
 	for _, po := range outs {
 		buf.Write(po.ob.TraceJSONL())
-		merged.Merge(po.ob.Profile)
+		merged.Merge(po.ob.Profile())
 	}
 	// Registry contents come from the last workload's stack (device and
 	// engine counters) plus the merged phase profile: a representative,

@@ -1,32 +1,66 @@
 package obs
 
-import "bytes"
-
-// Obs bundles one run's observability: a tracer whose completed trees
-// feed both an in-memory JSONL trace buffer and a phase-attribution
-// profile. The harness attaches one Obs per experiment job so trace
-// bytes are independent of worker-pool width.
+// Obs bundles one run's observability: a tracer recording completed
+// trees into a binary span ring. JSONL trace bytes and the
+// phase-attribution profile are both derived from the ring at export
+// time, so the per-operation recording cost is a handful of struct
+// copies instead of text encoding plus an interval sweep. The harness
+// attaches one Obs per experiment job so trace bytes are independent of
+// worker-pool width.
 type Obs struct {
-	Tracer  *Tracer
-	Profile *Profile
+	Tracer *Tracer
 
-	buf bytes.Buffer
-	w   *Writer
+	ring   *Ring
+	prof   *Profile
+	profAt int // ring length the cached profile was built from
 }
 
-// New returns an Obs capturing JSONL trace bytes and a phase profile.
+// New returns an Obs capturing spans into a binary ring. The tracer
+// runs in ring mode: spans are written straight into the ring's binary
+// storage, with no staging buffer or delivery copy. The ring's chunk
+// storage is recycled from a pool; call Release when the Obs is done to
+// return it (a dropped Obs is merely garbage, never incorrect).
 func New() *Obs {
-	o := &Obs{Profile: NewProfile()}
-	o.w = NewWriter(&o.buf)
-	o.Tracer = NewTracer(MultiSink{o.w, o.Profile})
+	o := &Obs{ring: newPooledRing()}
+	o.Tracer = NewRingTracer(o.ring)
 	return o
 }
 
-// TraceJSONL returns the JSONL trace captured so far.
-func (o *Obs) TraceJSONL() []byte { return o.buf.Bytes() }
+// Release returns the ring's storage to the recycling pool. The Obs
+// must not be used afterwards: the tracer is detached (further spans
+// no-op) and previously exported artifacts stay valid, but TraceJSONL,
+// Profile, and Ring are no longer available.
+func (o *Obs) Release() {
+	if o.ring == nil {
+		return
+	}
+	o.ring.release()
+	o.ring = nil
+	o.Tracer = nil
+	o.prof = nil
+}
+
+// Ring exposes the underlying span ring (read-only use).
+func (o *Obs) Ring() *Ring { return o.ring }
+
+// TraceJSONL renders the JSONL trace captured so far — byte-identical
+// to the stream an eager per-span Writer would have produced.
+func (o *Obs) TraceJSONL() []byte { return o.ring.AppendJSONL(nil) }
+
+// Profile returns the phase-attribution profile over every tree
+// recorded so far, built lazily from the ring and cached until more
+// spans arrive.
+func (o *Obs) Profile() *Profile {
+	if o.prof == nil || o.profAt != o.ring.Spans() {
+		p := NewProfile()
+		o.ring.Trees(p.Tree)
+		o.prof, o.profAt = p, o.ring.Spans()
+	}
+	return o.prof
+}
 
 // Publish writes the profile and tracer accounting into reg.
 func (o *Obs) Publish(reg *Registry) {
-	o.Profile.Publish(reg)
+	o.Profile().Publish(reg)
 	reg.SetCounter("obs_spans_total", "Spans recorded by the tracer.", int64(o.Tracer.Spans()))
 }

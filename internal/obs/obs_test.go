@@ -41,6 +41,41 @@ func TestObsBundle(t *testing.T) {
 	}
 }
 
+// TestObsRelease pins the recycling contract: Release detaches the
+// tracer and returns the ring to the pool; a released Obs is inert and
+// a fresh Obs reusing pooled storage starts empty.
+func TestObsRelease(t *testing.T) {
+	o := New()
+	if o.Ring() == nil {
+		t.Fatal("fresh Obs has no ring")
+	}
+	sp := o.Tracer.Begin(0, PhaseRead)
+	sp.End(10)
+	want := o.TraceJSONL()
+	if len(want) == 0 || o.Ring().Spans() != 1 {
+		t.Fatalf("recorded %d spans, %d trace bytes", o.Ring().Spans(), len(want))
+	}
+
+	o.Release()
+	if o.Tracer != nil || o.Ring() != nil {
+		t.Fatal("Release left the tracer or ring attached")
+	}
+	o.Release() // idempotent
+
+	// A fresh Obs likely reuses the pooled chunk storage; it must not
+	// see the old spans.
+	o2 := New()
+	defer o2.Release()
+	if n := o2.Ring().Spans(); n != 0 {
+		t.Fatalf("fresh Obs sees %d recycled spans", n)
+	}
+	sp = o2.Tracer.Begin(0, PhaseRead)
+	sp.End(10)
+	if got := o2.TraceJSONL(); !bytes.Equal(got, want) {
+		t.Fatalf("recycled-ring trace differs from fresh-ring trace:\n got %q\nwant %q", got, want)
+	}
+}
+
 // TestPublishCacheStats checks every CacheStats counter lands in the
 // registry with a valid exposition.
 func TestPublishCacheStats(t *testing.T) {

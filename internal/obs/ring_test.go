@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"kddcache/internal/sim"
+)
+
+// driveTracer runs a deterministic synthetic workload of span trees
+// through tr: a mix of root-only ops, nested device spans, marks, and
+// spans that end after their parent (async fills).
+func driveTracer(tr *Tracer, trees int) {
+	t := sim.Time(0)
+	for i := 0; i < trees; i++ {
+		root := tr.BeginLBA(t, PhaseRead, int64(i))
+		d := tr.BeginDev(t, PhaseDevRead, "ssd", int64(i), 1)
+		d.End(t + 100)
+		if i%3 == 0 {
+			tr.Mark(t+50, PhaseNVRAMStage, int64(i))
+		}
+		if i%5 == 0 {
+			r := tr.BeginDev(t+10, PhaseRAIDRead, "raid5", int64(i*2), 2)
+			h := tr.BeginDev(t+10, PhaseDevRead, fmt.Sprintf("hdd%d", i%4), int64(i*2), 1)
+			h.End(t + 400)
+			r.End(t + 400)
+		}
+		root.End(t + 500)
+		t += 1000
+	}
+}
+
+// TestRingJSONLMatchesEagerWriter pins the recorder contract: a Ring
+// rendered at export is byte-identical to the Writer that encoded every
+// span eagerly as its tree closed.
+func TestRingJSONLMatchesEagerWriter(t *testing.T) {
+	var eager bytes.Buffer
+	wtr := NewTracer(NewWriter(&eager))
+	driveTracer(wtr, 200)
+
+	ring := NewRing()
+	rtr := NewTracer(ring) // sink mode: trees delivered to the ring
+	driveTracer(rtr, 200)
+
+	direct := NewRing()
+	dtr := NewRingTracer(direct) // ring mode: spans recorded in place
+	driveTracer(dtr, 200)
+
+	got := ring.AppendJSONL(nil)
+	if !bytes.Equal(got, eager.Bytes()) {
+		t.Fatalf("sink-mode ring JSONL differs from eager writer output:\nring:  %q\neager: %q",
+			truncate(got), truncate(eager.Bytes()))
+	}
+	if dgot := direct.AppendJSONL(nil); !bytes.Equal(dgot, eager.Bytes()) {
+		t.Fatalf("ring-mode JSONL differs from eager writer output:\nring:  %q\neager: %q",
+			truncate(dgot), truncate(eager.Bytes()))
+	}
+	if ring.Spans() == 0 || direct.Spans() != ring.Spans() {
+		t.Fatalf("span counts diverge: sink-mode %d, ring-mode %d", ring.Spans(), direct.Spans())
+	}
+}
+
+func truncate(b []byte) []byte {
+	if len(b) > 400 {
+		return b[:400]
+	}
+	return b
+}
+
+// TestRingTreesMatchesDirectSink verifies Trees replays exactly the
+// Sink.Tree calls the tracer made: same tree boundaries, same spans —
+// so a Profile built from the ring equals one fed eagerly.
+func TestRingTreesMatchesDirectSink(t *testing.T) {
+	eagerProf := NewProfile()
+	ring := NewRing()
+	tr := NewTracer(MultiSink{ring, eagerProf})
+	driveTracer(tr, 120)
+
+	var eagerTrees [][]Record
+	etr := NewTracer(sinkFunc(func(spans []Record) {
+		cp := make([]Record, len(spans))
+		copy(cp, spans)
+		eagerTrees = append(eagerTrees, cp)
+	}))
+	driveTracer(etr, 120)
+
+	i := 0
+	ring.Trees(func(spans []Record) {
+		if i >= len(eagerTrees) {
+			t.Fatalf("ring replayed more trees than the tracer delivered (%d)", len(eagerTrees))
+		}
+		want := eagerTrees[i]
+		if len(spans) != len(want) {
+			t.Fatalf("tree %d: %d spans, want %d", i, len(spans), len(want))
+		}
+		for j := range spans {
+			if spans[j] != want[j] {
+				t.Fatalf("tree %d span %d: %+v != %+v", i, j, spans[j], want[j])
+			}
+		}
+		i++
+	})
+	if i != len(eagerTrees) {
+		t.Fatalf("ring replayed %d trees, tracer delivered %d", i, len(eagerTrees))
+	}
+
+	ringProf := NewProfile()
+	ring.Trees(ringProf.Tree)
+	for _, op := range Phases() {
+		if ringProf.Ops(op) != eagerProf.Ops(op) || ringProf.TotalNs(op) != eagerProf.TotalNs(op) ||
+			ringProf.SelfNs(op) != eagerProf.SelfNs(op) {
+			t.Fatalf("profile mismatch for op %v", op)
+		}
+		for _, ph := range Phases() {
+			if ringProf.PhaseNs(op, ph) != eagerProf.PhaseNs(op, ph) {
+				t.Fatalf("profile mismatch for op %v phase %v", op, ph)
+			}
+		}
+	}
+}
+
+type sinkFunc func(spans []Record)
+
+func (f sinkFunc) Tree(spans []Record) { f(spans) }
+
+// TestRingChunkBoundary exercises storage across multiple chunks.
+func TestRingChunkBoundary(t *testing.T) {
+	ring := NewRing()
+	tr := NewTracer(ring)
+	trees := ringChunk // 2 spans minimum per tree -> crosses chunks
+	driveTracer(tr, trees)
+	if ring.Spans() <= ringChunk {
+		t.Fatalf("want > %d spans to cross a chunk boundary, got %d", ringChunk, ring.Spans())
+	}
+	var eager bytes.Buffer
+	wtr := NewTracer(NewWriter(&eager))
+	driveTracer(wtr, trees)
+	if !bytes.Equal(ring.AppendJSONL(nil), eager.Bytes()) {
+		t.Fatal("multi-chunk ring JSONL differs from eager writer output")
+	}
+}
+
+// TestObsLazyProfile verifies the cached profile refreshes when more
+// spans arrive after a Profile() call.
+func TestObsLazyProfile(t *testing.T) {
+	o := New()
+	driveTracer(o.Tracer, 10)
+	p1 := o.Profile()
+	n1 := p1.Ops(PhaseRead)
+	if n1 != 10 {
+		t.Fatalf("first profile saw %d reads, want 10", n1)
+	}
+	if o.Profile() != p1 {
+		t.Fatal("profile not cached while ring is unchanged")
+	}
+	driveTracer(o.Tracer, 5)
+	if got := o.Profile().Ops(PhaseRead); got != 15 {
+		t.Fatalf("refreshed profile saw %d reads, want 15", got)
+	}
+}
+
+// BenchmarkSpanRecord compares the per-span recording cost of the ring
+// against the eager JSONL writer chain it replaced.
+func BenchmarkSpanRecord(b *testing.B) {
+	b.Run("ring-direct", func(b *testing.B) {
+		tr := NewRingTracer(NewRing())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			driveTracer(tr, 1)
+		}
+	})
+	b.Run("ring-sink", func(b *testing.B) {
+		ring := NewRing()
+		tr := NewTracer(ring)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			driveTracer(tr, 1)
+		}
+	})
+	b.Run("eager-jsonl", func(b *testing.B) {
+		var buf bytes.Buffer
+		tr := NewTracer(MultiSink{NewWriter(&buf), NewProfile()})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf.Reset() // keep memory bounded; Writer cost still paid per span
+			driveTracer(tr, 1)
+		}
+	})
+}
+
+// BenchmarkRingExport measures the deferred cost: rendering JSONL and
+// building the profile from a populated ring.
+func BenchmarkRingExport(b *testing.B) {
+	ring := NewRing()
+	tr := NewTracer(ring)
+	driveTracer(tr, 10000)
+	b.Run("jsonl", func(b *testing.B) {
+		var out []byte
+		for i := 0; i < b.N; i++ {
+			out = ring.AppendJSONL(out[:0])
+		}
+	})
+	b.Run("profile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := NewProfile()
+			ring.Trees(p.Tree)
+		}
+	})
+}
+
+// TestRingDurationOverflow pins the 32-bit duration spill path: spans
+// longer than ~4.29 virtual seconds (and marks recorded after them in
+// the same tree) must survive the overflow map and render the same
+// JSONL the eager writer produces.
+func TestRingDurationOverflow(t *testing.T) {
+	long := int64(maxDur) + 12345 // doesn't fit in ringRec.dur
+	drive := func(tr *Tracer) {
+		root := tr.BeginLBA(0, PhaseWrite, 7)
+		d := tr.BeginDev(10, PhaseDevWrite, "ssd", 7, 1)
+		d.End(10 + sim.Time(long))
+		root.End(sim.Time(long) + 500)
+		short := tr.BeginLBA(sim.Time(long)+1000, PhaseRead, 8)
+		short.End(sim.Time(long) + 1100)
+	}
+	var eager bytes.Buffer
+	wtr := NewTracer(NewWriter(&eager))
+	drive(wtr)
+
+	ring := NewRing()
+	drive(NewRingTracer(ring))
+	got := ring.AppendJSONL(nil)
+	if !bytes.Equal(got, eager.Bytes()) {
+		t.Fatalf("overflow-span JSONL differs:\nring:  %s\neager: %s", got, eager.Bytes())
+	}
+	recs, err := ReadTrace(bytes.NewReader(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range recs {
+		if r.Duration() == sim.Time(long) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no decoded span has the overflowed duration %d", long)
+	}
+
+	// End before Begin is a structural error clamped to zero length.
+	ring2 := NewRing()
+	rtr := NewRingTracer(ring2)
+	sp := rtr.Begin(100, PhaseRead)
+	sp.End(40)
+	recs, err = ReadTrace(bytes.NewReader(ring2.AppendJSONL(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := recs[0].Duration(); d != 0 {
+		t.Fatalf("backwards span duration = %d, want 0 clamp", d)
+	}
+}

@@ -44,21 +44,45 @@ func (m MultiSink) Tree(spans []Record) {
 	}
 }
 
-// Tracer records spans into per-request trees and delivers each tree to
-// its sink when the root span closes. A nil *Tracer is valid and free:
-// every method no-ops, and Begin returns a Span whose End also no-ops —
-// instrumented code needs no branches beyond the ones it writes for
-// deferred closes.
+// Tracer records spans into per-request trees. It runs in one of two
+// modes, fixed at construction:
+//
+//   - Sink mode (NewTracer): trees are staged in a frames buffer and
+//     delivered to the sink when the root span closes — for sinks that
+//     want eager per-tree delivery (Writer, Digest, Profile).
+//   - Ring mode (NewRingTracer): spans are written straight into a
+//     Ring's binary storage as they open, and End patches the stored
+//     duration in place. No staging buffer, no delivery copy — this is
+//     the hot-path recorder behind obs.New.
+//
+// Both modes produce identical ring contents and identical exported
+// JSONL for the same span sequence.
+//
+// Ring mode does not keep an explicit stack of open spans: because
+// every span's parent is the innermost open span at its Begin, the open
+// spans always form exactly the parent chain from the newest span to
+// the root. Tracking the chain head (openTop) and its length (depth) is
+// enough — End restores the head from the closing record's parent
+// offset, and the error paths walk the chain through the stored
+// records.
+//
+// A nil *Tracer is valid and free: every method no-ops, and Begin
+// returns a Span whose End also no-ops — instrumented code needs no
+// branches beyond the ones it writes for deferred closes.
 //
 // The tracer is not safe for concurrent use; the harness gives each
 // parallel job its own tracer so IDs (and therefore trace bytes) do not
 // depend on pool width.
 type Tracer struct {
-	sink   Sink
-	nextID uint64
-	frames []Record // spans of the tree currently being built, in open order
-	open   []int32  // stack of open span indices into frames
-	err    error    // first structural misuse observed (unbalanced End)
+	sink      Sink
+	ring      *Ring // ring mode when non-nil; sink is nil then
+	nextID    uint64
+	treeStart int32    // ring mode: ring index of the current tree's root
+	openTop   int32    // ring mode: ring index of the innermost open span
+	depth     int32    // ring mode: number of open spans
+	frames    []Record // sink mode: spans of the tree being built, in open order
+	open      []int32  // sink mode: stack of open span indices into frames
+	err       error    // first structural misuse observed (unbalanced End)
 }
 
 // NewTracer returns a tracer delivering completed trees to sink. A nil
@@ -66,10 +90,16 @@ type Tracer struct {
 // and discarded on completion.
 func NewTracer(sink Sink) *Tracer { return &Tracer{sink: sink} }
 
+// NewRingTracer returns a tracer recording spans directly into r's
+// binary storage, skipping the staging buffer and delivery copy of sink
+// mode.
+func NewRingTracer(r *Ring) *Tracer { return &Tracer{ring: r} }
+
 // Span is a handle to an open span. The zero value is inert: End on it
 // is a no-op, which is what Begin on a nil tracer returns.
 type Span struct {
 	tr  *Tracer
+	rec *ringRec // ring mode: the span's record, for O(1) patching on End
 	idx int32
 }
 
@@ -90,17 +120,38 @@ func (tr *Tracer) BeginDev(t sim.Time, p Phase, dev string, lba int64, n int) Sp
 		return Span{}
 	}
 	tr.nextID++
-	r := Record{ID: tr.nextID, Phase: p, Dev: dev, LBA: lba, N: n, Begin: t, End: t}
+	if r := tr.ring; r != nil {
+		parent := int32(-1)
+		if tr.depth == 0 {
+			tr.treeStart = int32(r.n)
+			r.trees = append(r.trees, ringTree{start: r.n, base: tr.nextID})
+		} else {
+			parent = tr.openTop - tr.treeStart
+		}
+		var dv uint16
+		if dev != "" {
+			dv = r.intern(dev)
+		}
+		idx := int32(r.n)
+		c := r.grow()
+		// One struct-literal assignment so the compiler emits wide
+		// stores for the whole 32-byte record (dur zeroes implicitly).
+		*c = ringRec{begin: int64(t), lba: lba, parent: parent, n: int32(n), dev: dv, phase: uint8(p)}
+		tr.openTop = idx
+		tr.depth++
+		return Span{tr: tr, rec: c, idx: idx}
+	}
+	rec := Record{ID: tr.nextID, Phase: p, Dev: dev, LBA: lba, N: n, Begin: t, End: t}
 	if len(tr.open) > 0 {
-		r.Parent = tr.frames[tr.open[len(tr.open)-1]].ID
+		rec.Parent = tr.frames[tr.open[len(tr.open)-1]].ID
 	}
 	if len(tr.frames) > 0 {
-		r.Req = tr.frames[0].ID
+		rec.Req = tr.frames[0].ID
 	} else {
-		r.Req = r.ID
+		rec.Req = rec.ID
 	}
 	idx := int32(len(tr.frames))
-	tr.frames = append(tr.frames, r)
+	tr.frames = append(tr.frames, rec)
 	tr.open = append(tr.open, idx)
 	return Span{tr: tr, idx: idx}
 }
@@ -110,6 +161,15 @@ func (tr *Tracer) BeginDev(t sim.Time, p Phase, dev string, lba int64, n int) Sp
 // no virtual time but belong in the trace.
 func (tr *Tracer) Mark(t sim.Time, p Phase, lba int64) {
 	if tr == nil {
+		return
+	}
+	if r := tr.ring; r != nil && tr.depth > 0 {
+		// Fast path: a nested mark is a single record store, with no
+		// open-chain traffic — identical to BeginLBA followed at once
+		// by End(t).
+		tr.nextID++
+		c := r.grow()
+		*c = ringRec{begin: int64(t), lba: lba, parent: tr.openTop - tr.treeStart, n: 1, phase: uint8(p)}
 		return
 	}
 	sp := tr.BeginLBA(t, p, lba)
@@ -125,6 +185,30 @@ func (s Span) End(t sim.Time) {
 	if tr == nil {
 		return
 	}
+	if r := tr.ring; r != nil {
+		if tr.depth > 0 && tr.openTop == s.idx { // common case: innermost span closes
+			c := s.rec
+			r.setEnd(s.idx, c, int64(t))
+			tr.depth--
+			if tr.depth == 0 {
+				tr.openTop = -1
+				r.complete = r.n // root closed: tree becomes exportable
+			} else {
+				tr.openTop = tr.treeStart + c.parent
+			}
+			return
+		}
+		s.endSlowRing(t)
+		return
+	}
+	s.endSink(t)
+}
+
+// endSink closes the span in sink mode: patch the frame, unwind the open
+// stack, and deliver the tree when the root closes. Out of End so the
+// ring-mode fast path stays small.
+func (s Span) endSink(t sim.Time) {
+	tr := s.tr
 	pos := -1
 	for i := len(tr.open) - 1; i >= 0; i-- {
 		if tr.open[i] == s.idx {
@@ -147,10 +231,10 @@ func (s Span) End(t sim.Time) {
 			tr.frames[s.idx].ID, tr.frames[s.idx].Phase, len(tr.open)-1-pos)
 	}
 	for i := len(tr.open) - 1; i >= pos; i-- {
-		r := &tr.frames[tr.open[i]]
-		r.End = t
-		if r.End < r.Begin {
-			r.End = r.Begin
+		rec := &tr.frames[tr.open[i]]
+		rec.End = t
+		if rec.End < rec.Begin {
+			rec.End = rec.Begin
 		}
 	}
 	tr.open = tr.open[:pos]
@@ -162,12 +246,71 @@ func (s Span) End(t sim.Time) {
 	}
 }
 
+// endSlowRing handles the ring-mode cases the fast path rejects: a
+// double close or a close over still-open children. Semantics mirror
+// sink mode exactly; the open chain is walked through the stored parent
+// offsets.
+func (s Span) endSlowRing(t sim.Time) {
+	tr, r := s.tr, s.tr.ring
+	found := false
+	skipped := 0
+	if tr.depth > 0 {
+		j := tr.openTop
+		for {
+			if j == s.idx {
+				found = true
+				break
+			}
+			c := r.at(int(j))
+			if c.parent < 0 {
+				break
+			}
+			j = tr.treeStart + c.parent
+			skipped++
+		}
+	}
+	if !found {
+		if tr.err == nil {
+			if int(s.idx) < r.n {
+				id, ph := r.spanMeta(int(s.idx))
+				tr.err = fmt.Errorf("obs: span %d (%s) closed twice", id, ph)
+			} else {
+				tr.err = fmt.Errorf("obs: span closed twice (its tree already completed)")
+			}
+		}
+		return
+	}
+	if skipped > 0 && tr.err == nil {
+		id, ph := r.spanMeta(int(s.idx))
+		tr.err = fmt.Errorf("obs: span %d (%s) closed with %d children still open",
+			id, ph, skipped)
+	}
+	for {
+		j := tr.openTop
+		c := r.at(int(j))
+		r.setEnd(j, c, int64(t))
+		tr.depth--
+		if tr.depth == 0 {
+			tr.openTop = -1
+			r.complete = r.n
+		} else {
+			tr.openTop = tr.treeStart + c.parent
+		}
+		if j == s.idx {
+			return
+		}
+	}
+}
+
 // OpenSpans returns how many spans are currently open. After any
 // complete operation (including one unwound by an injected crash) this
 // must be zero; the crash-consistency rig asserts it.
 func (tr *Tracer) OpenSpans() int {
 	if tr == nil {
 		return 0
+	}
+	if tr.ring != nil {
+		return int(tr.depth)
 	}
 	return len(tr.open)
 }
@@ -191,11 +334,20 @@ func (tr *Tracer) Err() error {
 }
 
 // Reset drops any partially built tree and clears the error, keeping
-// the ID counter (IDs stay unique across a reset).
+// the ID counter (IDs stay unique across a reset). In ring mode the
+// abandoned tree's records are truncated from the ring, exactly as sink
+// mode never delivers them.
 func (tr *Tracer) Reset() {
 	if tr == nil {
 		return
 	}
+	if r := tr.ring; r != nil && tr.depth > 0 {
+		last := len(r.trees) - 1
+		r.truncate(r.trees[last].start)
+		r.trees = r.trees[:last]
+	}
+	tr.depth = 0
+	tr.openTop = -1
 	tr.frames = tr.frames[:0]
 	tr.open = tr.open[:0]
 	tr.err = nil

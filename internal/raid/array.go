@@ -59,6 +59,7 @@ type Stats struct {
 // (nil buffers); parity is byte-accurate in data mode.
 type Array struct {
 	cfg    Config
+	name   string // cached cfg.Level.String(); Name() is on traced hot paths
 	geo    layout
 	disks  []*blockdev.FaultDevice
 	stale  map[int64]bool // rows whose parity is stale (delayed updates)
@@ -119,7 +120,8 @@ func New(cfg Config, members []blockdev.Device) (*Array, error) {
 		}
 	}
 	a := &Array{
-		cfg: cfg,
+		cfg:  cfg,
+		name: cfg.Level.String(),
 		geo: layout{
 			level:      cfg.Level,
 			disks:      n,
@@ -136,7 +138,7 @@ func New(cfg Config, members []blockdev.Device) (*Array, error) {
 }
 
 // Name implements blockdev.Device.
-func (a *Array) Name() string { return a.cfg.Level.String() }
+func (a *Array) Name() string { return a.name }
 
 // Pages implements blockdev.Device (logical capacity).
 func (a *Array) Pages() int64 { return a.geo.dataPages() }
@@ -263,20 +265,22 @@ func (a *Array) ReadPages(t sim.Time, lba int64, count int, buf []byte) (done si
 	if err := blockdev.CheckBuf(buf, count); err != nil {
 		return t, err
 	}
+	var sp obs.Span
 	if a.tr != nil {
-		sp := a.tr.BeginDev(t, obs.PhaseRAIDRead, a.Name(), lba, count)
-		defer func() { sp.End(done) }()
+		sp = a.tr.BeginDev(t, obs.PhaseRAIDRead, a.Name(), lba, count)
 	}
 	done = t
 	for i := 0; i < count; i++ {
 		c, err := a.readPage(t, lba+int64(i), pageBuf(buf, i))
 		if err != nil {
+			sp.End(t)
 			return t, err
 		}
 		if c > done {
 			done = c
 		}
 	}
+	sp.End(done)
 	return done, nil
 }
 
@@ -372,20 +376,22 @@ func (a *Array) WritePages(t sim.Time, lba int64, count int, buf []byte) (done s
 	if err := blockdev.CheckBuf(buf, count); err != nil {
 		return t, err
 	}
+	var sp obs.Span
 	if a.tr != nil {
-		sp := a.tr.BeginDev(t, obs.PhaseRAIDWrite, a.Name(), lba, count)
-		defer func() { sp.End(done) }()
+		sp = a.tr.BeginDev(t, obs.PhaseRAIDWrite, a.Name(), lba, count)
 	}
 	done = t
 	for i := 0; i < count; i++ {
 		c, err := a.writePage(t, lba+int64(i), pageBuf(buf, i))
 		if err != nil {
+			sp.End(t)
 			return t, err
 		}
 		if c > done {
 			done = c
 		}
 	}
+	sp.End(done)
 	return done, nil
 }
 

@@ -31,6 +31,7 @@ func BenchmarkSmallWrite(b *testing.B) {
 	page := make([]byte, blockdev.PageSize)
 	rng := sim.NewRNG(1)
 	b.SetBytes(blockdev.PageSize)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := a.WritePages(0, int64(rng.Uint64n(200000)), 1, page); err != nil {
@@ -45,6 +46,7 @@ func BenchmarkWriteNoParity(b *testing.B) {
 	page := make([]byte, blockdev.PageSize)
 	rng := sim.NewRNG(1)
 	b.SetBytes(blockdev.PageSize)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := a.WriteNoParity(0, int64(rng.Uint64n(200000)), 1, page); err != nil {

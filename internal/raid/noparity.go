@@ -26,9 +26,9 @@ func (a *Array) WriteNoParity(t sim.Time, lba int64, count int, buf []byte) (don
 		// Non-parity levels have nothing to delay; fall back.
 		return a.WritePages(t, lba, count, buf)
 	}
+	var sp obs.Span
 	if a.tr != nil {
-		sp := a.tr.BeginDev(t, obs.PhaseRAIDWriteNP, a.Name(), lba, count)
-		defer func() { sp.End(done) }()
+		sp = a.tr.BeginDev(t, obs.PhaseRAIDWriteNP, a.Name(), lba, count)
 	}
 	done = t
 	for i := 0; i < count; i++ {
@@ -40,6 +40,7 @@ func (a *Array) WriteNoParity(t sim.Time, lba int64, count int, buf []byte) (don
 			// parity path. Fall back to the immediate-parity write.
 			c, err := a.writePage(t, lba+int64(i), pageBuf(buf, i))
 			if err != nil {
+				sp.End(t)
 				return t, err
 			}
 			done = sim.MaxTime(done, c)
@@ -49,11 +50,13 @@ func (a *Array) WriteNoParity(t sim.Time, lba int64, count int, buf []byte) (don
 		a.stats.NoParityWr++
 		c, err := a.disks[l.disk].WritePages(t, l.row, 1, pageBuf(buf, i))
 		if err != nil {
+			sp.End(t)
 			return t, err
 		}
 		a.stale[a.staleKey(l)] = true
 		done = sim.MaxTime(done, c)
 	}
+	sp.End(done)
 	return done, nil
 }
 
@@ -142,9 +145,11 @@ func (a *Array) ParityUpdateDelta(t sim.Time, lbas []int64, deltas [][]byte) (do
 	var p, q []byte
 	data := deltas != nil
 	if data {
-		p = make([]byte, blockdev.PageSize)
+		p = blockdev.GetZeroPage() // stays zero if its read goes media-bad
+		defer blockdev.PutPage(p)
 		if l.qDisk >= 0 {
-			q = make([]byte, blockdev.PageSize)
+			q = blockdev.GetZeroPage()
+			defer blockdev.PutPage(q)
 		}
 	}
 
@@ -272,9 +277,11 @@ func (a *Array) ParityUpdateReconstruct(t sim.Time, lba int64, rowData [][]byte)
 		if len(rowData) != dc {
 			panic("raid: ParityUpdateReconstruct needs one page per data chunk")
 		}
-		p = make([]byte, blockdev.PageSize)
+		p = blockdev.GetZeroPage()
+		defer blockdev.PutPage(p)
 		if l.qDisk >= 0 {
-			q = make([]byte, blockdev.PageSize)
+			q = blockdev.GetZeroPage()
+			defer blockdev.PutPage(q)
 		}
 		for i, d := range rowData {
 			xorInto(p, d)
@@ -319,9 +326,11 @@ func (a *Array) WriteRow(t sim.Time, firstLBA int64, buf []byte) (sim.Time, erro
 	}
 	var p, q []byte
 	if buf != nil {
-		p = make([]byte, blockdev.PageSize)
+		p = blockdev.GetZeroPage()
+		defer blockdev.PutPage(p)
 		if rl.qDisk >= 0 {
-			q = make([]byte, blockdev.PageSize)
+			q = blockdev.GetZeroPage()
+			defer blockdev.PutPage(q)
 		}
 		for i := 0; i < dc; i++ {
 			d := pageBuf(buf, i)

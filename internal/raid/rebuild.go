@@ -366,6 +366,7 @@ func (a *Array) rebuildRow(t sim.Time, target int, row int64) (done sim.Time, er
 		if err != nil {
 			return t, err
 		}
+		defer st.release()
 		t = c
 		if !a.recoverable(st) {
 			// A second member failed inside the rebuild window and this
@@ -404,6 +405,7 @@ func (a *Array) rebuildRow(t sim.Time, target int, row int64) (done sim.Time, er
 		}
 		if page == nil {
 			page = pageScratch(dataMode)
+			defer putScratch(page) // distinct from st's pages: no double-put
 		}
 	default:
 		return t, ErrTooManyFailures
@@ -438,12 +440,15 @@ func (a *Array) rebuildDamagedRow(t sim.Time, target int, rl rowLoc) (sim.Time, 
 	dataMode := a.dataMode()
 	var p, q []byte
 	if dataMode {
-		p = make([]byte, blockdev.PageSize)
+		p = blockdev.GetZeroPage()
+		defer blockdev.PutPage(p)
 		if rl.qDisk >= 0 {
-			q = make([]byte, blockdev.PageSize)
+			q = blockdev.GetZeroPage()
+			defer blockdev.PutPage(q)
 		}
 	}
 	tmp := pageScratch(dataMode)
+	defer putScratch(tmp)
 	done := t
 	for i, disk := range rl.dataDisks {
 		if disk == target {

@@ -104,6 +104,7 @@ func (a *Array) reconstructViaRow(t sim.Time, l loc, rl rowLoc, buf []byte) (sim
 	if err != nil {
 		return t, err
 	}
+	defer st.release()
 	if !a.recoverable(st) {
 		return t, fmt.Errorf("%w: row %d has more erasures than the level tolerates", ErrUnrecoverable, l.row)
 	}
@@ -134,6 +135,7 @@ func (a *Array) reconstructXOR(t sim.Time, l loc, rl rowLoc, buf []byte) (sim.Ti
 		}
 	}
 	tmp := pageScratch(buf != nil)
+	defer putScratch(tmp)
 	for _, disk := range rl.dataDisks {
 		if disk == l.disk {
 			continue
@@ -184,10 +186,13 @@ func (a *Array) reconstructRS(t sim.Time, l loc, rl rowLoc, buf []byte) (sim.Tim
 	data := buf != nil
 	var pAcc, qAcc []byte
 	if data {
-		pAcc = make([]byte, blockdev.PageSize) // P ⊕ Σ surviving D_i
-		qAcc = make([]byte, blockdev.PageSize) // Q ⊕ Σ g^i·surviving D_i
+		pAcc = blockdev.GetZeroPage() // P ⊕ Σ surviving D_i
+		qAcc = blockdev.GetZeroPage() // Q ⊕ Σ g^i·surviving D_i
+		defer blockdev.PutPage(pAcc)
+		defer blockdev.PutPage(qAcc)
 	}
 	tmp := pageScratch(data)
+	defer putScratch(tmp)
 	done := t
 
 	// Read surviving data pages.
@@ -243,7 +248,8 @@ func (a *Array) reconstructRS(t sim.Time, l loc, rl rowLoc, buf []byte) (sim.Tim
 		// pAcc = D_x ⊕ D_y ; qAcc = g^x·D_x ⊕ g^y·D_y.
 		gx, gy := gfPow(x), gfPow(y)
 		denom := gx ^ gy
-		dx := make([]byte, blockdev.PageSize)
+		dx := blockdev.GetPage() // fully assigned by gfScale
+		defer blockdev.PutPage(dx)
 		// D_x = (qAcc ⊕ g^y·pAcc) / (g^x ⊕ g^y)
 		gfMulInto(qAcc, pAcc, gy)
 		gfScale(dx, qAcc, gfInv(denom))
@@ -286,7 +292,8 @@ func (a *Array) degradedWrite(t sim.Time, l loc, buf []byte) (sim.Time, error) {
 		done := t
 		var old []byte
 		if data && (pOK || qOK) {
-			old = make([]byte, blockdev.PageSize)
+			old = blockdev.GetPage() // fully overwritten by the member read
+			defer blockdev.PutPage(old)
 			c, err := a.readMember(t, l.disk, l.row, old)
 			if err != nil {
 				if errors.Is(err, blockdev.ErrMedia) {
@@ -334,14 +341,17 @@ func (a *Array) degradedWrite(t sim.Time, l loc, buf []byte) (sim.Time, error) {
 	done := t
 	var p, q []byte
 	if data {
-		p = make([]byte, blockdev.PageSize)
+		p = blockdev.GetPage() // fully assigned by the copy below
+		defer blockdev.PutPage(p)
 		copy(p, buf)
 		if qOK {
-			q = make([]byte, blockdev.PageSize)
+			q = blockdev.GetZeroPage() // gfMulInto folds into zero
+			defer blockdev.PutPage(q)
 			gfMulInto(q, buf, gfPow(l.dataIdx))
 		}
 	}
 	tmp := pageScratch(data)
+	defer putScratch(tmp)
 	for i, disk := range rl.dataDisks {
 		if disk == l.disk {
 			continue
@@ -411,6 +421,7 @@ func (a *Array) degradedWriteTwoMissing(t sim.Time, l loc, rl rowLoc, buf []byte
 	if err != nil {
 		return t, err
 	}
+	defer st.release()
 	if !a.recoverable(st) {
 		return t, ErrTooManyFailures
 	}
@@ -423,9 +434,11 @@ func (a *Array) degradedWriteTwoMissing(t sim.Time, l loc, rl rowLoc, buf []byte
 		if buf != nil {
 			copy(st.data[l.dataIdx], buf)
 		}
-		p = make([]byte, blockdev.PageSize)
+		p = blockdev.GetZeroPage()
+		defer blockdev.PutPage(p)
 		if rl.qDisk >= 0 {
-			q = make([]byte, blockdev.PageSize)
+			q = blockdev.GetZeroPage()
+			defer blockdev.PutPage(q)
 		}
 		for i := range st.data {
 			xorInto(p, st.data[i])
@@ -480,7 +493,8 @@ func (a *Array) applyParityDiff(t sim.Time, l loc, rl rowLoc, diff []byte, pOK, 
 	if pOK {
 		var p []byte
 		if data {
-			p = make([]byte, blockdev.PageSize)
+			p = blockdev.GetPage() // fully overwritten by the parity read
+			defer blockdev.PutPage(p)
 		}
 		a.stats.ParityReads++
 		c, err := a.memberRead(t, rl.pDisk, l.row, p)
@@ -500,7 +514,8 @@ func (a *Array) applyParityDiff(t sim.Time, l loc, rl rowLoc, diff []byte, pOK, 
 	if qOK {
 		var q []byte
 		if data {
-			q = make([]byte, blockdev.PageSize)
+			q = blockdev.GetPage() // fully overwritten by the parity read
+			defer blockdev.PutPage(q)
 		}
 		a.stats.ParityReads++
 		c, err := a.memberRead(t, rl.qDisk, l.row, q)
@@ -568,12 +583,15 @@ func (a *Array) resyncRow(t sim.Time, row int64) (sim.Time, error) {
 	dataMode := a.dataMode()
 	var p, q []byte
 	if dataMode {
-		p = make([]byte, blockdev.PageSize)
+		p = blockdev.GetZeroPage()
+		defer blockdev.PutPage(p)
 		if rl.qDisk >= 0 {
-			q = make([]byte, blockdev.PageSize)
+			q = blockdev.GetZeroPage()
+			defer blockdev.PutPage(q)
 		}
 	}
 	tmp := pageScratch(dataMode)
+	defer putScratch(tmp)
 	phase1 := t
 	for i, disk := range rl.dataDisks {
 		if a.missing(disk, row) {
@@ -594,9 +612,11 @@ func (a *Array) resyncRow(t sim.Time, row int64) (sim.Time, error) {
 				// resurface its old bytes against the fresh parity.
 				a.stats.MediaErrors++
 				a.markLost(disk, row)
-				if c, werr := a.disks[disk].WritePages(t, row, 1, pageScratch(dataMode)); werr == nil {
+				zp := pageScratch(dataMode)
+				if c, werr := a.disks[disk].WritePages(t, row, 1, zp); werr == nil {
 					phase1 = sim.MaxTime(phase1, c)
 				}
+				putScratch(zp)
 				continue
 			}
 			return t, err
@@ -663,12 +683,17 @@ func (a *Array) dataMode() bool {
 	return false
 }
 
-// pageScratch returns a page buffer in data mode or nil in timing mode.
+// pageScratch returns a zeroed page buffer in data mode or nil in timing
+// mode. The buffer comes from the shared page pool; callers hand it back
+// via putScratch when it dies (putScratch tolerates nil).
 func pageScratch(data bool) []byte {
 	if !data {
 		return nil
 	}
-	return make([]byte, blockdev.PageSize)
+	return blockdev.GetZeroPage()
 }
+
+// putScratch returns a pageScratch buffer to the pool.
+func putScratch(b []byte) { blockdev.PutPage(b) }
 
 var _ blockdev.Device = (*Array)(nil)

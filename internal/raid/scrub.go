@@ -37,6 +37,16 @@ type rowState struct {
 	media    map[int]bool // member disks whose page failed with ErrMedia
 }
 
+// release returns every page the row state owns to the pool. Callers of
+// readRow defer it; the pages never escape (consumers copy out of them).
+func (st *rowState) release() {
+	for _, b := range st.data {
+		blockdev.PutPage(b)
+	}
+	blockdev.PutPage(st.p)
+	blockdev.PutPage(st.q)
+}
+
 // readRow reads every member page of row rl. Failed disks and disks in
 // knownBad are treated as missing without issuing I/O; per-page media
 // errors mark the page missing and the disk media-bad. Any other error
@@ -76,6 +86,7 @@ func (a *Array) readRow(t sim.Time, rl rowLoc, knownBad map[int]bool) (*rowState
 	for i, disk := range rl.dataDisks {
 		buf, ok, err := read(disk)
 		if err != nil {
+			st.release()
 			return nil, t, err
 		}
 		if !ok {
@@ -87,6 +98,7 @@ func (a *Array) readRow(t sim.Time, rl rowLoc, knownBad map[int]bool) (*rowState
 	if rl.pDisk >= 0 {
 		buf, ok, err := read(rl.pDisk)
 		if err != nil {
+			st.release()
 			return nil, t, err
 		}
 		st.missingP = !ok
@@ -95,6 +107,7 @@ func (a *Array) readRow(t sim.Time, rl rowLoc, knownBad map[int]bool) (*rowState
 	if rl.qDisk >= 0 {
 		buf, ok, err := read(rl.qDisk)
 		if err != nil {
+			st.release()
 			return nil, t, err
 		}
 		st.missingQ = !ok
@@ -132,7 +145,7 @@ func (a *Array) solveRow(st *rowState) error {
 		// All data present; missing parity is recomputed below.
 	case 1:
 		x := st.missingD[0]
-		dx := make([]byte, blockdev.PageSize)
+		dx := blockdev.GetPage() // fully assigned by either branch below
 		switch {
 		case st.rl.pDisk >= 0 && !st.missingP:
 			// D_x = P ⊕ Σ_{i≠x} D_i.
@@ -144,7 +157,7 @@ func (a *Array) solveRow(st *rowState) error {
 			}
 		case st.rl.qDisk >= 0 && !st.missingQ:
 			// D_x = (Q ⊕ Σ_{i≠x} g^i·D_i) / g^x.
-			acc := make([]byte, blockdev.PageSize)
+			acc := blockdev.GetPage() // fully assigned by the copy below
 			copy(acc, st.q)
 			for i := 0; i < dc; i++ {
 				if i != x {
@@ -152,7 +165,9 @@ func (a *Array) solveRow(st *rowState) error {
 				}
 			}
 			gfScale(dx, acc, gfInv(gfPow(x)))
+			blockdev.PutPage(acc)
 		default:
+			blockdev.PutPage(dx)
 			return ErrUnrecoverable
 		}
 		st.data[x] = dx
@@ -162,8 +177,8 @@ func (a *Array) solveRow(st *rowState) error {
 			return ErrUnrecoverable
 		}
 		x, y := st.missingD[0], st.missingD[1]
-		pAcc := make([]byte, blockdev.PageSize)
-		qAcc := make([]byte, blockdev.PageSize)
+		pAcc := blockdev.GetPage() // fully assigned by the copies below
+		qAcc := blockdev.GetPage()
 		copy(pAcc, st.p)
 		copy(qAcc, st.q)
 		for i := 0; i < dc; i++ {
@@ -175,23 +190,25 @@ func (a *Array) solveRow(st *rowState) error {
 		// pAcc = D_x ⊕ D_y ; qAcc = g^x·D_x ⊕ g^y·D_y.
 		gx, gy := gfPow(x), gfPow(y)
 		gfMulInto(qAcc, pAcc, gy) // qAcc = (g^x ⊕ g^y)·D_x
-		dx := make([]byte, blockdev.PageSize)
+		dx := blockdev.GetPage()  // fully assigned by gfScale
 		gfScale(dx, qAcc, gfInv(gx^gy))
-		dy := make([]byte, blockdev.PageSize)
+		dy := blockdev.GetPage() // fully assigned by the copy
 		copy(dy, pAcc)
 		xorInto(dy, dx)
 		st.data[x], st.data[y] = dx, dy
+		blockdev.PutPage(pAcc)
+		blockdev.PutPage(qAcc)
 	default:
 		return ErrUnrecoverable
 	}
 	if st.rl.pDisk >= 0 && st.missingP {
-		st.p = make([]byte, blockdev.PageSize)
+		st.p = blockdev.GetZeroPage()
 		for i := 0; i < dc; i++ {
 			xorInto(st.p, st.data[i])
 		}
 	}
 	if st.rl.qDisk >= 0 && st.missingQ {
-		st.q = make([]byte, blockdev.PageSize)
+		st.q = blockdev.GetZeroPage()
 		for i := 0; i < dc; i++ {
 			gfMulInto(st.q, st.data[i], gfPow(i))
 		}
@@ -219,6 +236,7 @@ func (a *Array) readRepair(t sim.Time, l loc, buf []byte) (sim.Time, error) {
 	if err != nil {
 		return t, err
 	}
+	defer st.release()
 	if !a.recoverable(st) {
 		return t, fmt.Errorf("%w: row %d has more erasures than the level tolerates", ErrUnrecoverable, l.row)
 	}
@@ -265,6 +283,7 @@ func (a *Array) repairParityRow(t sim.Time, row int64, disk int, buf []byte) (si
 	if err != nil {
 		return t, err
 	}
+	defer st.release()
 	if !a.recoverable(st) {
 		return t, fmt.Errorf("%w: row %d has more erasures than the level tolerates", ErrUnrecoverable, row)
 	}
@@ -363,6 +382,7 @@ func (a *Array) scrubParityRow(t sim.Time, rl rowLoc, rep *ScrubReport) (sim.Tim
 	if err != nil {
 		return t, err
 	}
+	defer st.release()
 	anyMissing := len(st.missingD) > 0 || (rl.pDisk >= 0 && st.missingP) || (rl.qDisk >= 0 && st.missingQ)
 	if anyMissing {
 		if !a.recoverable(st) {
@@ -405,10 +425,12 @@ func (a *Array) scrubParityRow(t sim.Time, rl rowLoc, rep *ScrubReport) (sim.Tim
 	if !a.dataMode() || rl.pDisk < 0 {
 		return done, nil
 	}
-	expP := make([]byte, blockdev.PageSize)
+	expP := blockdev.GetZeroPage()
+	defer blockdev.PutPage(expP)
 	var expQ []byte
 	if rl.qDisk >= 0 {
-		expQ = make([]byte, blockdev.PageSize)
+		expQ = blockdev.GetZeroPage()
+		defer blockdev.PutPage(expQ)
 	}
 	for i := range st.data {
 		xorInto(expP, st.data[i])

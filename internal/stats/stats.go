@@ -256,7 +256,7 @@ func (h *Histogram) Percentile(p float64) int64 {
 }
 
 // Merge folds o into h. Percentile accuracy after merging is limited by
-// both reservoirs.
+// both reservoirs. o is not modified.
 func (h *Histogram) Merge(o *Histogram) {
 	if o.count == 0 {
 		return
@@ -272,7 +272,47 @@ func (h *Histogram) Merge(o *Histogram) {
 	for i := range h.buckets {
 		h.buckets[i] += o.buckets[i]
 	}
-	h.samples = append(h.samples, o.samples...)
+	// Each reservoir sample stands for `skip` raw observations, and the
+	// two sides may have decimated at different rates (a long run merged
+	// with a short one). Thin both sides to the coarser of the two rates
+	// before concatenating so neither is over-represented in merged
+	// percentiles, then keep halving until the result respects h's
+	// reservoir bound (restoring Observe's len < maxSamples invariant).
+	hSkip, oSkip := h.skip, o.skip
+	if hSkip <= 0 {
+		hSkip = 1
+	}
+	if oSkip <= 0 {
+		oSkip = 1
+	}
+	skip := hSkip
+	if oSkip > skip {
+		skip = oSkip
+	}
+	merged := make([]int64, 0, len(h.samples)+len(o.samples))
+	merged = thin(merged, h.samples, skip/hSkip)
+	merged = thin(merged, o.samples, skip/oSkip)
+	if h.maxSamples > 0 {
+		for len(merged) >= h.maxSamples {
+			half := merged[:0]
+			for i := 0; i < len(merged); i += 2 {
+				half = append(half, merged[i])
+			}
+			merged = half
+			skip *= 2
+		}
+	}
+	h.samples, h.skip = merged, skip
+}
+
+// thin appends every step-th element of s to dst. Decimation factors
+// only ever double, so step is always an exact power-of-two ratio of
+// two skip rates.
+func thin(dst, s []int64, step int64) []int64 {
+	for i := 0; i < len(s); i += int(step) {
+		dst = append(dst, s[i])
+	}
+	return dst
 }
 
 // LifetimeModel estimates SSD cache lifetime from write traffic, following

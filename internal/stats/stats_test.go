@@ -115,6 +115,17 @@ func TestHistogramMerge(t *testing.T) {
 	if a.Count() != 20 {
 		t.Fatalf("merged count = %d", a.Count())
 	}
+	if a.Sum() != 55+5500 {
+		t.Fatalf("merged sum = %d", a.Sum())
+	}
+	bk := a.Buckets()
+	var bkSum int64
+	for _, c := range bk {
+		bkSum += c
+	}
+	if bkSum != 20 {
+		t.Fatalf("bucket counts sum to %d, want 20", bkSum)
+	}
 	if a.Min() != 1 || a.Max() != 1000 {
 		t.Fatalf("merged min/max = %d/%d", a.Min(), a.Max())
 	}
@@ -183,5 +194,65 @@ func TestTableRendering(t *testing.T) {
 	}
 	if Table("empty", "x", nil) == "" {
 		t.Fatal("empty table should still include a title")
+	}
+}
+
+// TestHistogramMergeWeighted pins the weight-aware reservoir merge: a
+// long heavily-decimated run merged with a short skip=1 run must not let
+// the short run's raw samples swamp the merged percentiles (each sample
+// stands for `skip` observations, and the two sides' rates differ).
+func TestHistogramMergeWeighted(t *testing.T) {
+	a, b := NewHistogram(128), NewHistogram(128)
+	for i := int64(0); i < 100000; i++ {
+		a.Observe(i) // uniform 0..100k, reservoir decimated ~1000x
+	}
+	for i := int64(0); i < 200; i++ {
+		b.Observe(1000000) // 0.2% of the merged observations
+	}
+	a.Merge(b)
+	if len(a.samples) >= a.maxSamples {
+		t.Fatalf("merged reservoir has %d samples, bound %d", len(a.samples), a.maxSamples)
+	}
+	if a.Count() != 100200 || a.Max() != 1000000 {
+		t.Fatalf("merged count/max = %d/%d", a.Count(), a.Max())
+	}
+	// With weight-aware thinning the median stays in the long run's
+	// range; the old concatenating merge pulled it to 1000000 because
+	// the short run contributed 200 of ~264 reservoir samples.
+	if p50 := a.Percentile(50); p50 < 25000 || p50 > 75000 {
+		t.Fatalf("P50 after weighted merge = %d, want ~50000", p50)
+	}
+
+	// Merging in the other direction must thin the receiver's own
+	// skip=1 reservoir up to the argument's coarser rate.
+	c := NewHistogram(128)
+	for i := int64(0); i < 200; i++ {
+		c.Observe(1000000)
+	}
+	d := NewHistogram(128)
+	for i := int64(0); i < 100000; i++ {
+		d.Observe(i)
+	}
+	c.Merge(d)
+	if len(c.samples) >= c.maxSamples {
+		t.Fatalf("merged reservoir has %d samples, bound %d", len(c.samples), c.maxSamples)
+	}
+	if p50 := c.Percentile(50); p50 < 25000 || p50 > 75000 {
+		t.Fatalf("P50 after reverse weighted merge = %d, want ~50000", p50)
+	}
+
+	// Two nearly-full same-rate reservoirs: the naive merge exceeded
+	// maxSamples; the fixed one re-decimates back under the bound.
+	e, f := NewHistogram(128), NewHistogram(128)
+	for i := int64(0); i < 100; i++ {
+		e.Observe(i)
+		f.Observe(i + 100)
+	}
+	e.Merge(f)
+	if len(e.samples) >= e.maxSamples {
+		t.Fatalf("same-rate merge reservoir has %d samples, bound %d", len(e.samples), e.maxSamples)
+	}
+	if e.skip != 2 {
+		t.Fatalf("same-rate merge skip = %d, want 2 after one halving", e.skip)
 	}
 }
