@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race chaos chaos-ssd chaos-rebuild check mutate fuzz cover bench-harness bench-gate obs-test ci clean
+.PHONY: all build vet test race chaos chaos-ssd chaos-rebuild check mutate fuzz cover bench-harness bench-gate obs-test shard-test ci clean
 
 all: ci
 
@@ -67,6 +67,18 @@ obs-test:
 	$(GO) test -race ./internal/obs/
 	$(GO) test -race -run 'Obs|TraceProperties|PhaseArtifacts|PhaseBreakdown' ./internal/harness/
 
+# Sharded data plane battery: the cross-shard determinism contract
+# (byte-identical output at shard counts 1/2/4/8, coalescing on and off)
+# under the race detector at several test-parallelism levels, plus the
+# routing/digest property tests, the open-loop generator, and the
+# sharded crash sweep with interleaved batches in flight.
+shard-test:
+	$(GO) test -race -parallel 1 -count=1 -run 'TestDeterministic' ./internal/shard/
+	$(GO) test -race -parallel 4 -count=1 -run 'TestDeterministic' ./internal/shard/
+	$(GO) test -race -parallel 16 -count=1 -run 'TestDeterministic' ./internal/shard/
+	$(GO) test -race ./internal/shard/ ./internal/sched/ ./internal/workload/
+	$(GO) run ./cmd/kddcheck -ci -shard
+
 # Coverage ratchet: total statement coverage may not drop more than 0.5
 # points below the committed baseline in COVERAGE.txt. Raise the baseline
 # when coverage genuinely improves.
@@ -90,7 +102,7 @@ bench-harness:
 bench-gate:
 	$(GO) run ./cmd/harnessbench -scale $(or $(BENCH_SCALE),0.01) -o BENCH_harness.json -gate
 
-ci: vet build test race obs-test chaos-ssd chaos-rebuild check mutate cover bench-gate
+ci: vet build test race obs-test shard-test chaos-ssd chaos-rebuild check mutate cover bench-gate
 
 clean:
 	$(GO) clean ./...

@@ -48,6 +48,15 @@ type obsOverheadResult struct {
 	OverheadPct float64 `json:"overhead_pct"`
 }
 
+// saturationResult summarizes the sharded-plane saturation sweep: the
+// sustained load per shard count and the headline scaling ratio the
+// gate enforces.
+type saturationResult struct {
+	Sec           float64            `json:"sec"`
+	SustainedIOPS map[string]float64 `json:"sustained_iops"`
+	Scaling4x1    float64            `json:"scaling_4x1"`
+}
+
 // benchEntry is one trajectory point: a full harnessbench run.
 type benchEntry struct {
 	Time        string             `json:"time,omitempty"`
@@ -56,6 +65,7 @@ type benchEntry struct {
 	GOMAXPROCS  int                `json:"gomaxprocs"`
 	Experiments []experimentResult `json:"experiments"`
 	ObsOverhead *obsOverheadResult `json:"obs_overhead,omitempty"`
+	Saturation  *saturationResult  `json:"saturation,omitempty"`
 }
 
 // benchFile is the BENCH_harness.json schema: a perf trajectory, newest
@@ -75,6 +85,7 @@ func main() {
 		gate      = flag.Bool("gate", false, "fail on perf regressions vs the last comparable trajectory entry")
 		maxOvh    = flag.Float64("max-overhead-pct", 15, "with -gate: max allowed traced-vs-untraced overhead")
 		maxSlow   = flag.Float64("max-slowdown", 1.75, "with -gate: max allowed serial wall-clock ratio vs the last comparable entry")
+		minScale  = flag.Float64("min-shard-scaling", 2.0, "with -gate: min sustained(shards=4)/sustained(shards=1) from the saturation sweep")
 		keep      = flag.Int("keep", 50, "trajectory entries to retain (oldest dropped first; 0 = unlimited)")
 	)
 	flag.Parse()
@@ -183,10 +194,30 @@ func main() {
 	fmt.Printf("obs      untraced %5.2fs  traced %5.2fs  overhead %+.1f%%\n",
 		untraced, traced, entry.ObsOverhead.OverheadPct)
 
+	// Sharded-plane saturation sweep: sustained load per shard count and
+	// the 4-vs-1 scaling ratio. The sweep's latency model is virtual-time
+	// and deterministic, so the ratio is a stable gate input that needs
+	// no trajectory baseline.
+	satStart := time.Now()
+	sat, err := harness.SaturationSweep(*scale)
+	if err != nil {
+		fatal(fmt.Errorf("saturation: %w", err))
+	}
+	entry.Saturation = &saturationResult{
+		Sec:           time.Since(satStart).Seconds(),
+		SustainedIOPS: map[string]float64{},
+		Scaling4x1:    sat.Scaling4x1,
+	}
+	for n, iops := range sat.SustainedIOPS {
+		entry.Saturation.SustainedIOPS[fmt.Sprintf("shards=%d", n)] = iops
+	}
+	fmt.Printf("satur.   %5.2fs  sustained(1) %.0f kIOPS  sustained(4) %.0f kIOPS  scaling %.2fx\n",
+		entry.Saturation.Sec, sat.SustainedIOPS[1]/1000, sat.SustainedIOPS[4]/1000, sat.Scaling4x1)
+
 	prev := readEntries(*out)
 	var gateErrs []error
 	if *gate {
-		gateErrs = checkGate(entry, lastComparable(prev, entry), *maxOvh, *maxSlow)
+		gateErrs = checkGate(entry, lastComparable(prev, entry), *maxOvh, *maxSlow, *minScale)
 	}
 
 	all := append(prev, entry)
@@ -268,11 +299,15 @@ func lastComparable(prev []benchEntry, cur benchEntry) *benchEntry {
 }
 
 // checkGate applies the perf-gate rules to the fresh entry.
-func checkGate(cur benchEntry, base *benchEntry, maxOvh, maxSlow float64) []error {
+func checkGate(cur benchEntry, base *benchEntry, maxOvh, maxSlow, minScaling float64) []error {
 	var errs []error
 	if o := cur.ObsOverhead; o != nil && o.OverheadPct > maxOvh {
 		errs = append(errs, fmt.Errorf("traced overhead %+.1f%% exceeds budget %.1f%%",
 			o.OverheadPct, maxOvh))
+	}
+	if s := cur.Saturation; s != nil && s.Scaling4x1 < minScaling {
+		errs = append(errs, fmt.Errorf("saturation scaling 4/1 = %.2fx below the %.2fx floor",
+			s.Scaling4x1, minScaling))
 	}
 	if base == nil {
 		fmt.Println("gate: no comparable trajectory entry (same scale/parallel); absolute checks only")

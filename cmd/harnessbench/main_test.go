@@ -82,28 +82,41 @@ func TestCheckGate(t *testing.T) {
 	ok := entry(0.01, 1, 1, 8,
 		experimentResult{Name: "fig6", SerialSec: 4.4},
 		experimentResult{Name: "fig5", SerialSec: 5.1})
-	if errs := checkGate(ok, &base, 15, 1.75); len(errs) != 0 {
+	if errs := checkGate(ok, &base, 15, 1.75, 2.0); len(errs) != 0 {
 		t.Fatalf("healthy run failed the gate: %v", errs)
 	}
 
 	slow := entry(0.01, 1, 1, 8,
 		experimentResult{Name: "fig6", SerialSec: 8.0}, // 2x the base
 		experimentResult{Name: "fig5", SerialSec: 5.0})
-	if errs := checkGate(slow, &base, 15, 1.75); len(errs) != 1 {
+	if errs := checkGate(slow, &base, 15, 1.75, 2.0); len(errs) != 1 {
 		t.Fatalf("2x serial regression produced %d gate errors, want 1: %v", len(errs), errs)
 	}
 
 	hot := entry(0.01, 1, 1, 22,
 		experimentResult{Name: "fig6", SerialSec: 4.0})
-	if errs := checkGate(hot, &base, 15, 1.75); len(errs) != 1 {
+	if errs := checkGate(hot, &base, 15, 1.75, 2.0); len(errs) != 1 {
 		t.Fatalf("22%% overhead produced %d gate errors, want 1: %v", len(errs), errs)
 	}
 
 	// No comparable base: absolute checks still apply, ratios don't.
-	if errs := checkGate(slow, nil, 15, 1.75); len(errs) != 0 {
+	if errs := checkGate(slow, nil, 15, 1.75, 2.0); len(errs) != 0 {
 		t.Fatalf("baseless run failed ratio checks: %v", errs)
 	}
-	if errs := checkGate(hot, nil, 15, 1.75); len(errs) != 1 {
+	if errs := checkGate(hot, nil, 15, 1.75, 2.0); len(errs) != 1 {
 		t.Fatalf("baseless overheated run produced %d gate errors, want 1: %v", len(errs), errs)
+	}
+
+	// Saturation scaling below the floor fails the gate even without a
+	// comparable base (the sweep is deterministic; no baseline needed).
+	flat := ok
+	flat.Saturation = &saturationResult{Scaling4x1: 1.4}
+	if errs := checkGate(flat, nil, 15, 1.75, 2.0); len(errs) != 1 {
+		t.Fatalf("1.4x shard scaling produced %d gate errors, want 1: %v", len(errs), errs)
+	}
+	scaled := ok
+	scaled.Saturation = &saturationResult{Scaling4x1: 3.3}
+	if errs := checkGate(scaled, &base, 15, 1.75, 2.0); len(errs) != 0 {
+		t.Fatalf("3.3x shard scaling failed the gate: %v", errs)
 	}
 }

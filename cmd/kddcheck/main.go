@@ -33,7 +33,8 @@ func main() {
 		footprint = flag.Int64("footprint", 0, "distinct LBAs touched (0 = default 64)")
 		cache     = flag.Int64("cachepages", 0, "SSD cache data pages (0 = default 128)")
 		parallel  = flag.Int("parallel", 0, "worker-pool width for site replays; report is identical at any width (0 = GOMAXPROCS, 1 = serial)")
-		ci        = flag.Bool("ci", false, "deterministic CI mode: fixed small parameters, overrides -ops/-footprint")
+		ci        = flag.Bool("ci", false, "deterministic CI mode: fixed small parameters, overrides -ops/-footprint; runs the single-core AND sharded sweeps")
+		shardOnly = flag.Bool("shard", false, "run only the sharded-plane crash sweep (batched workload, crash points with multiple lanes' metadata batches in flight)")
 		rebuild   = flag.Bool("rebuild", false, "rebuild-window scenario: kill a member mid-workload with a hot spare parked (RAID-6), so every crash point and fault site fires against an online rebuild")
 		stride    = flag.Int("media-stride", 0, "sample every Nth member media-fault site (0/1 = exhaustive); crash and SSD sites are never strided — useful with -rebuild, where the rebuild touches every member page")
 	)
@@ -62,10 +63,21 @@ func main() {
 		o.Ops = 120
 		o.Footprint = 48
 	}
-	rep := check.Run(o)
-	fmt.Print(rep.Table())
-	if len(rep.Violations()) > 0 {
-		fmt.Printf("replay: kddcheck -seed %#x -seeds 1\n", rep.Results[0].Seed)
+	failed := false
+	report := func(rep *check.Report, replayFlag string) {
+		fmt.Print(rep.Table())
+		if len(rep.Violations()) > 0 {
+			fmt.Printf("replay: kddcheck %s-seed %#x -seeds 1\n", replayFlag, rep.Results[0].Seed)
+			failed = true
+		}
+	}
+	if !*shardOnly {
+		report(check.Run(o), "")
+	}
+	if *shardOnly || *ci {
+		report(check.RunShard(o), "-shard ")
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -86,6 +86,7 @@ type SeedResult struct {
 // Report aggregates the checker's results across seeds.
 type Report struct {
 	Opts    Options
+	Kind    string // sweep variant shown in the table heading ("" = single-core)
 	Results []SeedResult
 }
 
@@ -103,7 +104,11 @@ func (r *Report) Violations() []string {
 // Table renders the per-seed summary plus a verdict line.
 func (r *Report) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "== Check: exhaustive crash-point and fault-site exploration ==\n")
+	kind := r.Kind
+	if kind == "" {
+		kind = "exhaustive crash-point and fault-site exploration"
+	}
+	fmt.Fprintf(&b, "== Check: %s ==\n", kind)
 	fmt.Fprintf(&b, "%4s  %-18s %7s %7s %5s %8s %6s\n", "#", "seed", "crash", "media", "kill", "crashes", "viol")
 	sites, crashes, viols := 0, 0, 0
 	for _, res := range r.Results {

@@ -1,0 +1,91 @@
+package check
+
+import (
+	"fmt"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/harness"
+)
+
+// shardSweepWidths cycles the plane's execution width across seeds. In
+// deterministic mode the width cannot change the device-op trace (that
+// is the plane's central contract), so each seed picks one width and the
+// sweep still covers every grouping the plane supports.
+var shardSweepWidths = []int{1, 2, 4, 8}
+
+// RunShard executes the sharded-plane crash sweep across o.Seeds seeds:
+// a batched workload over the full plane (eight lanes, one shared
+// metadata log with per-lane tagged batch flushes), profiled fault-free,
+// then replayed once per SSD write ordinal with a torn-write crash point
+// armed. Crashes land with several lanes' metadata batches in flight;
+// recovery must demultiplex the shared log back to the lanes, twice,
+// identically. Only crash sites are explored — media-fault coverage of
+// the engine under each lane is the single-core sweep's job, and the
+// plane disables the per-lane breakers (a shared SSD fails as a whole).
+func RunShard(o Options) *Report {
+	o = o.withDefaults()
+	rep := &Report{Opts: o, Kind: "sharded plane, crash points with batches in flight"}
+	for i := 0; i < o.Seeds; i++ {
+		// Same seed stride as Run, so a violation here replays with the
+		// same -seed flag.
+		seed := o.Seed + uint64(i)*0x9E3779B97F4A7C15
+		res := runShardSeed(seed, shardSweepWidths[i%len(shardSweepWidths)], o)
+		res.Index = i
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+// runShardSeed profiles one seed's batched workload fault-free, then
+// replays it once per enumerated crash site.
+func runShardSeed(seed uint64, shards int, o Options) SeedResult {
+	res := SeedResult{Seed: seed}
+
+	r := newShardRig(seed, shards, o)
+	r.inj.RecordOps(true)
+	r.runOps()
+	r.inj.RecordOps(false)
+	r.verify()
+	if len(r.violations) > 0 {
+		for _, v := range r.violations {
+			res.Violations = append(res.Violations, "baseline (no faults): "+v)
+		}
+		return res
+	}
+
+	var sites []site
+	for _, fs := range blockdev.EnumerateSites(r.inj.Recorded(), seed^0x517E5) {
+		if fs.Kind != blockdev.FaultCrashTorn {
+			continue
+		}
+		sites = append(sites, site{dev: "ssd", disk: -1, fs: fs})
+	}
+	res.CrashSites = len(sites)
+
+	outs, _ := harness.FanOut(o.Parallel, len(sites), func(i int) (siteOutcome, error) {
+		return runShardSite(seed, shards, o, sites[i]), nil
+	})
+	for i, out := range outs {
+		res.Crashes += out.crashes
+		for _, v := range out.violations {
+			res.Violations = append(res.Violations, fmt.Sprintf("site %s: %s", sites[i], v))
+		}
+	}
+	return res
+}
+
+// runShardSite replays the seeded batched workload with one crash point
+// armed, then runs the full verification chain.
+func runShardSite(seed uint64, shards int, o Options, s site) siteOutcome {
+	r := newShardRig(seed, shards, o)
+	r.inj.Arm(s.fs)
+	r.runOps()
+	if !r.halt {
+		r.verify()
+	}
+	out := siteOutcome{crashes: r.crashes, violations: r.violations}
+	if r.crashes == 0 {
+		out.violations = append(out.violations, "armed crash point never fired (replay diverged from profile)")
+	}
+	return out
+}

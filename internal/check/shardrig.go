@@ -1,0 +1,346 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/delta"
+	"kddcache/internal/model"
+	"kddcache/internal/nvram"
+	"kddcache/internal/raid"
+	"kddcache/internal/shard"
+	"kddcache/internal/sim"
+)
+
+// Sharded-plane checker geometry. The plane fixes shard.Lanes state
+// partitions over one shared SSD and one shared metadata log, so the
+// cache splits into per-lane slices; the numbers keep every lane big
+// enough to evict and clean while the per-site replays stay cheap.
+const (
+	shardCheckDisks     = 5 // level 5: 4 data + distributed parity
+	shardCheckDiskPages = 512
+	shardCheckChunk     = 4
+	shardCheckWays      = 8
+	shardCheckMetaPages = 32
+	shardCheckCache     = 128 // 16 pages per lane
+
+	// shardCheckBatch is the plane batch size: big enough that several
+	// lanes hold buffered metadata entries when a crash fires mid-batch —
+	// the interleaved-batches-in-flight state the sharded sweep exists to
+	// crash into.
+	shardCheckBatch = 16
+)
+
+// shardRig drives one sharded-plane run against the reference model.
+// The plane runs in DETERMINISTIC mode: site replays must reproduce the
+// profile run's SSD write ordinals exactly, and only the single-stepped
+// scheduler makes the device-op trace a pure function of the op stream.
+// (Goroutine-mode correctness is proven separately by the plane's own
+// race battery; crash-site exploration needs replay fidelity.)
+type shardRig struct {
+	o      Options
+	shards int
+	rng    *sim.RNG
+	mut    *delta.Mutator
+	mdl    *model.Model
+	halt   bool
+
+	arr *raid.Array
+	inj *blockdev.FaultInjector
+	cfg shard.Config
+	p   *shard.Plane
+
+	// pending lists LBAs whose writes were in flight at the crash, in op
+	// order; each is pinned old-or-new by its first post-recovery read.
+	pending []int64
+
+	crashes    int
+	violations []string
+}
+
+// plannedOp is one generated batch operation with its oracle content.
+type plannedOp struct {
+	write   bool
+	lba     int64
+	content []byte // planned payload for writes
+}
+
+func newShardRig(seed uint64, shards int, o Options) *shardRig {
+	r := &shardRig{
+		o:      o,
+		shards: shards,
+		rng:    sim.NewRNG(seed),
+		mut:    delta.NewMutator(seed^0xD00D, 0.25),
+		mdl:    model.New(),
+	}
+	var members []blockdev.Device
+	for i := 0; i < shardCheckDisks; i++ {
+		members = append(members, blockdev.NewNullDataDevice(fmt.Sprintf("d%d", i), shardCheckDiskPages))
+	}
+	arr, err := raid.New(raid.Config{Level: raid.Level5, ChunkPages: shardCheckChunk}, members)
+	if err != nil {
+		panic(err) // static geometry; cannot fail
+	}
+	r.arr = arr
+	inner := blockdev.NewNullDataDevice("ssd", shardCheckMetaPages+shardCheckCache)
+	r.inj = blockdev.NewFaultInjector(inner, seed^0xFA17)
+	r.cfg = shard.Config{
+		SSD:        r.inj,
+		Backend:    arr,
+		CachePages: shardCheckCache,
+		Ways:       shardCheckWays,
+		MetaStart:  0,
+		MetaPages:  shardCheckMetaPages,
+		Codec:      func(int) delta.Codec { return delta.ZRLE{} },
+		Shards:     shards,
+		// Deterministic mode (Goroutines false): see the type comment.
+		// Coalescing off: a dropped-then-crashed write pair would need a
+		// three-valued old-or-new pin, which the model (correctly) rejects.
+		Coalesce: false,
+	}
+	p, err := shard.New(r.cfg)
+	if err != nil {
+		panic(err)
+	}
+	r.p = p
+	return r
+}
+
+func (r *shardRig) violf(format string, args ...any) {
+	r.violations = append(r.violations, fmt.Sprintf(format, args...))
+}
+
+// pickLBA mirrors the single-core rig's hot-front draw (fixed RNG cost
+// per call, so the op stream replays in lockstep at every site).
+func (r *shardRig) pickLBA() int64 {
+	hot := r.rng.Float64() < 0.5
+	n := r.rng.Uint64n(uint64(r.o.Footprint))
+	if hot {
+		return int64(n) / 8
+	}
+	return int64(n)
+}
+
+// planBatch generates the next batch. Content chains batch-locally: a
+// second write to an LBA in the same batch mutates the first's planned
+// payload, exactly what the device will hold if both execute.
+func (r *shardRig) planBatch() []plannedOp {
+	local := make(map[int64][]byte)
+	ops := make([]plannedOp, 0, shardCheckBatch)
+	for i := 0; i < shardCheckBatch; i++ {
+		lba := r.pickLBA()
+		if r.rng.Float64() < 0.6 {
+			base, ok := local[lba]
+			if !ok {
+				base, _ = r.mdl.Value(lba)
+			}
+			page := make([]byte, blockdev.PageSize)
+			if base != nil {
+				copy(page, base)
+				r.mut.Mutate(page)
+			} else {
+				r.mut.FillRandom(page)
+			}
+			local[lba] = page
+			ops = append(ops, plannedOp{write: true, lba: lba, content: page})
+		} else {
+			ops = append(ops, plannedOp{write: false, lba: lba})
+		}
+	}
+	return ops
+}
+
+// runBatch executes one planned batch on the plane and reconciles every
+// result with the model in op order, then recovers if the armed crash
+// point fired mid-batch.
+func (r *shardRig) runBatch(plan []plannedOp) {
+	ops := make([]shard.Op, len(plan))
+	for i, po := range plan {
+		if po.write {
+			ops[i] = shard.Op{Kind: shard.OpWrite, LBA: po.lba, Buf: po.content}
+		} else {
+			ops[i] = shard.Op{Kind: shard.OpRead, LBA: po.lba, Buf: make([]byte, blockdev.PageSize)}
+		}
+	}
+	res := r.p.RunBatch(0, ops)
+	crashed := r.inj.Crashed()
+	for i, po := range plan {
+		err := res[i].Err
+		if errors.Is(err, shard.ErrStopped) {
+			// Refused after the plane fail-stopped: the op never started
+			// and never reached NVRAM — the model keeps its value.
+			continue
+		}
+		if po.write {
+			if err == nil {
+				r.mdl.Write(po.lba, po.content)
+				continue
+			}
+			if !crashed {
+				r.violf("write %d failed: %v", po.lba, err)
+				continue
+			}
+			// The single op in flight when the power failed: old-or-new,
+			// pinned at its first post-recovery read.
+			r.mdl.CrashWrite(po.lba, po.content)
+			r.pending = append(r.pending, po.lba)
+			continue
+		}
+		if err != nil {
+			if !crashed {
+				r.violf("read %d failed: %v", po.lba, err)
+			}
+			continue
+		}
+		if err := r.mdl.Check(po.lba, ops[i].Buf); err != nil {
+			r.violf("read %d: %v", po.lba, err)
+		}
+	}
+	if crashed {
+		r.restore()
+	}
+}
+
+// runOps replays the seeded batched workload.
+func (r *shardRig) runOps() {
+	batches := r.o.Ops / shardCheckBatch
+	if batches < 1 {
+		batches = 1
+	}
+	for b := 0; b < batches && !r.halt; b++ {
+		r.runBatch(r.planBatch())
+	}
+}
+
+// restore recovers the plane from the fired crash point: snapshot the
+// NVRAM state (log counters, buffered entries, all the lanes' staging
+// buffers), rebuild TWICE from the identical snapshot, and compare the
+// plane digest and every per-lane digest — the shared log's
+// interleaving-tolerant replay and its per-lane demultiplexing must both
+// be idempotent. Then pin every in-flight write via its first
+// post-recovery read.
+func (r *shardRig) restore() {
+	r.crashes++
+	ctr := r.p.Log().Counters()
+	buffered := r.p.Log().BufferedEntries()
+	var stagings [shard.Lanes]*nvram.Staging
+	for i := 0; i < shard.Lanes; i++ {
+		stagings[i] = r.p.Lane(i).Staging()
+	}
+	r.inj.ClearCrash()
+	p1, _, err := shard.Restore(r.cfg, 0, ctr, buffered, stagings)
+	if err != nil {
+		r.violf("restore after crash: %v", err)
+		r.halt = true
+		return
+	}
+	p2, _, err := shard.Restore(r.cfg, 0, ctr, buffered, stagings)
+	if err != nil {
+		r.violf("second restore from the same NVRAM snapshot: %v", err)
+		r.halt = true
+		return
+	}
+	if d1, d2 := p1.StateDigest(), p2.StateDigest(); d1 != d2 {
+		r.violf("recovery not idempotent: plane digest %016x vs %016x", d1, d2)
+	}
+	for i := 0; i < shard.Lanes; i++ {
+		if d1, d2 := p1.Lane(i).StateDigest(), p2.Lane(i).StateDigest(); d1 != d2 {
+			r.violf("recovery not idempotent at lane %d: %016x vs %016x", i, d1, d2)
+		}
+	}
+	r.p.Close()
+	p1.Close()
+	r.p = p2
+	if err := r.p.CheckInvariants(); err != nil {
+		r.violf("post-restore invariants: %v", err)
+	}
+	pins, seen := r.pending, make(map[int64]bool)
+	r.pending = nil
+	for _, lba := range pins {
+		if seen[lba] {
+			continue
+		}
+		seen[lba] = true
+		buf := make([]byte, blockdev.PageSize)
+		if _, err := r.p.Read(0, lba, buf); err != nil {
+			r.violf("pin read %d after restore: %v", lba, err)
+			continue
+		}
+		if err := r.mdl.Check(lba, buf); err != nil {
+			r.violf("pin read %d: %v", lba, err)
+		}
+	}
+}
+
+// verify is the post-workload integrity chain: quiesce (lane flushes plus
+// the final metadata barrier), invariants, a model-checked read of the
+// whole footprint through the plane, stale-row accounting, direct array
+// reads against the model, and a checksum sweep of every store.
+func (r *shardRig) verify() {
+	if r.inj.Crashed() {
+		r.violf("armed crash point fired outside the workload (replay diverged from profile)")
+		return
+	}
+	if _, err := r.p.Quiesce(0); err != nil {
+		r.violf("quiesce: %v", err)
+		return
+	}
+	if err := r.p.CheckInvariants(); err != nil {
+		r.violf("invariants: %v", err)
+	}
+	buf := make([]byte, blockdev.PageSize)
+	for lba := int64(0); lba < r.o.Footprint; lba++ {
+		if _, err := r.p.Read(0, lba, buf); err != nil {
+			r.violf("read %d: %v", lba, err)
+			continue
+		}
+		if err := r.mdl.Check(lba, buf); err != nil {
+			r.violf("read %d: %v", lba, err)
+		}
+	}
+	if n := r.arr.StaleRows(); n != 0 {
+		r.violf("%d stale rows after quiesce", n)
+	}
+	zero := make([]byte, blockdev.PageSize)
+	for lba := int64(0); lba < r.o.Footprint; lba++ {
+		want, ok := r.mdl.Value(lba)
+		if !ok {
+			r.violf("page %d still unresolved at verify", lba)
+			continue
+		}
+		if want == nil {
+			want = zero
+		}
+		if _, err := r.arr.ReadPages(0, lba, 1, buf); err != nil {
+			r.violf("array read %d: %v", lba, err)
+			continue
+		}
+		if !bytesEqual(buf, want) {
+			r.violf("array content mismatch at %d", lba)
+		}
+	}
+	r.sweepChecksums()
+}
+
+// sweepChecksums verifies every page checksum on the SSD and each member.
+func (r *shardRig) sweepChecksums() {
+	if st := r.inj.Store(); st != nil {
+		for p := int64(0); p < shardCheckMetaPages+shardCheckCache; p++ {
+			if !st.VerifyPage(p) {
+				r.violf("ssd checksum mismatch at page %d", p)
+			}
+		}
+	}
+	for i := 0; i < shardCheckDisks; i++ {
+		st := r.arr.Injector(i).Store()
+		if st == nil {
+			continue
+		}
+		for p := int64(0); p < shardCheckDiskPages; p++ {
+			if !st.VerifyPage(p) {
+				r.violf("disk %d checksum mismatch at page %d", i, p)
+			}
+		}
+	}
+}

@@ -70,6 +70,28 @@ type Config struct {
 	// durability; recovery is impossible in this mode).
 	DisableMetaLog bool
 
+	// SharedLog, when non-nil, attaches an externally-owned metadata log
+	// instead of creating one over [MetaStart, MetaStart+MetaPages). The
+	// shard plane uses this so all lanes share one circular partition and
+	// one NVRAM buffer. The owner handles sizing and recovery sequencing;
+	// this instance's Stats skip the (shared) log counters.
+	SharedLog *metalog.Log
+
+	// DataStart, when > 0, places the cache data partition at an explicit
+	// SSD page instead of MetaStart+MetaPages. Required with SharedLog so
+	// each lane addresses a disjoint SSD region.
+	DataStart int64
+
+	// Lane tags this instance's batched metadata appends (the shard tag
+	// in the log's page headers). Only meaningful with BatchMeta.
+	Lane uint8
+
+	// BatchMeta defers metadata page flushes to FlushMetaBatch: entries
+	// still enter the NVRAM buffer immediately (the durability point is
+	// unchanged) but flash pages commit one barrier per batch instead of
+	// one per entry. The caller owns the barrier cadence.
+	BatchMeta bool
+
 	// SelectiveAdmission enables a LARC-style ghost-LRU admission filter:
 	// pages are cached only on their second miss within a window of
 	// CachePages addresses. §V-C lists such filters as complementary to
@@ -200,9 +222,10 @@ type KDD struct {
 	rbTokens int   // accumulated rebuild-row budget
 	fgMark   int64 // RAIDReads+RAIDWrites at preOp (foreground-pressure probe)
 
-	st       stats.CacheStats
-	dataMode bool
-	cleaning bool
+	st        stats.CacheStats
+	dataMode  bool
+	sharedLog bool // log belongs to the shard plane, not this instance
+	cleaning  bool
 
 	tr *obs.Tracer // nil = tracing disabled
 }
@@ -222,18 +245,25 @@ func New(cfg Config) (*KDD, error) {
 	if cfg.CachePages < int64(cfg.Ways) {
 		return nil, fmt.Errorf("core: cache of %d pages below one set", cfg.CachePages)
 	}
-	if !cfg.DisableMetaLog && cfg.MetaPages < 2 {
+	if !cfg.DisableMetaLog && cfg.SharedLog == nil && cfg.MetaPages < 2 {
 		return nil, fmt.Errorf("core: metadata partition needs >=2 pages")
 	}
-	if cfg.MetaStart+cfg.MetaPages+cfg.CachePages > cfg.SSD.Pages() {
+	if cfg.SharedLog != nil && cfg.DisableMetaLog {
+		return nil, fmt.Errorf("core: SharedLog conflicts with DisableMetaLog")
+	}
+	dataStart := cfg.MetaStart + cfg.MetaPages
+	if cfg.DataStart > 0 {
+		dataStart = cfg.DataStart
+	}
+	if dataStart+cfg.CachePages > cfg.SSD.Pages() {
 		return nil, fmt.Errorf("core: SSD too small: need %d pages, have %d",
-			cfg.MetaStart+cfg.MetaPages+cfg.CachePages, cfg.SSD.Pages())
+			dataStart+cfg.CachePages, cfg.SSD.Pages())
 	}
 	if cfg.LowWater >= cfg.HighWater {
 		return nil, fmt.Errorf("core: cleaner watermarks inverted")
 	}
 	if !cfg.DisableMetaLog {
-		if end := cfg.MetaStart + cfg.MetaPages + cfg.CachePages; end > maxMetaAddressable {
+		if end := dataStart + cfg.CachePages; end > maxMetaAddressable {
 			return nil, fmt.Errorf("core: SSD cache end page %d exceeds the metadata log's uint32 address space (%d pages); shrink the cache or disable the metadata log", end, maxMetaAddressable)
 		}
 		if bp := cfg.Backend.Pages(); bp > maxMetaAddressable {
@@ -245,7 +275,8 @@ func New(cfg Config) (*KDD, error) {
 		frame:     cache.NewFrame(cfg.CachePages, cfg.Ways, cfg.Backend.StripePages()),
 		ssd:       cfg.SSD,
 		backend:   cfg.Backend,
-		dataStart: cfg.MetaStart + cfg.MetaPages,
+		dataStart: dataStart,
+		sharedLog: cfg.SharedLog != nil,
 		staging:   nvram.NewStaging(cfg.StagingBytes),
 		codec:     cfg.Codec,
 		oldDeltas: make(map[int32]oldDelta),
@@ -258,7 +289,10 @@ func New(cfg Config) (*KDD, error) {
 		}
 		k.frame.SetDataSets(k.frame.Sets() - cfg.FixedDEZSets)
 	}
-	if !cfg.DisableMetaLog {
+	if cfg.SharedLog != nil {
+		// Plane-owned log: the plane sets its tracer once for all lanes.
+		k.log = cfg.SharedLog
+	} else if !cfg.DisableMetaLog {
 		k.log = metalog.New(cfg.SSD, cfg.MetaStart, cfg.MetaPages, cfg.MetaGCThreshold)
 		k.log.SetTracer(cfg.Tracer)
 	}
@@ -291,7 +325,7 @@ func (k *KDD) Name() string {
 // Stats implements cache.Policy. Metadata traffic is pulled from the log
 // at read time.
 func (k *KDD) Stats() *stats.CacheStats {
-	if k.log != nil {
+	if k.log != nil && !k.sharedLog {
 		ls := k.log.Stats()
 		gc := ls.GCPageEquivalent()
 		k.st.MetaWrites = ls.PagesWritten - gc
@@ -340,12 +374,27 @@ func (k *KDD) takeSticky() error {
 	return err
 }
 
-// logPut appends a metadata entry unless the log is disabled.
+// logPut appends a metadata entry unless the log is disabled. In batch
+// mode the entry reaches NVRAM at once (durability point) and its page
+// flush waits for FlushMetaBatch.
 func (k *KDD) logPut(t sim.Time, e metalog.Entry) (sim.Time, error) {
 	if k.log == nil {
 		return t, nil
 	}
+	if k.cfg.BatchMeta {
+		k.log.PutBuffered(e)
+		return t, nil
+	}
 	return k.log.Put(t, e)
+}
+
+// FlushMetaBatch commits this lane's deferred metadata page flushes in
+// one barrier (BatchMeta mode). No-op otherwise.
+func (k *KDD) FlushMetaBatch(t sim.Time) (sim.Time, error) {
+	if k.log == nil || !k.cfg.BatchMeta {
+		return t, nil
+	}
+	return k.log.FlushBatch(t, k.cfg.Lane)
 }
 
 // cleanEntry builds the log record for a Clean DAZ page.

@@ -33,6 +33,9 @@ func Restore(cfg Config, t sim.Time, ctr *nvram.Counters,
 	if cfg.DisableMetaLog {
 		return nil, t, fmt.Errorf("core: cannot recover with the metadata log disabled")
 	}
+	if cfg.SharedLog != nil {
+		return nil, t, fmt.Errorf("core: shared-log lanes recover via RestoreWithLog")
+	}
 	k, err := New(cfg)
 	if err != nil {
 		return nil, t, err
@@ -44,11 +47,42 @@ func Restore(cfg Config, t sim.Time, ctr *nvram.Counters,
 	if err != nil {
 		return nil, t, err
 	}
+	if err := k.rebuildFromReplay(replay, staging); err != nil {
+		return nil, t, err
+	}
+	if err := k.resumeMemberRebuild(ctr); err != nil {
+		return nil, t, err
+	}
+	return k, done, nil
+}
 
+// RestoreWithLog rebuilds one lane of the shard plane around an
+// already-recovered shared metadata log. The plane recovers the log
+// ONCE, demultiplexes the replay stream by cache region, and hands each
+// lane only the entries addressing its own DAZ/DEZ pages — this function
+// is the per-lane tail of Restore. Member-rebuild resumption is the
+// plane's job (one array, one checkpoint), not the lane's.
+func RestoreWithLog(cfg Config, log *metalog.Log, replay []metalog.Entry,
+	staging *nvram.Staging) (*KDD, error) {
+	cfg.SharedLog = log
+	k, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.rebuildFromReplay(replay, staging); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// rebuildFromReplay folds a recovered replay stream and the NVRAM
+// staging buffer into a freshly-built instance's maps: the shared tail
+// of Restore and RestoreWithLog.
+func (k *KDD) rebuildFromReplay(replay []metalog.Entry, staging *nvram.Staging) error {
 	// 1. Replay logged entries in commit order; last writer wins.
 	for _, e := range replay {
 		if err := k.applyEntry(e); err != nil {
-			return nil, t, err
+			return err
 		}
 	}
 
@@ -62,14 +96,14 @@ func Restore(cfg Config, t sim.Time, ctr *nvram.Counters,
 		for _, sd := range staging.All() {
 			slot := k.slotOf(sd.DazPage)
 			if int(slot) < 0 || int64(slot) >= k.frame.Pages() {
-				return nil, t, fmt.Errorf("core: staged delta references slot %d out of range", slot)
+				return fmt.Errorf("core: staged delta references slot %d out of range", slot)
 			}
 			st := k.frame.Slot(slot).State
 			if st != cache.Clean && st != cache.Old {
 				// The DAZ page must have been admitted before its delta
 				// was staged; a Free slot here means the log lost the
 				// admission, which the NVRAM path cannot cause.
-				return nil, t, fmt.Errorf("core: staged delta for %v slot %d", st, slot)
+				return fmt.Errorf("core: staged delta for %v slot %d", st, slot)
 			}
 			if st == cache.Clean {
 				k.frame.Transition(slot, cache.Old)
@@ -96,23 +130,26 @@ func Restore(cfg Config, t sim.Time, ctr *nvram.Counters,
 		dp.used += od.length
 		_ = slot
 	}
+	return nil
+}
 
-	// 4. Re-open any member-rebuild window from its NVRAM checkpoint. The
-	// watermark is volatile array state, so the crash wiped it (the rig
-	// models that via CrashRebuildState); without the resume the array
-	// would silently serve the un-rebuilt region of the target as zeros.
-	// Rows between the checkpoint and the true crash-time watermark are
-	// simply reconstructed again — re-rebuilding a row is idempotent.
-	// ResumeRebuild no-ops when the target has since failed or the
-	// checkpoint already covers the disk; re-checkpointing afterwards
-	// records that collapse, keeping a second Restore identical.
+// resumeMemberRebuild re-opens any member-rebuild window from its NVRAM
+// checkpoint. The watermark is volatile array state, so the crash wiped
+// it (the rig models that via CrashRebuildState); without the resume the
+// array would silently serve the un-rebuilt region of the target as
+// zeros. Rows between the checkpoint and the true crash-time watermark
+// are simply reconstructed again — re-rebuilding a row is idempotent.
+// ResumeRebuild no-ops when the target has since failed or the
+// checkpoint already covers the disk; re-checkpointing afterwards
+// records that collapse, keeping a second Restore identical.
+func (k *KDD) resumeMemberRebuild(ctr *nvram.Counters) error {
 	if ctr.RebuildActive {
 		if err := k.backend.ResumeRebuild(int(ctr.RebuildDisk), ctr.RebuildRow); err != nil {
-			return nil, t, fmt.Errorf("core: resuming member rebuild: %w", err)
+			return fmt.Errorf("core: resuming member rebuild: %w", err)
 		}
 		k.checkpointRebuild()
 	}
-	return k, done, nil
+	return nil
 }
 
 // applyEntry folds one recovered mapping entry into the frame.

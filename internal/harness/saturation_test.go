@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// The saturation sweep is the acceptance experiment for the sharded
+// plane: its virtual-time latency model must be fully deterministic
+// (same scale, same bytes) and must show shards=4 sustaining at least
+// twice the offered load of shards=1 at the same p99 SLO.
+
+func TestSaturationDeterministic(t *testing.T) {
+	a, err := SaturationSweep(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SaturationSweep(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table != b.Table {
+		t.Fatalf("saturation reruns diverged:\n%s\nvs\n%s", a.Table, b.Table)
+	}
+}
+
+func TestSaturationScalingGate(t *testing.T) {
+	res, err := SaturationSweep(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range satShardCounts {
+		if res.SustainedIOPS[n] <= 0 {
+			t.Fatalf("shards=%d sustained nothing:\n%s", n, res.Table)
+		}
+	}
+	if res.Scaling4x1 < 2.0 {
+		t.Fatalf("scaling 4/1 = %.2fx below the 2x floor:\n%s", res.Scaling4x1, res.Table)
+	}
+	// Sustained load must be monotone in the shard count: more workers
+	// never sustain less.
+	for i := 1; i < len(satShardCounts); i++ {
+		lo, hi := satShardCounts[i-1], satShardCounts[i]
+		if res.SustainedIOPS[hi] < res.SustainedIOPS[lo] {
+			t.Fatalf("sustained(%d)=%.0f < sustained(%d)=%.0f:\n%s",
+				hi, res.SustainedIOPS[hi], lo, res.SustainedIOPS[lo], res.Table)
+		}
+	}
+	if !strings.Contains(res.Table, "scaling sustained(4)/sustained(1)") {
+		t.Fatalf("table missing the scaling summary:\n%s", res.Table)
+	}
+}

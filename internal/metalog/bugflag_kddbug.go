@@ -1,0 +1,7 @@
+//go:build kddbug
+
+package metalog
+
+// Mutation build: FlushBatch acks the batch (entries leave NVRAM) before
+// its shard-tagged page is durable. See bugflag.go.
+const bugBatchAckEarly = true

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync"
 
 	"kddcache/internal/blockdev"
 	"kddcache/internal/nvram"
@@ -200,12 +201,24 @@ func (s Stats) GCPageEquivalent() int64 {
 }
 
 // Log is the circular metadata log plus its NVRAM metadata buffer.
+//
+// A Log may be shared by every lane of a sharded plane: the public
+// mutating surface is serialized by an internal mutex, so concurrent
+// shard workers can Put/PutBuffered/FlushBatch against one log. The
+// Counters pointer itself is handed out unlocked — callers snapshot it
+// only at quiesce barriers (crash snapshots) or mutate it from the single
+// lane that owns the rebuild pump.
 type Log struct {
+	mu     sync.Mutex
 	dev    blockdev.Device
 	start  int64 // first page of the metadata partition on the SSD
 	npages int64 // partition size in pages
 
 	ctr *nvram.Counters
+
+	// shardSeqs tracks the next per-shard batch sequence for FlushBatch's
+	// tagged pages; rebuilt from the surviving pages on recovery.
+	shardSeqs map[uint8]uint32
 
 	// NVRAM metadata buffer: coalescing map with stable insertion order.
 	bufOrder []uint32 // DazPage keys in arrival order
@@ -248,6 +261,7 @@ func New(dev blockdev.Device, start, npages int64, gcThreshold float64) *Log {
 		start:       start,
 		npages:      npages,
 		ctr:         &nvram.Counters{},
+		shardSeqs:   make(map[uint8]uint32),
 		buf:         make(map[uint32]Entry),
 		pageLists:   make(map[uint64][]Entry),
 		latest:      make(map[uint32]uint64),
@@ -262,6 +276,8 @@ func (l *Log) Counters() *nvram.Counters { return l.ctr }
 // BufferedEntries returns the NVRAM metadata buffer contents in insertion
 // order (what survives a crash alongside the counters).
 func (l *Log) BufferedEntries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	out := make([]Entry, 0, len(l.bufOrder))
 	for _, k := range l.bufOrder {
 		if e, ok := l.buf[k]; ok {
@@ -272,7 +288,11 @@ func (l *Log) BufferedEntries() []Entry {
 }
 
 // Stats returns a snapshot of metadata traffic counters.
-func (l *Log) Stats() Stats { return l.stats }
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
 
 // LivePages returns the number of committed pages currently in the log.
 func (l *Log) LivePages() int64 { return int64(l.ctr.Live()) }
@@ -285,6 +305,8 @@ func (l *Log) LivePages() int64 { return int64(l.ctr.Live()) }
 // the same partition geometry. Traffic stats are preserved — they count
 // lifetime metadata I/O, which a re-attach does not undo.
 func (l *Log) Reinit(dev blockdev.Device) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if dev != nil {
 		l.dev = dev
 	}
@@ -301,6 +323,7 @@ func (l *Log) Reinit(dev blockdev.Device) {
 	l.bufBytes = 0
 	l.pageLists = make(map[uint64][]Entry)
 	l.latest = make(map[uint32]uint64)
+	l.shardSeqs = make(map[uint8]uint32)
 }
 
 // Put records a mapping entry. When the buffer fills a page, the page is
@@ -308,6 +331,8 @@ func (l *Log) Reinit(dev blockdev.Device) {
 // pages are reclaimed. Returns the virtual completion time of any flash
 // writes performed (t if none).
 func (l *Log) Put(t sim.Time, e Entry) (sim.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.bufInsert(e)
 	done := t
 	// Bound the flush loop: GC reinsertion can refill the buffer, and if
@@ -407,6 +432,8 @@ func (l *Log) flushPage(t sim.Time) (sim.Time, error) {
 // Flush commits all buffered entries (final partial page included); used
 // on clean shutdown and before planned failovers.
 func (l *Log) Flush(t sim.Time) (sim.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	done := t
 	for len(l.buf) > 0 {
 		c, err := l.flushPage(t)
@@ -475,18 +502,30 @@ func (l *Log) dataMode() bool {
 // the final surviving mapping entries in replay order so the cache can
 // rebuild its primary map (§III-E1).
 //
+// Replay order is NOT blindly the physical head→tail order: pages
+// committed through the shard-tagged batch path carry a per-shard
+// sequence number, and pages of the same shard replay in that order even
+// when they interleave out of order on flash. Untagged pages — the
+// single-writer Put/Flush stream — keep physical order, as does the
+// relative order across writers. A log written by one writer is replayed
+// exactly as before; an adversarially interleaved multi-writer log
+// still rebuilds each writer's last-writer-wins map correctly.
+//
 // The receiver must have been constructed with Restore (same device,
 // partition, counters and buffered entries as before the crash).
 func (l *Log) Recover(t sim.Time) ([]Entry, sim.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if !l.dataMode() && l.ctr.Live() > 0 {
 		return nil, t, ErrVolatileDevice
 	}
 	l.stats.Recoveries++
 	l.pageLists = make(map[uint64][]Entry)
 	l.latest = make(map[uint32]uint64)
+	l.shardSeqs = make(map[uint8]uint32)
 	var page [blockdev.PageSize]byte
 	done := t
-	var replay []Entry
+	var pages []recoveredPage
 	for seq := l.ctr.Head; seq != l.ctr.Tail; seq++ {
 		phys := l.start + int64(seq%uint64(l.npages))
 		var buf []byte
@@ -500,16 +539,30 @@ func (l *Log) Recover(t sim.Time) ([]Entry, sim.Time, error) {
 			return nil, t, fmt.Errorf("metalog: recovery read of log seq %d (ssd page %d): %w", seq, phys, err)
 		}
 		done = sim.MaxTime(done, c)
-		var entries []Entry
+		rp := recoveredPage{seq: seq}
 		if l.dataMode() {
-			entries, err = decodePage(page[:], seq, phys)
+			if binary.LittleEndian.Uint16(page[0:]) == batchPageMagic {
+				rp.entries, rp.tag, err = decodeTaggedPage(page[:], seq, phys)
+			} else {
+				rp.entries, err = decodePage(page[:], seq, phys)
+			}
 			if err != nil {
 				return nil, t, err
 			}
 		}
-		l.pageLists[seq] = entries
-		for _, e := range entries {
-			l.latest[e.DazPage] = seq
+		if rp.tag.tagged && rp.tag.shardSeq >= l.shardSeqs[rp.tag.shard] {
+			l.shardSeqs[rp.tag.shard] = rp.tag.shardSeq + 1
+		}
+		pages = append(pages, rp)
+	}
+	var replay []Entry
+	for _, rp := range arrangeReplay(pages) {
+		// pageLists and latest are keyed by the PHYSICAL page holding the
+		// entries — GC reclaims physical head pages — while replay (and the
+		// latest-wins resolution) follows the arranged order.
+		l.pageLists[rp.seq] = rp.entries
+		for _, e := range rp.entries {
+			l.latest[e.DazPage] = rp.seq
 			replay = append(replay, e)
 		}
 	}

@@ -1,0 +1,140 @@
+// Package sched is the execution seam of the sharded data plane: it
+// decides WHERE shard-affine work runs without changing WHAT runs.
+//
+// The shard plane (internal/shard) partitions cache state into lanes and
+// groups lanes into shards; every piece of work it submits is pinned to
+// one shard. A Scheduler guarantees exactly one ordering property —
+// items submitted to the same shard run serially, in submission order —
+// and leaves everything else to the implementation:
+//
+//   - Deterministic runs every item inline on the submitting goroutine,
+//     single-stepped in global submission order. Output is a pure
+//     function of the submission sequence, which is what the model
+//     checker, the chaos harness, and the figure drivers need: the same
+//     seed produces byte-identical results at any shard count.
+//   - Pool runs one worker goroutine per shard with a FIFO queue, for
+//     real concurrency in throughput mode. Cross-shard completion order
+//     is whatever the Go scheduler makes it; per-shard order still holds.
+//
+// Both implementations satisfy the same interface, so core.Restore,
+// failover, and rebuild pacing run identically under either — the plane
+// never branches on which scheduler it was given beyond batching policy.
+package sched
+
+import "sync"
+
+// Scheduler executes shard-affine work items. Items submitted to the
+// same shard run serially in submission order; items on different shards
+// may run concurrently. Submit may block when a shard's queue is full.
+type Scheduler interface {
+	// Shards returns the execution width the scheduler was built for.
+	Shards() int
+	// Submit enqueues fn on the given shard (0 <= shard < Shards()).
+	Submit(shard int, fn func())
+	// Wait blocks until every submitted item has finished.
+	Wait()
+	// Deterministic reports whether execution order is a pure function
+	// of submission order (the virtual-time single-stepped mode).
+	Deterministic() bool
+	// Close releases worker resources. The scheduler must not be used
+	// after Close; Close implies Wait.
+	Close()
+}
+
+// deterministic is the virtual-time scheduler: Submit runs fn inline, so
+// global execution order IS submission order and a run is reproducible
+// from its seed alone.
+type deterministic struct {
+	shards int
+}
+
+// NewDeterministic returns the single-stepped scheduler.
+func NewDeterministic(shards int) Scheduler {
+	if shards < 1 {
+		panic("sched: need at least one shard")
+	}
+	return &deterministic{shards: shards}
+}
+
+func (d *deterministic) Shards() int { return d.shards }
+
+func (d *deterministic) Submit(shard int, fn func()) {
+	if shard < 0 || shard >= d.shards {
+		panic("sched: shard out of range")
+	}
+	fn()
+}
+
+func (d *deterministic) Wait()               {}
+func (d *deterministic) Deterministic() bool { return true }
+func (d *deterministic) Close()              {}
+
+// queueDepth bounds each shard worker's pending queue; Submit blocks when
+// the queue is full, which back-pressures the producer instead of growing
+// memory without bound.
+const queueDepth = 256
+
+// pool runs one goroutine per shard. The per-shard channel provides the
+// serial-per-shard ordering guarantee; the WaitGroup provides Wait.
+type pool struct {
+	queues []chan func()
+	wg     sync.WaitGroup // in-flight items
+	done   sync.WaitGroup // worker goroutines
+	closed bool
+	mu     sync.Mutex
+}
+
+// NewPool returns the real-goroutine scheduler with one worker per shard.
+func NewPool(shards int) Scheduler {
+	if shards < 1 {
+		panic("sched: need at least one shard")
+	}
+	p := &pool{queues: make([]chan func(), shards)}
+	for i := range p.queues {
+		q := make(chan func(), queueDepth)
+		p.queues[i] = q
+		p.done.Add(1)
+		go func() {
+			defer p.done.Done()
+			for fn := range q {
+				fn()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *pool) Shards() int { return len(p.queues) }
+
+func (p *pool) Submit(shard int, fn func()) {
+	if shard < 0 || shard >= len(p.queues) {
+		panic("sched: shard out of range")
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("sched: submit after Close")
+	}
+	p.wg.Add(1)
+	p.mu.Unlock()
+	p.queues[shard] <- fn
+}
+
+func (p *pool) Wait()               { p.wg.Wait() }
+func (p *pool) Deterministic() bool { return false }
+
+func (p *pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.wg.Wait()
+	for _, q := range p.queues {
+		close(q)
+	}
+	p.done.Wait()
+}

@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDeterministicInline proves Submit runs work inline in submission
+// order: the observed sequence is exactly the submission sequence.
+func TestDeterministicInline(t *testing.T) {
+	s := NewDeterministic(4)
+	defer s.Close()
+	if !s.Deterministic() {
+		t.Fatal("deterministic scheduler reports Deterministic()=false")
+	}
+	if s.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", s.Shards())
+	}
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.Submit(i%4, func() { got = append(got, i) })
+	}
+	s.Wait()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("execution order diverged from submission order at %d: got %d", i, v)
+		}
+	}
+}
+
+// TestPoolPerShardOrder proves the goroutine pool preserves per-shard FIFO
+// order even under concurrent cross-shard execution.
+func TestPoolPerShardOrder(t *testing.T) {
+	const shards, perShard = 8, 500
+	s := NewPool(shards)
+	defer s.Close()
+	if s.Deterministic() {
+		t.Fatal("pool scheduler reports Deterministic()=true")
+	}
+	seqs := make([][]int, shards)
+	var mu sync.Mutex
+	for i := 0; i < shards*perShard; i++ {
+		shard, n := i%shards, i/shards
+		s.Submit(shard, func() {
+			mu.Lock()
+			seqs[shard] = append(seqs[shard], n)
+			mu.Unlock()
+		})
+	}
+	s.Wait()
+	for shard, seq := range seqs {
+		if len(seq) != perShard {
+			t.Fatalf("shard %d ran %d items, want %d", shard, len(seq), perShard)
+		}
+		for i, v := range seq {
+			if v != i {
+				t.Fatalf("shard %d execution order broken at %d: got %d", shard, i, v)
+			}
+		}
+	}
+}
+
+// TestPoolWaitBarrier proves Wait observes every side effect of submitted
+// work (it is the plane's quiesce barrier).
+func TestPoolWaitBarrier(t *testing.T) {
+	s := NewPool(3)
+	defer s.Close()
+	var n atomic.Int64
+	const items = 3000
+	for i := 0; i < items; i++ {
+		s.Submit(i%3, func() { n.Add(1) })
+	}
+	s.Wait()
+	if got := n.Load(); got != items {
+		t.Fatalf("after Wait: %d items ran, want %d", got, items)
+	}
+	// The scheduler must be reusable after a Wait.
+	s.Submit(0, func() { n.Add(1) })
+	s.Wait()
+	if got := n.Load(); got != items+1 {
+		t.Fatalf("after second Wait: %d, want %d", got, items+1)
+	}
+}
+
+// TestPoolCloseIdempotent proves Close drains in-flight work and may be
+// called twice.
+func TestPoolCloseIdempotent(t *testing.T) {
+	s := NewPool(2)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		s.Submit(i%2, func() { n.Add(1) })
+	}
+	s.Close()
+	s.Close()
+	if got := n.Load(); got != 100 {
+		t.Fatalf("Close lost work: %d of 100 ran", got)
+	}
+}
+
+// TestSubmitRangePanics pins the contract that out-of-range shards are
+// caller bugs, not silent misroutes.
+func TestSubmitRangePanics(t *testing.T) {
+	for _, s := range []Scheduler{NewDeterministic(2), NewPool(2)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%T: out-of-range Submit did not panic", s)
+				}
+			}()
+			s.Submit(2, func() {})
+		}()
+		s.Close()
+	}
+}

@@ -1,0 +1,199 @@
+package shard
+
+import (
+	"sync"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/cache"
+	"kddcache/internal/raid"
+	"kddcache/internal/sim"
+)
+
+// The plane's lanes share one SSD (disjoint page regions plus the common
+// metadata partition) and one RAID array. Neither surface is safe for
+// concurrent use on its own, so the plane interposes coarse mutex
+// wrappers: every device or array CALL is atomic. Compound sequences
+// (a cleaner's read-reconstruct-write, a rebuild step) are kept
+// conflict-free by the plane's structure instead — a stripe is owned by
+// exactly one lane, a lane by exactly one shard worker, and the member
+// rebuild is pumped only at batch barriers when no worker is running.
+// In deterministic mode the locks are always uncontended; keeping them
+// in both modes means one code path.
+
+// lockedDevice serializes a blockdev.Device shared by the lanes. Trim
+// support is forwarded when the wrapped device has it.
+type lockedDevice struct {
+	mu  sync.Mutex
+	dev blockdev.Device
+}
+
+func newLockedDevice(dev blockdev.Device) *lockedDevice {
+	return &lockedDevice{dev: dev}
+}
+
+func (d *lockedDevice) Name() string { return d.dev.Name() }
+
+func (d *lockedDevice) Pages() int64 { return d.dev.Pages() }
+
+func (d *lockedDevice) ReadPages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dev.ReadPages(t, lba, count, buf)
+}
+
+func (d *lockedDevice) WritePages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dev.WritePages(t, lba, count, buf)
+}
+
+// Store forwards the data-mode probe: core and metalog sniff for a
+// MemStore-backed device to decide whether real bytes flow end to end,
+// and the wrapper must not mask that.
+func (d *lockedDevice) Store() *blockdev.MemStore {
+	type storer interface{ Store() *blockdev.MemStore }
+	if s, ok := d.dev.(storer); ok {
+		return s.Store()
+	}
+	return nil
+}
+
+func (d *lockedDevice) TrimPages(t sim.Time, lba int64, count int) (sim.Time, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if tr, ok := d.dev.(blockdev.Trimmer); ok {
+		return tr.TrimPages(t, lba, count)
+	}
+	return t, nil
+}
+
+var (
+	_ blockdev.Device  = (*lockedDevice)(nil)
+	_ blockdev.Trimmer = (*lockedDevice)(nil)
+)
+
+// lockedBackend serializes a cache.Backend shared by the lanes.
+type lockedBackend struct {
+	mu sync.Mutex
+	b  cache.Backend
+}
+
+func newLockedBackend(b cache.Backend) *lockedBackend {
+	return &lockedBackend{b: b}
+}
+
+func (l *lockedBackend) Pages() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Pages()
+}
+
+func (l *lockedBackend) ReadPages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.ReadPages(t, lba, count, buf)
+}
+
+func (l *lockedBackend) WritePages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.WritePages(t, lba, count, buf)
+}
+
+func (l *lockedBackend) WriteNoParity(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.WriteNoParity(t, lba, count, buf)
+}
+
+func (l *lockedBackend) WriteRow(t sim.Time, firstLBA int64, buf []byte) (sim.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.WriteRow(t, firstLBA, buf)
+}
+
+func (l *lockedBackend) ParityUpdateDelta(t sim.Time, lbas []int64, deltas [][]byte) (sim.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.ParityUpdateDelta(t, lbas, deltas)
+}
+
+func (l *lockedBackend) ParityUpdateDeltaBatch(t sim.Time, fixes []raid.RowFix) (sim.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.ParityUpdateDeltaBatch(t, fixes)
+}
+
+func (l *lockedBackend) ParityUpdateReconstruct(t sim.Time, lba int64, rowData [][]byte) (sim.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.ParityUpdateReconstruct(t, lba, rowData)
+}
+
+func (l *lockedBackend) ResyncRow(t sim.Time, lba int64) (sim.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.ResyncRow(t, lba)
+}
+
+func (l *lockedBackend) RowPeers(lba int64) []int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.RowPeers(lba)
+}
+
+func (l *lockedBackend) StripePages() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.StripePages()
+}
+
+func (l *lockedBackend) StaleRows() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.StaleRows()
+}
+
+func (l *lockedBackend) Healthy() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Healthy()
+}
+
+func (l *lockedBackend) RebuildActive() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.RebuildActive()
+}
+
+func (l *lockedBackend) RebuildTarget() (int, int64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.RebuildTarget()
+}
+
+func (l *lockedBackend) RebuildStep(t sim.Time, maxRows int) (sim.Time, int, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.RebuildStep(t, maxRows)
+}
+
+func (l *lockedBackend) ResumeRebuild(disk int, watermark int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.ResumeRebuild(disk, watermark)
+}
+
+func (l *lockedBackend) SpareCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.SpareCount()
+}
+
+func (l *lockedBackend) StartSpareRebuild(t sim.Time) (sim.Time, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.StartSpareRebuild(t)
+}
+
+var _ cache.Backend = (*lockedBackend)(nil)

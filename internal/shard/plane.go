@@ -1,0 +1,513 @@
+// Package shard implements the concurrent sharded data plane: a fixed
+// set of lanes — each a complete core.KDD over its own slice of the SSD
+// cache — dispatched by backing-LBA stripe hash and executed by a
+// configurable number of shard workers behind the sched.Scheduler seam.
+//
+// The state partition count (Lanes) is FIXED; the shard count only
+// groups lanes onto execution units. That split is what makes the
+// determinism contract possible: under the deterministic scheduler the
+// plane produces byte-identical traces, figures, and state fingerprints
+// at any shard count, because per-lane state and per-lane operation
+// order are functions of the request stream alone. Shards are pure
+// throughput: under the goroutine scheduler each worker owns Lanes/N
+// lanes and runs them concurrently.
+//
+// Per batch the plane coalesces superseded writes (a write to an LBA
+// overwritten later in the same batch with no intervening read of it is
+// dropped), executes each operation under that stripe's lock, and ends
+// with one metadata barrier per lane — metalog entries reach NVRAM at
+// the operation (the durability point), while their page flushes batch
+// into the barrier.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/cache"
+	"kddcache/internal/core"
+	"kddcache/internal/delta"
+	"kddcache/internal/metalog"
+	"kddcache/internal/obs"
+	"kddcache/internal/sched"
+	"kddcache/internal/sim"
+	"kddcache/internal/stats"
+)
+
+// Lanes is the fixed number of state partitions. Shard counts must
+// divide it. Eight matches the paper-scale geometries the experiments
+// use (and the largest shard count the saturation sweep drives).
+const Lanes = 8
+
+// stripeLockSlots sizes the plane's striped lock table. Collisions are
+// benign (two stripes sharing a mutex serialize, nothing more).
+const stripeLockSlots = 64
+
+// ErrStopped is returned for every operation after the plane fail-stops:
+// a lane reported a fatal device error (power loss mid-write, whole-SSD
+// death), so the remaining queued work is refused untouched — those ops
+// never started, never reached NVRAM, and recovery sees exactly the
+// state at the instant of the failure. Restore a new plane to continue.
+var ErrStopped = errors.New("shard: plane stopped on a fatal device error; restore required")
+
+// fatalErr reports whether a lane error means the shared device is gone
+// (as opposed to a semantic, retryable refusal like a stale-parity
+// fold-first error).
+func fatalErr(err error) bool {
+	return errors.Is(err, blockdev.ErrCrashed) || errors.Is(err, blockdev.ErrFailed)
+}
+
+// Config assembles a plane.
+type Config struct {
+	SSD     blockdev.Device
+	Backend cache.Backend
+
+	CachePages int64 // total cache capacity, split evenly across lanes
+	Ways       int   // set associativity per lane (default 256)
+
+	MetaStart int64 // shared metadata partition start
+	MetaPages int64 // shared metadata partition size (>= 2)
+
+	// Codec builds each lane's delta codec. Stateful codecs (the
+	// modelled one carries an RNG) must not be shared between lanes, or
+	// goroutine-mode runs race and deterministic runs couple lane state.
+	Codec func(lane int) delta.Codec
+
+	StagingBytes        int     // per-lane NVRAM staging capacity
+	HighWater, LowWater float64 // per-lane cleaner watermarks
+	MetaGCThreshold     float64
+
+	// Shards is the execution width: how many workers the lanes are
+	// grouped onto. Must divide Lanes; default 1.
+	Shards int
+
+	// Goroutines selects the real per-shard worker scheduler. Off, the
+	// plane single-steps every operation in submission order — the
+	// deterministic mode whose output is byte-identical at any Shards.
+	Goroutines bool
+
+	// Coalesce drops writes superseded within a batch. Lane-consistent
+	// by construction (only same-LBA operations interact, and an LBA
+	// always routes to the same lane), so it preserves the determinism
+	// contract across shard counts in both modes.
+	Coalesce bool
+
+	// RebuildRowsPerBatch paces the member rebuild: rows reconstructed
+	// at each batch barrier while a rebuild window is open. 0 selects
+	// the default (8); < 0 disables the pump.
+	RebuildRowsPerBatch int
+
+	// Tracer is attached in deterministic mode only (the tracer is not
+	// synchronized; goroutine mode would race on it).
+	Tracer *obs.Tracer
+}
+
+// OpKind selects a plane operation.
+type OpKind uint8
+
+// Plane operations: page-granular reads and writes, as cache.Policy.
+const (
+	OpRead OpKind = iota
+	OpWrite
+)
+
+// Op is one request submitted to the plane.
+type Op struct {
+	Kind OpKind
+	LBA  int64
+	Buf  []byte
+}
+
+// Result reports one Op's completion.
+type Result struct {
+	Done      sim.Time
+	Err       error
+	Coalesced bool // write superseded within its batch; never executed
+}
+
+// Plane is the sharded data plane.
+type Plane struct {
+	cfg         Config
+	lanes       [Lanes]*core.KDD
+	log         *metalog.Log
+	sched       sched.Scheduler
+	ssd         *lockedDevice
+	backend     *lockedBackend
+	stripePages int64
+	lanePages   int64
+	dataStart   int64
+
+	stripeMu [stripeLockSlots]sync.Mutex
+
+	// dead latches after a lane reports a fatal device error (crash or
+	// fail-stop): the rest of the batch — and everything after it — is
+	// refused with ErrStopped instead of executing against a dead device
+	// and smearing half-ordered state across NVRAM. In deterministic mode
+	// the latch flips at the same op ordinal regardless of shard count.
+	dead atomic.Bool
+
+	// Batch-scope bookkeeping, touched only between Wait barriers or
+	// under stickyMu.
+	coalesced    int64
+	rebuildSteps int64
+	rebuildRows  int64
+	rebuildsDone int64
+	stickyMu     sync.Mutex
+	sticky       error // first barrier-flush failure, surfaced at Quiesce
+}
+
+// withDefaults fills zero fields and validates the geometry.
+func (c Config) withDefaults() (Config, error) {
+	if c.SSD == nil || c.Backend == nil || c.Codec == nil {
+		return c, fmt.Errorf("shard: SSD, Backend and Codec are required")
+	}
+	if c.Ways == 0 {
+		c.Ways = 256
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 1 || c.Shards > Lanes || Lanes%c.Shards != 0 {
+		return c, fmt.Errorf("shard: shard count %d must divide the %d lanes", c.Shards, Lanes)
+	}
+	if c.CachePages%Lanes != 0 {
+		return c, fmt.Errorf("shard: cache of %d pages not divisible into %d lanes", c.CachePages, Lanes)
+	}
+	if c.CachePages/Lanes < int64(c.Ways) {
+		return c, fmt.Errorf("shard: lane cache of %d pages below one %d-way set", c.CachePages/Lanes, c.Ways)
+	}
+	if c.MetaPages < 2 {
+		return c, fmt.Errorf("shard: metadata partition needs >=2 pages")
+	}
+	if c.RebuildRowsPerBatch == 0 {
+		c.RebuildRowsPerBatch = 8
+	}
+	return c, nil
+}
+
+// laneConfig assembles lane i's core configuration around the shared
+// devices and log.
+func (c Config) laneConfig(i int, ssd blockdev.Device, backend cache.Backend,
+	log *metalog.Log) core.Config {
+	lanePages := c.CachePages / Lanes
+	cc := core.Config{
+		SSD:             ssd,
+		Backend:         backend,
+		CachePages:      lanePages,
+		Ways:            c.Ways,
+		MetaStart:       c.MetaStart,
+		MetaPages:       c.MetaPages,
+		Codec:           c.Codec(i),
+		StagingBytes:    c.StagingBytes,
+		HighWater:       c.HighWater,
+		LowWater:        c.LowWater,
+		MetaGCThreshold: c.MetaGCThreshold,
+		SharedLog:       log,
+		DataStart:       c.MetaStart + c.MetaPages + int64(i)*lanePages,
+		Lane:            uint8(i),
+		BatchMeta:       true,
+		// The breaker votes per lane but the SSD fails as a whole; only
+		// fail-stop failover (which every lane observes identically) is
+		// meaningful here, so the per-lane breakers are disabled.
+		BreakerWindow: -1,
+		// The plane paces the member rebuild at its batch barriers; the
+		// per-lane pumps would race each other on the shared array.
+		RebuildRateMax: -1,
+	}
+	if !c.Goroutines {
+		cc.Tracer = c.Tracer
+	}
+	return cc
+}
+
+// New builds a plane with fresh lanes.
+func New(cfg Config) (*Plane, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	p := newShell(cfg)
+	p.log = metalog.New(p.ssd, cfg.MetaStart, cfg.MetaPages, cfg.MetaGCThreshold)
+	if !cfg.Goroutines {
+		p.log.SetTracer(cfg.Tracer)
+	}
+	for i := 0; i < Lanes; i++ {
+		k, err := core.New(cfg.laneConfig(i, p.ssd, p.backend, p.log))
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("shard: lane %d: %w", i, err)
+		}
+		p.lanes[i] = k
+	}
+	return p, nil
+}
+
+// newShell builds everything but the log and lanes (shared with
+// Restore). cfg has been validated.
+func newShell(cfg Config) *Plane {
+	p := &Plane{
+		cfg:         cfg,
+		ssd:         newLockedDevice(cfg.SSD),
+		backend:     newLockedBackend(cfg.Backend),
+		stripePages: cfg.Backend.StripePages(),
+		lanePages:   cfg.CachePages / Lanes,
+		dataStart:   cfg.MetaStart + cfg.MetaPages,
+	}
+	if cfg.Goroutines {
+		p.sched = sched.NewPool(cfg.Shards)
+	} else {
+		p.sched = sched.NewDeterministic(cfg.Shards)
+	}
+	return p
+}
+
+// Close releases the scheduler's workers. The plane is unusable after.
+func (p *Plane) Close() { p.sched.Close() }
+
+// LaneOf routes a backing LBA to its lane: hash of the stripe index, so
+// a stripe's pages — and everything the engine does for them — belong to
+// exactly one lane. The mix constant differs from the frame's set hash
+// on purpose: reusing it would correlate lane and set residues and leave
+// most of each lane's sets unreachable.
+func (p *Plane) LaneOf(lba int64) int {
+	h := uint64(lba/p.stripePages) * 0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return int(h % Lanes)
+}
+
+// ShardOf maps a lane to the worker that owns it.
+func (p *Plane) ShardOf(lane int) int { return lane % p.sched.Shards() }
+
+// Lane exposes lane i's engine (tests, the checker).
+func (p *Plane) Lane(i int) *core.KDD { return p.lanes[i] }
+
+// Log exposes the shared metadata log.
+func (p *Plane) Log() *metalog.Log { return p.log }
+
+// Deterministic reports whether the plane single-steps.
+func (p *Plane) Deterministic() bool { return p.sched.Deterministic() }
+
+// CoalescedWrites returns the number of writes dropped as superseded.
+func (p *Plane) CoalescedWrites() int64 { return p.coalesced }
+
+// note records the first asynchronous failure for surfacing at Quiesce.
+func (p *Plane) note(err error) {
+	if err == nil {
+		return
+	}
+	p.stickyMu.Lock()
+	if p.sticky == nil {
+		p.sticky = err
+	}
+	p.stickyMu.Unlock()
+}
+
+// coalesceSkips marks writes superseded later in ops: same LBA written
+// again with no read of it in between. One backward scan suffices — only
+// same-LBA operations interact, and an LBA always lands on one lane, so
+// the result is identical whether computed globally or per shard queue.
+func (p *Plane) coalesceSkips(ops []Op) []bool {
+	if !p.cfg.Coalesce {
+		return nil
+	}
+	skip := make([]bool, len(ops))
+	willWrite := make(map[int64]bool)
+	for i := len(ops) - 1; i >= 0; i-- {
+		switch ops[i].Kind {
+		case OpWrite:
+			if willWrite[ops[i].LBA] {
+				skip[i] = true
+			} else {
+				willWrite[ops[i].LBA] = true
+			}
+		case OpRead:
+			delete(willWrite, ops[i].LBA)
+		}
+	}
+	return skip
+}
+
+// exec runs one operation on its lane under the stripe lock. A plane
+// that has fail-stopped refuses the op untouched.
+func (p *Plane) exec(t sim.Time, op Op) Result {
+	if p.dead.Load() {
+		return Result{Done: t, Err: ErrStopped}
+	}
+	lane := p.LaneOf(op.LBA)
+	mu := &p.stripeMu[uint64(op.LBA/p.stripePages)%stripeLockSlots]
+	mu.Lock()
+	defer mu.Unlock()
+	var r Result
+	if op.Kind == OpRead {
+		r.Done, r.Err = p.lanes[lane].Read(t, op.LBA, op.Buf)
+	} else {
+		r.Done, r.Err = p.lanes[lane].Write(t, op.LBA, op.Buf)
+	}
+	if fatalErr(r.Err) {
+		p.dead.Store(true)
+	}
+	return r
+}
+
+// RunBatch dispatches a batch of operations across the shards and waits
+// for the barrier: every op executed (or coalesced away), one metadata
+// page-flush barrier per lane, one rebuild pacing step. Results are in
+// input order. In deterministic mode ops run inline in input order
+// regardless of shard count; in goroutine mode each shard executes its
+// lanes' subsequence in order, concurrently with the other shards.
+func (p *Plane) RunBatch(t sim.Time, ops []Op) []Result {
+	res := make([]Result, len(ops))
+	skip := p.coalesceSkips(ops)
+	for i := range ops {
+		if skip != nil && skip[i] {
+			res[i] = Result{Done: t, Coalesced: true}
+			p.coalesced++
+			continue
+		}
+		i := i
+		p.sched.Submit(p.ShardOf(p.LaneOf(ops[i].LBA)), func() {
+			res[i] = p.exec(t, ops[i])
+		})
+	}
+	// One tagged page-flush barrier per lane, in lane order (inline in
+	// deterministic mode, per-worker FIFO in goroutine mode). A stopped
+	// plane skips the barriers: the buffered entries are already at their
+	// durability point in NVRAM, and the device is gone.
+	for lane := 0; lane < Lanes; lane++ {
+		lane := lane
+		p.sched.Submit(p.ShardOf(lane), func() {
+			if p.dead.Load() {
+				return
+			}
+			if _, err := p.lanes[lane].FlushMetaBatch(t); err != nil {
+				if fatalErr(err) {
+					p.dead.Store(true)
+				}
+				p.note(fmt.Errorf("shard: lane %d meta barrier: %w", lane, err))
+			}
+		})
+	}
+	p.sched.Wait()
+	p.pumpRebuild(t)
+	return res
+}
+
+// Read serves one read through the batch machinery.
+func (p *Plane) Read(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
+	r := p.RunBatch(t, []Op{{Kind: OpRead, LBA: lba, Buf: buf}})[0]
+	return r.Done, r.Err
+}
+
+// Write serves one write through the batch machinery.
+func (p *Plane) Write(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
+	r := p.RunBatch(t, []Op{{Kind: OpWrite, LBA: lba, Buf: buf}})[0]
+	return r.Done, r.Err
+}
+
+// pumpRebuild reconstructs the next member-rebuild rows at the batch
+// barrier. Runs with no workers in flight, so the array and the NVRAM
+// checkpoint are touched single-threaded.
+func (p *Plane) pumpRebuild(t sim.Time) {
+	rows := p.cfg.RebuildRowsPerBatch
+	if rows <= 0 || p.dead.Load() || !p.backend.RebuildActive() {
+		return
+	}
+	_, n, complete, err := p.backend.RebuildStep(t, rows)
+	if err != nil {
+		p.note(fmt.Errorf("shard: rebuild step: %w", err))
+		return
+	}
+	p.rebuildSteps++
+	p.rebuildRows += int64(n)
+	if complete {
+		p.rebuildsDone++
+	}
+	p.checkpointRebuild()
+}
+
+// checkpointRebuild mirrors the rebuild watermark into the shared log's
+// NVRAM counters (the plane-level twin of the lane pump's checkpoint).
+func (p *Plane) checkpointRebuild() {
+	ctr := p.log.Counters()
+	disk, row, active := p.backend.RebuildTarget()
+	ctr.RebuildActive = active
+	ctr.RebuildDisk = int32(disk)
+	ctr.RebuildRow = row
+}
+
+// Quiesce drains the plane: worker barrier, every lane's stale parities
+// flushed, the metadata buffer fully committed (final partial page
+// included). Returns the latest completion time and the first error —
+// including any failure noted asynchronously at a batch barrier.
+func (p *Plane) Quiesce(t sim.Time) (sim.Time, error) {
+	p.sched.Wait()
+	if p.dead.Load() {
+		return t, ErrStopped
+	}
+	done := t
+	for lane := 0; lane < Lanes; lane++ {
+		d, err := p.lanes[lane].Flush(t)
+		if err != nil {
+			return done, fmt.Errorf("shard: lane %d flush: %w", lane, err)
+		}
+		done = sim.MaxTime(done, d)
+	}
+	d, err := p.log.FlushBatchAll(t, 0)
+	if err != nil {
+		return done, fmt.Errorf("shard: final meta barrier: %w", err)
+	}
+	done = sim.MaxTime(done, d)
+	p.stickyMu.Lock()
+	err = p.sticky
+	p.sticky = nil
+	p.stickyMu.Unlock()
+	return done, err
+}
+
+// StateDigest folds the lanes' digests in lane order: an I/O-free
+// fingerprint of the whole plane, independent of shard count. Call at a
+// barrier (e.g. after Quiesce) — lane digests read live engine state.
+func (p *Plane) StateDigest() uint64 {
+	h := fnv.New64a()
+	var w [8]byte
+	for _, k := range p.lanes {
+		d := k.StateDigest()
+		for b := 0; b < 8; b++ {
+			w[b] = byte(d >> (8 * b))
+		}
+		h.Write(w[:])
+	}
+	return h.Sum64()
+}
+
+// CheckInvariants validates every lane. Call at a barrier.
+func (p *Plane) CheckInvariants() error {
+	for i, k := range p.lanes {
+		if err := k.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard: lane %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stats sums the lanes' counters, the shared log's traffic (counted
+// once — lanes skip it), and the plane-level rebuild pump. Call at a
+// barrier.
+func (p *Plane) Stats() *stats.CacheStats {
+	var agg stats.CacheStats
+	for _, k := range p.lanes {
+		agg.Add(k.Stats())
+	}
+	ls := p.log.Stats()
+	gc := ls.GCPageEquivalent()
+	agg.MetaWrites = ls.PagesWritten - gc
+	agg.MetaGCWrites = gc
+	agg.RebuildSteps += p.rebuildSteps
+	agg.RebuildRows += p.rebuildRows
+	agg.RebuildsDone += p.rebuildsDone
+	return &agg
+}

@@ -1,0 +1,364 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/delta"
+	"kddcache/internal/nvram"
+	"kddcache/internal/raid"
+	"kddcache/internal/shard"
+	"kddcache/internal/sim"
+)
+
+const (
+	prigMetaPages  = 64
+	prigCachePages = 1024 // 128 pages per lane
+	prigWays       = 16
+	prigDiskPages  = 4096
+	prigChunk      = 8
+	prigFootprint  = 2048 // backing LBAs the workload touches
+)
+
+// prig is a plane test rig: 5-disk RAID-5, data-mode devices, ZRLE
+// codec, and a sequential oracle of backing-store contents.
+type prig struct {
+	p      *shard.Plane
+	arr    *raid.Array
+	ssd    *blockdev.NullDevice
+	cfg    shard.Config
+	oracle map[int64][]byte
+	mut    *delta.Mutator
+	rng    *sim.RNG
+}
+
+func newPRig(t *testing.T, shards int, opts ...func(*shard.Config)) *prig {
+	t.Helper()
+	var members []blockdev.Device
+	for i := 0; i < 5; i++ {
+		members = append(members, blockdev.NewNullDataDevice(fmt.Sprintf("d%d", i), prigDiskPages))
+	}
+	arr, err := raid.New(raid.Config{Level: raid.Level5, ChunkPages: prigChunk}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssd := blockdev.NewNullDataDevice("ssd", prigMetaPages+prigCachePages+64)
+	cfg := shard.Config{
+		SSD:        ssd,
+		Backend:    arr,
+		CachePages: prigCachePages,
+		Ways:       prigWays,
+		MetaStart:  0,
+		MetaPages:  prigMetaPages,
+		Codec:      func(int) delta.Codec { return delta.ZRLE{} },
+		Shards:     shards,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p, err := shard.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return &prig{
+		p: p, arr: arr, ssd: ssd, cfg: cfg,
+		oracle: make(map[int64][]byte),
+		mut:    delta.NewMutator(7, 0.25),
+		rng:    sim.NewRNG(0xBEEF),
+	}
+}
+
+// batch generates n mixed ops (60% writes) over the hot footprint,
+// advancing the oracle sequentially — valid for the plane too, because
+// per-LBA order is preserved by lane routing.
+func (r *prig) batch(n int) ([]shard.Op, [][]byte) {
+	ops := make([]shard.Op, 0, n)
+	expect := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		lba := int64(r.rng.Intn(prigFootprint))
+		if r.rng.Float64() < 0.6 {
+			page := make([]byte, blockdev.PageSize)
+			if prev, ok := r.oracle[lba]; ok {
+				copy(page, prev)
+				r.mut.Mutate(page)
+			} else {
+				r.mut.FillRandom(page)
+			}
+			r.oracle[lba] = page
+			ops = append(ops, shard.Op{Kind: shard.OpWrite, LBA: lba, Buf: page})
+		} else {
+			buf := make([]byte, blockdev.PageSize)
+			if prev, ok := r.oracle[lba]; ok {
+				snap := make([]byte, blockdev.PageSize)
+				copy(snap, prev)
+				expect[len(ops)] = snap
+			}
+			ops = append(ops, shard.Op{Kind: shard.OpRead, LBA: lba, Buf: buf})
+		}
+	}
+	return ops, expect
+}
+
+// run drives batches batches of size n, checking every result.
+func (r *prig) run(t *testing.T, batches, n int) {
+	t.Helper()
+	for b := 0; b < batches; b++ {
+		ops, expect := r.batch(n)
+		res := r.p.RunBatch(0, ops)
+		for i, rr := range res {
+			if rr.Err != nil {
+				t.Fatalf("batch %d op %d (%v lba %d): %v", b, i, ops[i].Kind, ops[i].LBA, rr.Err)
+			}
+			if ops[i].Kind == shard.OpRead && expect[i] != nil {
+				if string(ops[i].Buf) != string(expect[i]) {
+					t.Fatalf("batch %d: read %d returned wrong data", b, ops[i].LBA)
+				}
+			}
+		}
+	}
+}
+
+// verifyOracle reads every written LBA back and checks the contents.
+func (r *prig) verifyOracle(t *testing.T) {
+	t.Helper()
+	for lba, want := range r.oracle {
+		buf := make([]byte, blockdev.PageSize)
+		if _, err := r.p.Read(0, lba, buf); err != nil {
+			t.Fatalf("verify read %d: %v", lba, err)
+		}
+		if string(buf) != string(want) {
+			t.Fatalf("verify read %d: wrong data", lba)
+		}
+	}
+}
+
+// TestRoutingProperties pins the dispatch hash: stable, stripe-granular
+// (every page of a stripe shares a lane), independent of shard count,
+// and reasonably balanced over the lanes.
+func TestRoutingProperties(t *testing.T) {
+	t.Parallel()
+	r := newPRig(t, 4)
+	r2 := newPRig(t, 8, func(c *shard.Config) { c.Goroutines = true })
+	stripePages := r.arr.StripePages()
+	counts := make([]int, shard.Lanes)
+	stripes := int(r.arr.Pages() / stripePages)
+	for s := 0; s < stripes; s++ {
+		base := int64(s) * stripePages
+		lane := r.p.LaneOf(base)
+		if lane < 0 || lane >= shard.Lanes {
+			t.Fatalf("stripe %d routed to lane %d", s, lane)
+		}
+		counts[lane]++
+		for off := int64(1); off < stripePages; off += 7 {
+			if got := r.p.LaneOf(base + off); got != lane {
+				t.Fatalf("stripe %d split across lanes %d and %d", s, lane, got)
+			}
+		}
+		if r2.p.LaneOf(base) != lane {
+			t.Fatalf("stripe %d routed differently at another shard count", s)
+		}
+	}
+	// 512 stripes over 8 lanes: every lane must carry a fair share. A
+	// bound of a quarter of the mean catches residue-correlation bugs
+	// (the failure mode of reusing the frame's set hash) without being
+	// flaky about ordinary imbalance.
+	for lane, c := range counts {
+		if c < stripes/shard.Lanes/4 {
+			t.Fatalf("lane %d owns only %d of %d stripes", lane, c, stripes)
+		}
+	}
+	// Lanes map onto shards statically and onto valid worker indices.
+	for lane := 0; lane < shard.Lanes; lane++ {
+		if s := r.p.ShardOf(lane); s < 0 || s >= 4 {
+			t.Fatalf("lane %d on shard %d of 4", lane, s)
+		}
+	}
+}
+
+// TestDigestEqualityAcrossShards is the satellite-2 property: the same
+// workload quiesced at shard counts 1 and N produces identical plane
+// state fingerprints, in deterministic mode and in goroutine mode.
+func TestDigestEqualityAcrossShards(t *testing.T) {
+	t.Parallel()
+	type variant struct {
+		name       string
+		shards     int
+		goroutines bool
+	}
+	base := newPRig(t, 1)
+	base.run(t, 30, 32)
+	if _, err := base.p.Quiesce(0); err != nil {
+		t.Fatal(err)
+	}
+	want := base.p.StateDigest()
+	for _, v := range []variant{
+		{"det-2", 2, false}, {"det-4", 4, false}, {"det-8", 8, false},
+		{"pool-2", 2, true}, {"pool-4", 4, true}, {"pool-8", 8, true},
+	} {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			r := newPRig(t, v.shards, func(c *shard.Config) { c.Goroutines = v.goroutines })
+			r.run(t, 30, 32)
+			if _, err := r.p.Quiesce(0); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.p.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if got := r.p.StateDigest(); got != want {
+				t.Fatalf("digest %#x != shards-1 digest %#x", got, want)
+			}
+			r.verifyOracle(t)
+		})
+	}
+}
+
+// TestCoalescing pins the supersede rule: within one batch a write is
+// dropped when a later write covers the same LBA and no read intervenes,
+// and kept when one does.
+func TestCoalescing(t *testing.T) {
+	t.Parallel()
+	r := newPRig(t, 4, func(c *shard.Config) { c.Coalesce = true; c.Goroutines = true })
+	pageA := make([]byte, blockdev.PageSize)
+	pageB := make([]byte, blockdev.PageSize)
+	r.mut.FillRandom(pageA)
+	copy(pageB, pageA)
+	r.mut.Mutate(pageB)
+	readBuf := make([]byte, blockdev.PageSize)
+	res := r.p.RunBatch(0, []shard.Op{
+		{Kind: shard.OpWrite, LBA: 5, Buf: pageA}, // superseded by the op below
+		{Kind: shard.OpWrite, LBA: 5, Buf: pageB},
+		{Kind: shard.OpWrite, LBA: 9, Buf: pageA}, // read of 9 intervenes: kept
+		{Kind: shard.OpRead, LBA: 9, Buf: readBuf},
+		{Kind: shard.OpWrite, LBA: 9, Buf: pageB},
+	})
+	for i, rr := range res {
+		if rr.Err != nil {
+			t.Fatalf("op %d: %v", i, rr.Err)
+		}
+	}
+	if !res[0].Coalesced || res[1].Coalesced || res[2].Coalesced || res[4].Coalesced {
+		t.Fatalf("coalesce verdicts wrong: %+v", res)
+	}
+	if string(readBuf) != string(pageA) {
+		t.Fatal("read between writes observed the wrong version")
+	}
+	if got := r.p.CoalescedWrites(); got != 1 {
+		t.Fatalf("CoalescedWrites = %d, want 1", got)
+	}
+	buf := make([]byte, blockdev.PageSize)
+	if _, err := r.p.Read(0, 5, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(pageB) {
+		t.Fatal("coalesced LBA does not hold the superseding write")
+	}
+}
+
+// TestPlaneRestore crashes a plane mid-workload (no quiesce) and
+// rebuilds it from the metadata log plus the NVRAM snapshots: recovered
+// reads must match the oracle, and restoring twice from one snapshot
+// must yield equal digests (replay idempotence).
+func TestPlaneRestore(t *testing.T) {
+	t.Parallel()
+	r := newPRig(t, 4)
+	r.run(t, 25, 32)
+	// Crash: capture NVRAM (log counters + buffer, per-lane staging).
+	ctr := r.p.Log().Counters()
+	buffered := r.p.Log().BufferedEntries()
+	var stagings [shard.Lanes]*nvram.Staging
+	for i := 0; i < shard.Lanes; i++ {
+		stagings[i] = r.p.Lane(i).Staging()
+	}
+	restore := func() *shard.Plane {
+		t.Helper()
+		p2, _, err := shard.Restore(r.cfg, 0, ctr, buffered, stagings)
+		if err != nil {
+			t.Fatalf("Restore: %v", err)
+		}
+		t.Cleanup(p2.Close)
+		return p2
+	}
+	p2 := restore()
+	if err := p2.CheckInvariants(); err != nil {
+		t.Fatalf("recovered plane: %v", err)
+	}
+	d1 := p2.StateDigest()
+	p3 := restore()
+	if d2 := p3.StateDigest(); d2 != d1 {
+		t.Fatalf("double restore diverged: %#x != %#x", d1, d2)
+	}
+	// Serve the oracle from the recovered plane.
+	old := r.p
+	r.p = p2
+	r.verifyOracle(t)
+	r.p = old
+}
+
+// TestRebuildPacing fails a member under a live plane and lets the
+// batch-barrier pump drive the spare rebuild to completion, in both
+// scheduler modes.
+func TestRebuildPacing(t *testing.T) {
+	t.Parallel()
+	for _, goroutines := range []bool{false, true} {
+		goroutines := goroutines
+		t.Run(fmt.Sprintf("goroutines=%v", goroutines), func(t *testing.T) {
+			t.Parallel()
+			r := newPRig(t, 4, func(c *shard.Config) {
+				c.Goroutines = goroutines
+				// 4096 page-rows per member; pace so ~120 batches finish it.
+				c.RebuildRowsPerBatch = 36
+			})
+			r.run(t, 10, 32)
+			if _, err := r.p.Quiesce(0); err != nil {
+				t.Fatal(err)
+			}
+			spare := blockdev.NewNullDataDevice("spare", prigDiskPages)
+			if err := r.arr.AddSpare(spare); err != nil {
+				t.Fatal(err)
+			}
+			r.arr.FailDisk(2)
+			if _, started, err := r.arr.StartSpareRebuild(0); err != nil || !started {
+				t.Fatalf("StartSpareRebuild: started=%v err=%v", started, err)
+			}
+			// Foreground traffic continues while the barrier pump pays the
+			// rebuild down a few rows per batch.
+			for i := 0; i < 400 && r.arr.RebuildActive(); i++ {
+				r.run(t, 1, 8)
+			}
+			if r.arr.RebuildActive() {
+				t.Fatal("rebuild never completed under the batch pump")
+			}
+			if !r.arr.Healthy() {
+				t.Fatal("array not healthy after rebuild")
+			}
+			st := r.p.Stats()
+			if st.RebuildRows == 0 || st.RebuildsDone != 1 {
+				t.Fatalf("pump stats: rows=%d done=%d", st.RebuildRows, st.RebuildsDone)
+			}
+			if _, err := r.p.Quiesce(0); err != nil {
+				t.Fatal(err)
+			}
+			r.verifyOracle(t)
+		})
+	}
+}
+
+// TestShardCountValidation pins the lane-divisibility rule.
+func TestShardCountValidation(t *testing.T) {
+	t.Parallel()
+	r := newPRig(t, 1)
+	bad := r.cfg
+	bad.Shards = 3
+	if _, err := shard.New(bad); err == nil {
+		t.Fatal("shard count 3 accepted over 8 lanes")
+	}
+	bad = r.cfg
+	bad.CachePages = prigCachePages + 4
+	if _, err := shard.New(bad); err == nil {
+		t.Fatal("non-lane-divisible cache accepted")
+	}
+}

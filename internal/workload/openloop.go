@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"kddcache/internal/sim"
+	"kddcache/internal/trace"
+)
+
+// OpenLoop describes an open-loop arrival process: a population of
+// independent Poisson clients that submit requests at their own pace
+// regardless of completions. Closed-loop generators (FIO-style, above)
+// hide saturation — a slow server simply slows its clients down; an
+// open-loop stream keeps offering load, which is what latency-vs-load
+// saturation curves require. Arrivals are time-stamped only; the driver
+// decides what "service" means.
+type OpenLoop struct {
+	Name string
+
+	// Clients is the population size. Each client is an independent
+	// Poisson source with rate OfferedIOPS/Clients; the merged stream is
+	// again Poisson at the full offered rate. Default 16.
+	Clients int
+
+	// OfferedIOPS is the aggregate arrival rate (requests per virtual
+	// second) the population offers.
+	OfferedIOPS float64
+
+	// Requests is the total request count to emit, spread evenly over
+	// the clients.
+	Requests int64
+
+	// Footprint is the distinct-page address span requests draw from.
+	Footprint int64
+
+	// ReadRatio is the read fraction in [0,1].
+	ReadRatio float64
+
+	// Theta is the Zipf exponent of the page popularity distribution
+	// shared by all clients (default 0.9, the enterprise-trace value).
+	Theta float64
+
+	// Seed makes the stream reproducible; every derived RNG (per-client
+	// clocks, directions, and popularity draws) splits from it.
+	Seed uint64
+}
+
+// Generate synthesises the merged arrival stream, sorted by arrival
+// time (ties broken by client index, so the output is deterministic).
+func (o OpenLoop) Generate() *trace.Trace {
+	if o.Clients <= 0 {
+		o.Clients = 16
+	}
+	if o.Theta == 0 {
+		o.Theta = 0.9
+	}
+	if o.OfferedIOPS <= 0 || o.Requests <= 0 || o.Footprint <= 0 {
+		panic(fmt.Sprintf("workload: open-loop %q needs positive load, requests and footprint", o.Name))
+	}
+	rng := sim.NewRNG(o.Seed)
+	perm := randomPermutation(rng.Split(), o.Footprint)
+	clientRate := o.OfferedIOPS / float64(o.Clients)
+	meanGap := float64(sim.Second) / clientRate
+
+	type stamped struct {
+		req    trace.Request
+		client int
+	}
+	all := make([]stamped, 0, o.Requests)
+	for c := 0; c < o.Clients; c++ {
+		n := o.Requests / int64(o.Clients)
+		if int64(c) < o.Requests%int64(o.Clients) {
+			n++
+		}
+		crng := rng.Split()
+		zipf := sim.NewZipf(rng.Split(), o.Theta, uint64(o.Footprint))
+		var now sim.Time
+		for i := int64(0); i < n; i++ {
+			// Exponential interarrival BEFORE the request: a Poisson
+			// process's first event is not at t=0.
+			now += sim.Time(-meanGap * ln(1-crng.Float64()))
+			op := trace.Write
+			if crng.Float64() < o.ReadRatio {
+				op = trace.Read
+			}
+			all = append(all, stamped{
+				req:    trace.Request{Time: now, Op: op, LBA: perm[zipf.Next()], Pages: 1},
+				client: c,
+			})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].req.Time != all[j].req.Time {
+			return all[i].req.Time < all[j].req.Time
+		}
+		return all[i].client < all[j].client
+	})
+	tr := &trace.Trace{Name: o.Name, Requests: make([]trace.Request, len(all))}
+	for i, s := range all {
+		tr.Requests[i] = s.req
+	}
+	return tr
+}

@@ -317,6 +317,10 @@ var Experiments = map[string]func(scale float64) (string, error){
 	"phases":              harness.PhaseBreakdown,
 	"sweep-associativity": harness.AblationAssociativity,
 	"sweep-staging":       harness.AblationStaging,
+	"saturation": func(s float64) (string, error) {
+		out, _, err := harness.Saturation(s)
+		return out, err
+	},
 }
 
 // RunExperiment executes one named experiment at the given scale.
@@ -347,6 +351,10 @@ var SeriesExperiments = map[string]func(scale float64) (string, []stats.Series, 
 	"fig11": func(s float64) (string, []stats.Series, error) {
 		_, series, err := harness.Fig11(s)
 		return "readRatePct", series, err
+	},
+	"saturation": func(s float64) (string, []stats.Series, error) {
+		_, series, err := harness.Saturation(s)
+		return "offeredKIOPS", series, err
 	},
 }
 
