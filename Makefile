@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race chaos chaos-ssd chaos-rebuild check mutate fuzz cover bench-harness bench-gate obs-test shard-test ci clean
+.PHONY: all build vet test race chaos chaos-ssd chaos-rebuild check mutate fuzz cover bench-harness bench-gate obs-test shard-test qos-test ci clean
 
 all: ci
 
@@ -59,6 +59,7 @@ fuzz:
 	$(GO) test -fuzz '^FuzzEntryDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/metalog/
 	$(GO) test -fuzz '^FuzzPageDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/metalog/
 	$(GO) test -fuzz '^FuzzDecodeRecord$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/obs/
+	$(GO) test -fuzz '^FuzzParseTenants$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/qos/
 
 # Observability battery: obs unit/property tests, golden trace and
 # metrics artifacts, and the cross-width determinism contract — all
@@ -78,6 +79,18 @@ shard-test:
 	$(GO) test -race -parallel 16 -count=1 -run 'TestDeterministic' ./internal/shard/
 	$(GO) test -race ./internal/shard/ ./internal/sched/ ./internal/workload/
 	$(GO) run ./cmd/kddcheck -ci -shard
+
+# Multi-tenant QoS battery: token-bucket conservation, WFQ fairness and
+# degradation-ladder property tests, the noisy-neighbor isolation proof
+# (victim p99 within 2x of its aggressor-free baseline), its
+# byte-identical-output determinism contract at several test-parallelism
+# levels, and the lane-kill chaos plan — all under the race detector.
+qos-test:
+	$(GO) test -race ./internal/qos/
+	$(GO) test -race -parallel 1 -count=1 -run 'TestDeterministicNoisy' ./internal/harness/
+	$(GO) test -race -parallel 4 -count=1 -run 'TestDeterministicNoisy' ./internal/harness/
+	$(GO) test -race -parallel 16 -count=1 -run 'TestDeterministicNoisy' ./internal/harness/
+	$(GO) test -race -run 'TestNoisyNeighborIsolation|TestChaosLaneKill' ./internal/harness/
 
 # Coverage ratchet: total statement coverage may not drop more than 0.5
 # points below the committed baseline in COVERAGE.txt. Raise the baseline
@@ -102,7 +115,7 @@ bench-harness:
 bench-gate:
 	$(GO) run ./cmd/harnessbench -scale $(or $(BENCH_SCALE),0.01) -o BENCH_harness.json -gate
 
-ci: vet build test race obs-test shard-test chaos-ssd chaos-rebuild check mutate cover bench-gate
+ci: vet build test race obs-test shard-test qos-test chaos-ssd chaos-rebuild check mutate cover bench-gate
 
 clean:
 	$(GO) clean ./...

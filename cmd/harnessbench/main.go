@@ -57,6 +57,17 @@ type saturationResult struct {
 	Scaling4x1    float64            `json:"scaling_4x1"`
 }
 
+// noisyResult summarizes the multi-tenant QoS experiment: how far the
+// victims' p99 moves when an aggressor floods at 10x its budget, with
+// and without the admission controller. The protected ratio is the
+// isolation gate input; like the saturation sweep it is virtual-time
+// deterministic and needs no trajectory baseline.
+type noisyResult struct {
+	Sec              float64 `json:"sec"`
+	VictimP99Ratio   float64 `json:"victim_p99_ratio"`
+	UnprotectedRatio float64 `json:"unprotected_ratio"`
+}
+
 // benchEntry is one trajectory point: a full harnessbench run.
 type benchEntry struct {
 	Time        string             `json:"time,omitempty"`
@@ -66,6 +77,7 @@ type benchEntry struct {
 	Experiments []experimentResult `json:"experiments"`
 	ObsOverhead *obsOverheadResult `json:"obs_overhead,omitempty"`
 	Saturation  *saturationResult  `json:"saturation,omitempty"`
+	Noisy       *noisyResult       `json:"noisy,omitempty"`
 }
 
 // benchFile is the BENCH_harness.json schema: a perf trajectory, newest
@@ -86,6 +98,7 @@ func main() {
 		maxOvh    = flag.Float64("max-overhead-pct", 15, "with -gate: max allowed traced-vs-untraced overhead")
 		maxSlow   = flag.Float64("max-slowdown", 1.75, "with -gate: max allowed serial wall-clock ratio vs the last comparable entry")
 		minScale  = flag.Float64("min-shard-scaling", 2.0, "with -gate: min sustained(shards=4)/sustained(shards=1) from the saturation sweep")
+		maxVictim = flag.Float64("max-victim-ratio", 2.0, "with -gate: max allowed victim p99 ratio (protected vs isolated) from the noisy-neighbor experiment")
 		keep      = flag.Int("keep", 50, "trajectory entries to retain (oldest dropped first; 0 = unlimited)")
 	)
 	flag.Parse()
@@ -107,6 +120,13 @@ func main() {
 		Parallel:   width,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+
+	// The noisy-neighbor run keeps its structured result around: the
+	// victim-p99 isolation ratio feeds its own trajectory section and
+	// the -max-victim-ratio gate (the ratio is deterministic, so it does
+	// not matter which arm's result survives).
+	var noisy *harness.NoisyResult
+	var noisySec float64
 
 	runs := []struct {
 		name string
@@ -144,6 +164,17 @@ func main() {
 			harness.SetParallelism(par)
 			defer harness.SetParallelism(0)
 			return harness.PhaseBreakdown(*scale)
+		}},
+		{"noisy", func(par int) (string, error) {
+			harness.SetParallelism(par)
+			defer harness.SetParallelism(0)
+			start := time.Now()
+			r, err := harness.NoisyNeighborSweep(*scale)
+			if err != nil {
+				return "", err
+			}
+			noisy, noisySec = &r, time.Since(start).Seconds()
+			return r.Table, nil
 		}},
 	}
 
@@ -214,10 +245,20 @@ func main() {
 	fmt.Printf("satur.   %5.2fs  sustained(1) %.0f kIOPS  sustained(4) %.0f kIOPS  scaling %.2fx\n",
 		entry.Saturation.Sec, sat.SustainedIOPS[1]/1000, sat.SustainedIOPS[4]/1000, sat.Scaling4x1)
 
+	if noisy != nil {
+		entry.Noisy = &noisyResult{
+			Sec:              noisySec,
+			VictimP99Ratio:   noisy.VictimP99Ratio,
+			UnprotectedRatio: noisy.UnprotectedRatio,
+		}
+		fmt.Printf("noisy    %5.2fs  victim p99 ratio %.2fx (protected)  %.2fx (unprotected)\n",
+			noisySec, noisy.VictimP99Ratio, noisy.UnprotectedRatio)
+	}
+
 	prev := readEntries(*out)
 	var gateErrs []error
 	if *gate {
-		gateErrs = checkGate(entry, lastComparable(prev, entry), *maxOvh, *maxSlow, *minScale)
+		gateErrs = checkGate(entry, lastComparable(prev, entry), *maxOvh, *maxSlow, *minScale, *maxVictim)
 	}
 
 	all := append(prev, entry)
@@ -299,7 +340,7 @@ func lastComparable(prev []benchEntry, cur benchEntry) *benchEntry {
 }
 
 // checkGate applies the perf-gate rules to the fresh entry.
-func checkGate(cur benchEntry, base *benchEntry, maxOvh, maxSlow, minScaling float64) []error {
+func checkGate(cur benchEntry, base *benchEntry, maxOvh, maxSlow, minScaling, maxVictim float64) []error {
 	var errs []error
 	if o := cur.ObsOverhead; o != nil && o.OverheadPct > maxOvh {
 		errs = append(errs, fmt.Errorf("traced overhead %+.1f%% exceeds budget %.1f%%",
@@ -308,6 +349,16 @@ func checkGate(cur benchEntry, base *benchEntry, maxOvh, maxSlow, minScaling flo
 	if s := cur.Saturation; s != nil && s.Scaling4x1 < minScaling {
 		errs = append(errs, fmt.Errorf("saturation scaling 4/1 = %.2fx below the %.2fx floor",
 			s.Scaling4x1, minScaling))
+	}
+	if n := cur.Noisy; n != nil {
+		if n.VictimP99Ratio > maxVictim {
+			errs = append(errs, fmt.Errorf("noisy-neighbor victim p99 ratio %.2fx exceeds the %.2fx isolation budget",
+				n.VictimP99Ratio, maxVictim))
+		}
+		if n.UnprotectedRatio <= n.VictimP99Ratio {
+			errs = append(errs, fmt.Errorf("noisy-neighbor unprotected ratio %.2fx not worse than protected %.2fx; the QoS layer bought nothing",
+				n.UnprotectedRatio, n.VictimP99Ratio))
+		}
 	}
 	if base == nil {
 		fmt.Println("gate: no comparable trajectory entry (same scale/parallel); absolute checks only")

@@ -82,28 +82,28 @@ func TestCheckGate(t *testing.T) {
 	ok := entry(0.01, 1, 1, 8,
 		experimentResult{Name: "fig6", SerialSec: 4.4},
 		experimentResult{Name: "fig5", SerialSec: 5.1})
-	if errs := checkGate(ok, &base, 15, 1.75, 2.0); len(errs) != 0 {
+	if errs := checkGate(ok, &base, 15, 1.75, 2.0, 2.0); len(errs) != 0 {
 		t.Fatalf("healthy run failed the gate: %v", errs)
 	}
 
 	slow := entry(0.01, 1, 1, 8,
 		experimentResult{Name: "fig6", SerialSec: 8.0}, // 2x the base
 		experimentResult{Name: "fig5", SerialSec: 5.0})
-	if errs := checkGate(slow, &base, 15, 1.75, 2.0); len(errs) != 1 {
+	if errs := checkGate(slow, &base, 15, 1.75, 2.0, 2.0); len(errs) != 1 {
 		t.Fatalf("2x serial regression produced %d gate errors, want 1: %v", len(errs), errs)
 	}
 
 	hot := entry(0.01, 1, 1, 22,
 		experimentResult{Name: "fig6", SerialSec: 4.0})
-	if errs := checkGate(hot, &base, 15, 1.75, 2.0); len(errs) != 1 {
+	if errs := checkGate(hot, &base, 15, 1.75, 2.0, 2.0); len(errs) != 1 {
 		t.Fatalf("22%% overhead produced %d gate errors, want 1: %v", len(errs), errs)
 	}
 
 	// No comparable base: absolute checks still apply, ratios don't.
-	if errs := checkGate(slow, nil, 15, 1.75, 2.0); len(errs) != 0 {
+	if errs := checkGate(slow, nil, 15, 1.75, 2.0, 2.0); len(errs) != 0 {
 		t.Fatalf("baseless run failed ratio checks: %v", errs)
 	}
-	if errs := checkGate(hot, nil, 15, 1.75, 2.0); len(errs) != 1 {
+	if errs := checkGate(hot, nil, 15, 1.75, 2.0, 2.0); len(errs) != 1 {
 		t.Fatalf("baseless overheated run produced %d gate errors, want 1: %v", len(errs), errs)
 	}
 
@@ -111,12 +111,32 @@ func TestCheckGate(t *testing.T) {
 	// comparable base (the sweep is deterministic; no baseline needed).
 	flat := ok
 	flat.Saturation = &saturationResult{Scaling4x1: 1.4}
-	if errs := checkGate(flat, nil, 15, 1.75, 2.0); len(errs) != 1 {
+	if errs := checkGate(flat, nil, 15, 1.75, 2.0, 2.0); len(errs) != 1 {
 		t.Fatalf("1.4x shard scaling produced %d gate errors, want 1: %v", len(errs), errs)
 	}
 	scaled := ok
 	scaled.Saturation = &saturationResult{Scaling4x1: 3.3}
-	if errs := checkGate(scaled, &base, 15, 1.75, 2.0); len(errs) != 0 {
+	if errs := checkGate(scaled, &base, 15, 1.75, 2.0, 2.0); len(errs) != 0 {
 		t.Fatalf("3.3x shard scaling failed the gate: %v", errs)
+	}
+
+	// Noisy-neighbor isolation is absolute too: a victim p99 ratio over
+	// the budget fails, and so does an unprotected arm that is not
+	// strictly worse than the protected one (the experiment would no
+	// longer demonstrate interference being prevented).
+	leaky := ok
+	leaky.Noisy = &noisyResult{VictimP99Ratio: 2.6, UnprotectedRatio: 40}
+	if errs := checkGate(leaky, nil, 15, 1.75, 2.0, 2.0); len(errs) != 1 {
+		t.Fatalf("2.6x victim ratio produced %d gate errors, want 1: %v", len(errs), errs)
+	}
+	pointless := ok
+	pointless.Noisy = &noisyResult{VictimP99Ratio: 1.5, UnprotectedRatio: 1.5}
+	if errs := checkGate(pointless, nil, 15, 1.75, 2.0, 2.0); len(errs) != 1 {
+		t.Fatalf("flat unprotected arm produced %d gate errors, want 1: %v", len(errs), errs)
+	}
+	isolated := ok
+	isolated.Noisy = &noisyResult{VictimP99Ratio: 1.5, UnprotectedRatio: 40}
+	if errs := checkGate(isolated, &base, 15, 1.75, 2.0, 2.0); len(errs) != 0 {
+		t.Fatalf("healthy noisy-neighbor result failed the gate: %v", errs)
 	}
 }

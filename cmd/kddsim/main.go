@@ -21,6 +21,8 @@ import (
 
 	"kddcache/internal/harness"
 	"kddcache/internal/obs"
+	"kddcache/internal/qos"
+	"kddcache/internal/sim"
 	"kddcache/internal/stats"
 	"kddcache/internal/trace"
 	"kddcache/internal/workload"
@@ -50,6 +52,8 @@ func main() {
 		killDiskAt = flag.Int("kill-disk-at", -1, "fail-stop RAID member 2 before request #N (-1 = never)")
 		replaceAt  = flag.Int("replace-disk-at", -1, "provide a fresh replacement member before request #N: KDD parks it as a hot spare and paces the rebuild online; other policies rebuild blocking (-1 = never)")
 		rbRate     = flag.Int("rebuild-rate", 0, "KDD rebuild pump: max rows reconstructed per request when the array is idle (0 = default 8, -1 = pump disabled)")
+		tenants    = flag.String("tenants", "", "QoS tenant budgets as name:rate:weight[:burst],... (e.g. \"a:100:2,b:50:1\"); gates the single-run replay through the admission controller")
+		deadlineMs = flag.Float64("deadline-ms", 0, "with -tenants: per-request deadline margin in virtual ms (0 = no deadlines)")
 	)
 	flag.Parse()
 	kddcache.SetParallelism(*parallel)
@@ -155,9 +159,29 @@ func main() {
 			}
 		}
 	}
-	r, err := harness.RunTrace(st, tr)
-	if err != nil {
-		fatal(err)
+	var r *harness.Result
+	var ctl *qos.Controller
+	var qr *harness.QoSResult
+	if *tenants != "" {
+		specs, err := qos.ParseTenants(*tenants)
+		if err != nil {
+			fatal(err)
+		}
+		ctl, err = qos.NewController(qos.Config{Tenants: specs})
+		if err != nil {
+			fatal(err)
+		}
+		qr, err = harness.RunTraceQoS(st, tr, ctl, sim.Time(*deadlineMs*float64(sim.Millisecond)))
+		if err != nil {
+			fatal(err)
+		}
+		r = qr.Run
+	} else {
+		var err error
+		r, err = harness.RunTrace(st, tr)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if _, err := st.Policy.Flush(r.Duration); err != nil {
 		fatal(err)
@@ -175,6 +199,14 @@ func main() {
 	fmt.Printf("failover    : failovers=%d breakerTrips=%d folds=%d (rmw=%d resync=%d) passReads=%d passWrites=%d reattaches=%d\n",
 		c.Failovers, c.BreakerTrips, c.EmergencyFolds, c.FoldRMWs, c.FoldResyncs,
 		c.PassReads, c.PassWrites, c.Reattaches)
+	if qr != nil {
+		for i, tn := range qr.Tenants {
+			fmt.Printf("qos[%d]      : %s offered=%d admitted=%d bypassed=%d throttled=%d shed=%d deadline=%d rung=%d p99=%.3fms\n",
+				i, tn.Name, tn.Offered, tn.Admitted, tn.Bypassed, tn.Throttled,
+				tn.Shed, tn.Deadline, ctl.Rung(i),
+				float64(tn.Latency.Percentile(99))/float64(sim.Millisecond))
+		}
+	}
 	if *killDiskAt >= 0 || *replaceAt >= 0 {
 		as := st.Array.Stats()
 		fmt.Printf("rebuild     : spareAttaches=%d pumpSteps=%d pumpRows=%d done=%d arrayRows=%d active=%v failedDisks=%v lostRows=%d\n",
@@ -200,6 +232,9 @@ func main() {
 			reg := obs.NewRegistry()
 			st.PublishMetrics(reg)
 			ob.Publish(reg)
+			if ctl != nil {
+				ctl.Publish(reg)
+			}
 			if err := reg.Validate(); err != nil {
 				fatal(err)
 			}

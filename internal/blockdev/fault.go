@@ -47,10 +47,11 @@ type FaultInjector struct {
 	FailAfterOps int64
 	ops          atomic.Int64
 
-	mu       sync.Mutex
-	rng      *sim.RNG
-	profile  FaultProfile
-	badPages map[int64]int // lba -> remaining read failures; <0 = until rewritten
+	mu         sync.Mutex
+	rng        *sim.RNG
+	profile    FaultProfile
+	badPages   map[int64]int // lba -> remaining read failures; <0 = until rewritten
+	deadRanges []failRange   // fail-stopped page regions (FailRange)
 	crashed  bool
 	crashIn  int64 // write ops until the crash point (when armed > 0)
 	tornKeep int   // whole pages of the torn write to persist
@@ -88,6 +89,37 @@ func (f *FaultInjector) Inner() Device { return *f.inner.Load() }
 // Fail marks the device failed.
 func (f *FaultInjector) Fail() { f.failed.Store(true) }
 
+// failRange is one fail-stopped page region, [start, end).
+type failRange struct{ start, end int64 }
+
+// FailRange fail-stops the region [start, start+count): every operation
+// touching it returns ErrFailed while the rest of the device keeps
+// serving. This models the loss of one region of the medium — a die, a
+// channel, a shard lane's slice — without whole-device death; Failed()
+// stays false.
+func (f *FaultInjector) FailRange(start, count int64) {
+	if count <= 0 {
+		return
+	}
+	f.mu.Lock()
+	f.deadRanges = append(f.deadRanges, failRange{start, start + count})
+	f.mu.Unlock()
+}
+
+// rangeFault reports ErrFailed when [lba, lba+count) touches a
+// fail-stopped region.
+func (f *FaultInjector) rangeFault(lba int64, count int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	end := lba + int64(count)
+	for _, r := range f.deadRanges {
+		if lba < r.end && r.start < end {
+			return fmt.Errorf("%w: pages %d-%d dead", ErrFailed, r.start, r.end-1)
+		}
+	}
+	return nil
+}
+
 // Repair replaces the device with a fresh (zeroed) one of the same size;
 // the caller is responsible for rebuilding contents (RAID rebuild). The
 // swap is atomic with respect to in-flight operations, and all page-level
@@ -97,6 +129,7 @@ func (f *FaultInjector) Fail() { f.failed.Store(true) }
 func (f *FaultInjector) Repair(fresh Device) {
 	f.mu.Lock()
 	f.badPages = make(map[int64]int)
+	f.deadRanges = nil
 	f.mu.Unlock()
 	f.inner.Store(&fresh)
 	f.failed.Store(false)
@@ -276,6 +309,9 @@ func (f *FaultInjector) ReadPages(t sim.Time, lba int64, count int, buf []byte) 
 	if err := f.step(); err != nil {
 		return t, WrapIOError(f.Name(), OpRead, lba, err)
 	}
+	if err := f.rangeFault(lba, count); err != nil {
+		return t, WrapIOError(f.Name(), OpRead, lba, err)
+	}
 	f.record(false, lba, count)
 	if err := f.readFault(lba, count); err != nil {
 		return t, WrapIOError(f.Name(), OpRead, lba, err)
@@ -288,6 +324,9 @@ func (f *FaultInjector) ReadPages(t sim.Time, lba int64, count int, buf []byte) 
 // in IOError so callers can attribute the failure to this device.
 func (f *FaultInjector) WritePages(t sim.Time, lba int64, count int, buf []byte) (sim.Time, error) {
 	if err := f.step(); err != nil {
+		return t, WrapIOError(f.Name(), OpWrite, lba, err)
+	}
+	if err := f.rangeFault(lba, count); err != nil {
 		return t, WrapIOError(f.Name(), OpWrite, lba, err)
 	}
 	f.record(true, lba, count)
@@ -325,6 +364,9 @@ func (f *FaultInjector) tearWrite(t sim.Time, lba int64, count int, buf []byte, 
 // TrimPages implements Trimmer when the inner device does.
 func (f *FaultInjector) TrimPages(t sim.Time, lba int64, count int) (sim.Time, error) {
 	if err := f.step(); err != nil {
+		return t, WrapIOError(f.Name(), OpTrim, lba, err)
+	}
+	if err := f.rangeFault(lba, count); err != nil {
 		return t, WrapIOError(f.Name(), OpTrim, lba, err)
 	}
 	f.mu.Lock()

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"kddcache/internal/obs"
+	"kddcache/internal/sim"
+)
+
+// This file is the QoS bypass surface: serving a tenant's traffic with
+// cache admission suspended. The coherence argument is the same one the
+// failover machinery relies on (failover.go): KDD always dispatches
+// write data to the RAID, so the array's data pages are always current
+// and a pass-through read is always correct; only parity may be stale,
+// and the RAID layer already resyncs stale rows on demand. Bypass
+// therefore serves existing cache HITS through the normal paths (their
+// cached state stays coherent) and only suppresses NEW admission — no
+// read-fill on a miss, write-through on a write miss.
+
+// ReadNoAdmit serves one read with cache admission suspended (the QoS
+// degradation ladder's bypass rung). Identical to Read except that a
+// miss performs no read-fill.
+func (k *KDD) ReadNoAdmit(t sim.Time, lba int64, buf []byte) (done sim.Time, err error) {
+	var sp obs.Span
+	if k.tr != nil {
+		sp = k.tr.BeginLBA(t, obs.PhaseRead, lba)
+	}
+	if err = k.preOp(t); err != nil {
+		sp.End(t)
+		return t, err
+	}
+	k.st.Reads++
+	if k.passThrough() {
+		done, err = k.passRead(t, lba, buf)
+	} else {
+		done, err = k.readCached(t, lba, buf, false)
+		if err != nil && k.ssdFault(err) {
+			k.failover(t, HealthBypass)
+			done, err = k.passRead(t, lba, buf)
+		}
+	}
+	if err != nil {
+		sp.End(done)
+		return done, err
+	}
+	k.pumpRebuild(done)
+	sp.End(done)
+	return done, nil
+}
+
+// WriteNoAdmit serves one write with cache admission suspended: a miss
+// goes write-through (conventional parity write, no allocation), a hit
+// takes the normal delta path.
+func (k *KDD) WriteNoAdmit(t sim.Time, lba int64, buf []byte) (done sim.Time, err error) {
+	var sp obs.Span
+	if k.tr != nil {
+		sp = k.tr.BeginLBA(t, obs.PhaseWrite, lba)
+	}
+	if err = k.preOp(t); err != nil {
+		sp.End(t)
+		return t, err
+	}
+	k.st.Writes++
+	if k.passThrough() {
+		done, err = k.passWrite(t, lba, buf)
+	} else {
+		done, err = k.writeCached(t, lba, buf, false)
+		if err != nil && k.ssdFault(err) {
+			k.failover(t, HealthBypass)
+			done, err = k.passWrite(t, lba, buf)
+		}
+	}
+	if err != nil {
+		sp.End(done)
+		return done, err
+	}
+	k.pumpRebuild(done)
+	sp.End(done)
+	return done, nil
+}

@@ -217,10 +217,19 @@ func (k *KDD) failover(t sim.Time, target Health) {
 		// can be served keeps flowing.
 		k.stick(fmt.Errorf("core: emergency parity fold: %w", err))
 	}
-	k.dropCache()
 	if k.log != nil {
-		k.log.Reinit(nil)
+		if k.sharedLog {
+			// The log belongs to the shard plane and carries every lane's
+			// mappings: re-initialising it here would wipe the healthy
+			// lanes' metadata. Retract only this lane's own live mappings
+			// with Free tombstones instead (buffered — no device I/O, so a
+			// dead SSD cannot veto the demotion any more than Reinit could).
+			k.freeAllMappings(t)
+		} else {
+			k.log.Reinit(nil)
+		}
 	}
+	k.dropCache()
 	k.health = target
 	if target == HealthDegraded {
 		k.backoffOps = k.cfg.BreakerBackoff
@@ -318,6 +327,31 @@ func (k *KDD) foldRowRMW(t sim.Time, peers []peerInfo) (sim.Time, bool) {
 	return c, true
 }
 
+// freeAllMappings appends a Free tombstone for every mapped DAZ page of
+// this lane, so recovery over the plane's shared log sees the lane
+// empty. DEZ pages carry no entries of their own (Old entries reference
+// them), so retracting the DAZ mappings is complete. Tombstones reach
+// NVRAM immediately (buffered batch mode); their page flush rides the
+// next plane barrier.
+func (k *KDD) freeAllMappings(t sim.Time) {
+	for slot := int32(0); slot < int32(k.frame.Pages()); slot++ {
+		switch k.frame.Slot(slot).State {
+		case cache.Clean, cache.Old:
+		default:
+			continue
+		}
+		if _, err := k.logPut(t, k.freeEntry(slot)); err != nil {
+			if k.ssdFault(err) {
+				// The whole device is gone, the shared log's pages with it;
+				// what follows is plane-level recovery, not this lane's.
+				return
+			}
+			k.stick(fmt.Errorf("core: retracting lane mappings: %w", err))
+			return
+		}
+	}
+}
+
 // dropCache resets every in-memory cache structure to empty: fresh frame,
 // no delta records, no DEZ occupancy, empty NVRAM staging. Pure memory —
 // no device I/O, no log entries (the log is wiped separately).
@@ -402,6 +436,11 @@ func (k *KDD) passWrite(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 func (k *KDD) Reattach(t sim.Time, dev blockdev.Device) error {
 	if k.health == HealthNormal || k.health == HealthRebuilding {
 		return fmt.Errorf("core: reattach while cache is %v", k.health)
+	}
+	if k.sharedLog {
+		// Reinit would wipe the plane's shared log under the other lanes;
+		// lane recovery is a plane-level restore, not a per-lane reattach.
+		return fmt.Errorf("core: reattach of a shard-plane lane; restore the plane instead")
 	}
 	if dev != nil {
 		if need := k.cfg.MetaStart + k.cfg.MetaPages + k.cfg.CachePages; need > dev.Pages() {

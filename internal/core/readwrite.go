@@ -34,7 +34,7 @@ func (k *KDD) Read(t sim.Time, lba int64, buf []byte) (done sim.Time, err error)
 	if k.passThrough() {
 		done, err = k.passRead(t, lba, buf)
 	} else {
-		done, err = k.readCached(t, lba, buf)
+		done, err = k.readCached(t, lba, buf, true)
 		if err != nil && k.ssdFault(err) {
 			k.failover(t, HealthBypass)
 			done, err = k.passRead(t, lba, buf)
@@ -52,8 +52,11 @@ func (k *KDD) Read(t sim.Time, lba int64, buf []byte) (done sim.Time, err error)
 	return done, nil
 }
 
-// readCached is the cache-enabled read path.
-func (k *KDD) readCached(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
+// readCached is the cache-enabled read path. With admit false (a QoS
+// bypass verdict) a miss is served straight from the array with no
+// read-fill and no ghost-filter update; hits are served normally either
+// way — the cached copy is current, so serving it is always coherent.
+func (k *KDD) readCached(t sim.Time, lba int64, buf []byte, admit bool) (sim.Time, error) {
 	slot := k.frame.Lookup(lba)
 	if slot == cache.NoSlot {
 		k.st.ReadMisses++
@@ -62,7 +65,9 @@ func (k *KDD) readCached(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 		if err != nil {
 			return t, err
 		}
-		k.fill(done, lba, buf)
+		if admit {
+			k.fill(done, lba, buf)
+		}
 		return done, nil
 	}
 	k.st.ReadHits++
@@ -211,7 +216,7 @@ func (k *KDD) Write(t sim.Time, lba int64, buf []byte) (done sim.Time, err error
 	if k.passThrough() {
 		done, err = k.passWrite(t, lba, buf)
 	} else {
-		done, err = k.writeCached(t, lba, buf)
+		done, err = k.writeCached(t, lba, buf, true)
 		if err != nil && k.ssdFault(err) {
 			// The cache device died somewhere inside the write. Fail over
 			// (folding any stale parity) and re-issue the write conventionally:
@@ -230,8 +235,12 @@ func (k *KDD) Write(t sim.Time, lba int64, buf []byte) (done sim.Time, err error
 	return done, nil
 }
 
-// writeCached is the cache-enabled write path.
-func (k *KDD) writeCached(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
+// writeCached is the cache-enabled write path. With admit false (a QoS
+// bypass verdict) a miss goes write-through — conventional RAID write,
+// no allocation, no ghost-filter update — while hits still take the
+// normal delta path: an already-cached page must keep its delta
+// machinery coherent, and the hit path admits nothing new.
+func (k *KDD) writeCached(t sim.Time, lba int64, buf []byte, admit bool) (sim.Time, error) {
 	// While the array is degraded, deferring parity would widen the data
 	// loss window, so fold every pending delta up front (§III-E repairs
 	// parity BEFORE rebuild) and operate write-through until redundancy
@@ -248,6 +257,11 @@ func (k *KDD) writeCached(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 
 	slot := k.frame.Lookup(lba)
 	if slot == cache.NoSlot {
+		if !admit {
+			k.st.WriteMiss++
+			k.st.RAIDWrites++
+			return k.backend.WritePages(t, lba, 1, buf)
+		}
 		return k.writeMiss(t, lba, buf)
 	}
 	k.st.WriteHits++
@@ -259,6 +273,10 @@ func (k *KDD) writeCached(t sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	if !k.backend.Healthy() {
 		if err := k.retireSlot(t, slot); err != nil {
 			return t, err
+		}
+		if !admit {
+			k.st.RAIDWrites++
+			return k.backend.WritePages(t, lba, 1, buf)
 		}
 		return k.writeAllocate(t, lba, buf)
 	}

@@ -180,8 +180,14 @@ func Chaos(o ChaosOpts) *ChaosReport {
 	results, _ := fanOutN(o.Parallel, o.Schedules, func(i int) (ChaosScheduleResult, error) {
 		plan := plans[i%len(plans)]
 		seed := o.Seed + uint64(i)*0x9E3779B97F4A7C15
-		res := runChaosSchedule(plan, seed, o)
-		rerun := runChaosSchedule(plan, seed, o)
+		run := func() *ChaosScheduleResult {
+			if plan.custom != nil {
+				return plan.custom(seed, o)
+			}
+			return runChaosSchedule(plan, seed, o)
+		}
+		res := run()
+		rerun := run()
 		if res.Fingerprint != rerun.Fingerprint {
 			res.Violations = append(res.Violations, fmt.Sprintf(
 				"nondeterministic: fingerprint %016x vs %016x on rerun",
@@ -207,6 +213,12 @@ type chaosPlan struct {
 	rearmCrash          bool // re-arm a crash point after every recovery
 	expectUnrecoverable bool // the plan deliberately exhausts redundancy
 	skipDegradedProof   bool
+
+	// custom replaces the shared single-engine schedule driver entirely
+	// (the sharded-plane plans live in their own rig); it must be fully
+	// deterministic for the given seed — the run-twice fingerprint
+	// comparison applies to custom drivers too.
+	custom func(seed uint64, o ChaosOpts) *ChaosScheduleResult
 }
 
 // pendingChaosWrite is a write that errored because the crash point hit
@@ -1237,5 +1249,12 @@ var chaosPlans = []*chaosPlan{
 				c.violf("double-kill: %d rows lost despite RAID-6 redundancy", len(lost))
 			}
 		},
+	},
+	{
+		// One lane of the sharded plane loses its SSD slice mid-batch:
+		// that lane alone folds to pass-through while the other seven
+		// keep serving from cache (chaoslane.go has the full driver).
+		kind:   "ssd-lane-kill",
+		custom: runLaneKillSchedule,
 	},
 }

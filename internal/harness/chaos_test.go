@@ -117,6 +117,31 @@ func TestChaosRebuild(t *testing.T) {
 	}
 }
 
+// TestChaosLaneKill runs only the sharded-plane lane-kill plan: one
+// lane's slice of the SSD fail-stops mid-batch, that lane alone must
+// fold to pass-through with zero user-visible errors, and the other
+// seven lanes keep serving from cache. `make qos-test` runs this under
+// the race detector alongside the noisy-neighbor isolation proof.
+func TestChaosLaneKill(t *testing.T) {
+	rep := Chaos(ChaosOpts{Kind: "ssd-lane-kill", Schedules: 6})
+	if v := rep.Violations(); len(v) != 0 {
+		t.Fatalf("%d violations:\n%s", len(v), strings.Join(v, "\n"))
+	}
+	if len(rep.Results) != 6 {
+		t.Fatalf("got %d schedules, want 6", len(rep.Results))
+	}
+	for _, res := range rep.Results {
+		if res.Kind != "ssd-lane-kill" {
+			t.Fatalf("schedule %d ran plan %q", res.Schedule, res.Kind)
+		}
+		// Exactly one failover per schedule: the killed lane and only the
+		// killed lane left the cache path.
+		if res.Failovers != 1 {
+			t.Errorf("schedule %d: %d failovers, want exactly 1", res.Schedule, res.Failovers)
+		}
+	}
+}
+
 // TestChaosSeedSensitivity checks that different master seeds change the
 // schedule fingerprints (the fault streams really are seed-driven).
 func TestChaosSeedSensitivity(t *testing.T) {

@@ -1,0 +1,321 @@
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/core"
+	"kddcache/internal/delta"
+	"kddcache/internal/obs"
+	"kddcache/internal/raid"
+	"kddcache/internal/shard"
+	"kddcache/internal/sim"
+)
+
+// ssd-lane-kill: the sharded data plane loses one lane's slice of the
+// SSD mid-workload. The lane regions are disjoint [MetaStart+MetaPages +
+// lane*lanePages, +lanePages) partitions of the shared device, so a
+// range fail-stop models the death of one die/channel: exactly one lane
+// sees ErrFailed, fails over to pass-through (HealthBypass), and keeps
+// serving from the RAID — which always holds current data, because KDD
+// dispatches every write to the array. The other seven lanes must not
+// notice. The plane runs the deterministic scheduler (the byte-identical
+// contract the custom driver's run-twice fingerprint leans on) at a
+// shard count that groups the dead lane with live ones, proving the
+// fold-to-bypass is lane-scoped, not shard-scoped.
+
+const (
+	laneKillBatch = 32 // ops per RunBatch
+	laneKillPokes = 12 // killed-lane reads per poke batch
+)
+
+// laneKillRig is one ssd-lane-kill schedule's plane, oracle and tallies.
+type laneKillRig struct {
+	o   ChaosOpts
+	rng *sim.RNG
+	mut *delta.Mutator
+
+	arr   *raid.Array
+	inj   *blockdev.FaultInjector
+	plane *shard.Plane
+	dig   *obs.Digest
+
+	dataStart int64
+	lanePages int64
+	killLane  int
+
+	oracle  map[int64][]byte
+	written []int64 // oracle keys in first-write order
+
+	res *ChaosScheduleResult
+}
+
+func (c *laneKillRig) violf(format string, args ...any) {
+	c.res.Violations = append(c.res.Violations, fmt.Sprintf(format, args...))
+}
+
+func newLaneKillRig(seed uint64, o ChaosOpts) *laneKillRig {
+	c := &laneKillRig{
+		o:      o,
+		rng:    sim.NewRNG(seed),
+		mut:    delta.NewMutator(seed^0xD00D, 0.25),
+		oracle: make(map[int64][]byte),
+		res:    &ChaosScheduleResult{Kind: "ssd-lane-kill", Seed: seed},
+	}
+	var members []blockdev.Device
+	for i := 0; i < chaosDisks; i++ {
+		members = append(members, blockdev.NewNullDataDevice(fmt.Sprintf("d%d", i), chaosDiskPages))
+	}
+	arr, err := raid.New(raid.Config{Level: raid.Level5, ChunkPages: chaosChunk}, members)
+	if err != nil {
+		panic(err) // static geometry; cannot fail
+	}
+	c.arr = arr
+	const metaPages = 64
+	inner := blockdev.NewNullDataDevice("ssd", metaPages+o.CachePages+64)
+	c.inj = blockdev.NewFaultInjector(inner, seed^0xFA17)
+	c.dig = obs.NewDigest()
+	p, err := shard.New(shard.Config{
+		SSD:        c.inj,
+		Backend:    arr,
+		CachePages: o.CachePages,
+		Ways:       16,
+		MetaStart:  0,
+		MetaPages:  metaPages,
+		Codec:      func(int) delta.Codec { return delta.ZRLE{} },
+		Shards:     4, // two lanes per shard: the dead lane shares a worker with a live one
+		Coalesce:   true,
+		Tracer:     obs.NewTracer(c.dig),
+	})
+	if err != nil {
+		panic(err)
+	}
+	c.plane = p
+	c.dataStart = metaPages
+	c.lanePages = o.CachePages / shard.Lanes
+	// Kill the lane owning a randomly drawn footprint LBA: lanes are a
+	// hash of the stripe index, so with a small footprint some lanes own
+	// no stripes at all — killing one of those would prove nothing.
+	c.killLane = p.LaneOf(int64(c.rng.Uint64n(uint64(o.Footprint))))
+	return c
+}
+
+// runBatch submits ops, walks the results in submission order against a
+// live view of the oracle (handling in-batch read-after-write and
+// write-after-write coalescing exactly), and folds surviving writes in.
+// Every op must succeed: the lane kill is absorbed by per-lane failover
+// and must never surface a user-visible error.
+func (c *laneKillRig) runBatch(t sim.Time, ops []shard.Op) {
+	res := c.plane.RunBatch(t, ops)
+	view := make(map[int64][]byte, len(ops))
+	for i, op := range ops {
+		if err := res[i].Err; err != nil {
+			c.violf("batch t=%d op %d (%s lba %d): %v", t, i, opKindName(op.Kind), op.LBA, err)
+			continue
+		}
+		switch op.Kind {
+		case shard.OpWrite:
+			view[op.LBA] = op.Buf
+		case shard.OpRead:
+			want, ok := view[op.LBA]
+			if !ok {
+				want = c.oracle[op.LBA]
+			}
+			if !pageEqual(op.Buf, want) {
+				c.violf("read lba %d (lane %d) returned wrong content", op.LBA, c.plane.LaneOf(op.LBA))
+			}
+		}
+	}
+	// Fold surviving writes into the oracle in submission order — the
+	// `written` order feeds poke-target selection, so it must not depend
+	// on map iteration.
+	for _, op := range ops {
+		if op.Kind != shard.OpWrite || view[op.LBA] == nil {
+			continue
+		}
+		if _, seen := c.oracle[op.LBA]; !seen {
+			c.written = append(c.written, op.LBA)
+		}
+		c.oracle[op.LBA] = view[op.LBA]
+		delete(view, op.LBA)
+	}
+}
+
+func opKindName(k shard.OpKind) string {
+	if k == shard.OpWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// pageEqual compares a read buffer against the oracle page; a nil oracle
+// entry means the LBA was never written and must read back as zeros.
+func pageEqual(got, want []byte) bool {
+	for i, b := range got {
+		w := byte(0)
+		if want != nil {
+			w = want[i]
+		}
+		if b != w {
+			return false
+		}
+	}
+	return true
+}
+
+// laneLBAs returns up to n footprint LBAs routed to the given lane,
+// preferring already-written ones so pokes land on live cache state.
+func (c *laneKillRig) laneLBAs(lane, n int) []int64 {
+	var out []int64
+	for _, lba := range c.written {
+		if c.plane.LaneOf(lba) == lane {
+			out = append(out, lba)
+			if len(out) == n {
+				return out
+			}
+		}
+	}
+	for lba := int64(0); lba < c.o.Footprint && len(out) < n; lba++ {
+		if c.plane.LaneOf(lba) == lane {
+			out = append(out, lba)
+		}
+	}
+	return out
+}
+
+// runLaneKillSchedule is the custom driver for the ssd-lane-kill plan.
+func runLaneKillSchedule(seed uint64, o ChaosOpts) *ChaosScheduleResult {
+	c := newLaneKillRig(seed, o)
+	defer c.plane.Close()
+
+	nBatches := (o.Ops + laneKillBatch - 1) / laneKillBatch
+	killAt := nBatches / 2
+	t := sim.Time(0)
+	for b := 0; b < nBatches; b++ {
+		if b == killAt {
+			// Fail-stop exactly one lane's slice of the cache data
+			// partition. The lane discovers it mid-RunBatch, on its next
+			// SSD touch (a hit read, a delta write, a read-fill), and
+			// folds to bypass without surfacing an error.
+			c.inj.FailRange(c.dataStart+int64(c.killLane)*c.lanePages, c.lanePages)
+		}
+		t = sim.Time(b+1) * sim.Millisecond
+		ops := make([]shard.Op, 0, laneKillBatch)
+		for len(ops) < laneKillBatch {
+			lba := int64(c.rng.Uint64n(uint64(o.Footprint)))
+			if c.rng.Float64() < 0.6 {
+				page := make([]byte, blockdev.PageSize)
+				if prev := c.oracle[lba]; prev != nil {
+					copy(page, prev)
+					c.mut.Mutate(page)
+				} else {
+					c.mut.FillRandom(page)
+				}
+				ops = append(ops, shard.Op{Kind: shard.OpWrite, LBA: lba, Buf: page})
+			} else {
+				ops = append(ops, shard.Op{Kind: shard.OpRead, LBA: lba, Buf: make([]byte, blockdev.PageSize)})
+			}
+		}
+		c.runBatch(t, ops)
+	}
+
+	// Poke the killed lane twice: read misses on a dead lane read-fill
+	// into the dead region (the fault is swallowed, the failover armed),
+	// and the next operation completes the transition — so two batches
+	// guarantee HealthBypass even if the main loop barely touched the
+	// lane after the kill.
+	for poke := 0; poke < 2; poke++ {
+		t += sim.Millisecond
+		var ops []shard.Op
+		for _, lba := range c.laneLBAs(c.killLane, laneKillPokes) {
+			ops = append(ops, shard.Op{Kind: shard.OpRead, LBA: lba, Buf: make([]byte, blockdev.PageSize)})
+		}
+		c.runBatch(t, ops)
+	}
+
+	// Final sweep: every LBA the oracle knows, in sorted order — the
+	// dead lane serves from RAID, the live lanes from cache, and both
+	// must return byte-exact content.
+	lbas := make([]int64, 0, len(c.oracle))
+	for lba := range c.oracle {
+		lbas = append(lbas, lba)
+	}
+	sort.Slice(lbas, func(i, j int) bool { return lbas[i] < lbas[j] })
+	for start := 0; start < len(lbas); start += laneKillBatch {
+		end := start + laneKillBatch
+		if end > len(lbas) {
+			end = len(lbas)
+		}
+		t += sim.Millisecond
+		var ops []shard.Op
+		for _, lba := range lbas[start:end] {
+			ops = append(ops, shard.Op{Kind: shard.OpRead, LBA: lba, Buf: make([]byte, blockdev.PageSize)})
+		}
+		c.runBatch(t, ops)
+	}
+
+	// The killed lane must have folded to bypass and served through it;
+	// the other seven lanes must still be Normal with zero pass-through.
+	for lane := 0; lane < shard.Lanes; lane++ {
+		k := c.plane.Lane(lane)
+		ls := k.Stats()
+		if lane == c.killLane {
+			if h := k.Health(); h != core.HealthBypass {
+				c.violf("killed lane %d health %v, want bypass", lane, h)
+			}
+			if ls.PassReads+ls.PassWrites == 0 {
+				c.violf("killed lane %d never served in pass-through", lane)
+			}
+			if ls.Failovers == 0 {
+				c.violf("killed lane %d recorded no failover", lane)
+			}
+		} else {
+			if h := k.Health(); h != core.HealthNormal {
+				c.violf("surviving lane %d health %v, want normal", lane, h)
+			}
+			if ls.PassReads+ls.PassWrites != 0 {
+				c.violf("surviving lane %d served %d ops in pass-through", lane, ls.PassReads+ls.PassWrites)
+			}
+		}
+	}
+
+	if _, err := c.plane.Quiesce(t); err != nil {
+		c.violf("quiesce: %v", err)
+	}
+	if err := c.plane.CheckInvariants(); err != nil {
+		c.violf("invariants: %v", err)
+	}
+
+	agg := c.plane.Stats()
+	c.res.Failovers = agg.Failovers
+	c.res.Repaired = agg.RowsHealed + agg.FoldRMWs + agg.FoldResyncs
+	c.res.Detected = c.inj.MediaErrors()
+	c.res.Spans = c.dig.Spans()
+	c.res.TraceDigest = c.dig.Sum64()
+
+	h := fnv.New64a()
+	var w [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		h.Write(w[:])
+	}
+	put(c.plane.StateDigest())
+	put(uint64(c.killLane))
+	put(uint64(agg.Failovers))
+	put(uint64(agg.PassReads + agg.PassWrites))
+	put(uint64(agg.FoldRMWs))
+	put(uint64(agg.FoldResyncs))
+	put(uint64(c.plane.CoalescedWrites()))
+	for _, lba := range lbas {
+		put(uint64(lba))
+		h.Write(c.oracle[lba])
+	}
+	put(c.res.Spans)
+	put(c.res.TraceDigest)
+	put(uint64(len(c.res.Violations)))
+	c.res.Fingerprint = h.Sum64()
+	return c.res
+}

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"testing"
+
+	"kddcache/internal/qos"
+	"kddcache/internal/sim"
+	"kddcache/internal/trace"
+)
+
+// qosTrace builds a two-tenant interleaved stream: tenant 0 ("big")
+// trickles well inside its budget while tenant 1 ("small", 1 kIOPS,
+// burst 1) floods a burst every millisecond — sustained overload that
+// must walk small down the ladder while big never feels it.
+func qosTrace() *trace.Trace {
+	tr := &trace.Trace{Name: "qos-two-tenant"}
+	for ms := int64(0); ms < 100; ms++ {
+		at := sim.Time(ms) * sim.Millisecond
+		if ms%5 == 0 {
+			tr.Requests = append(tr.Requests, trace.Request{
+				Time: at, Op: trace.Write, LBA: 4096 + ms, Pages: 1, Tenant: 0,
+			})
+		}
+		for i := int64(0); i < 20; i++ {
+			op := trace.Write
+			if i%3 == 0 {
+				op = trace.Read
+			}
+			tr.Requests = append(tr.Requests, trace.Request{
+				Time: at + sim.Time(i), Op: op, LBA: (ms*7 + i) % 512, Pages: 1, Tenant: 1,
+			})
+		}
+	}
+	return tr
+}
+
+func qosReplay(t *testing.T, deadline sim.Time) *QoSResult {
+	t.Helper()
+	st, err := Build(StackOpts{
+		Policy: PolicyKDD, DeltaMean: 0.25,
+		CachePages: 1024, DiskPages: 65536, Timing: true, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := qos.ParseTenants("big:10000:4,small:1000:1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := qos.NewController(qos.Config{Tenants: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := RunTraceQoS(st, qosTrace(), ctl, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qr
+}
+
+// TestRunTraceQoS covers the controller-gated replay (the kddsim
+// -tenants path): the flooding tenant is throttled, shed, and demoted
+// to the bypass rung, the in-budget tenant sails through untouched, and
+// the per-tenant tallies conserve the offered load.
+func TestRunTraceQoS(t *testing.T) {
+	qr := qosReplay(t, 2*sim.Millisecond)
+	if len(qr.Tenants) != 2 {
+		t.Fatalf("got %d tenants, want 2", len(qr.Tenants))
+	}
+	big, small := qr.Tenants[0], qr.Tenants[1]
+	if big.Name != "big" || small.Name != "small" {
+		t.Fatalf("tenant names %q/%q", big.Name, small.Name)
+	}
+	if big.Throttled != 0 || big.Shed != 0 || big.Bypassed != 0 {
+		t.Fatalf("in-budget tenant was degraded: %+v", big.Counters)
+	}
+	if big.Admitted != big.Offered {
+		t.Fatalf("in-budget tenant: admitted %d of %d offered", big.Admitted, big.Offered)
+	}
+	if small.Throttled == 0 {
+		t.Error("flooding tenant never throttled")
+	}
+	if small.Shed == 0 {
+		t.Error("flooding tenant never shed")
+	}
+	if small.Bypassed == 0 {
+		t.Error("flooding tenant never reached the bypass rung")
+	}
+	for _, tn := range qr.Tenants {
+		if got := tn.Admitted + tn.Bypassed + tn.Throttled + tn.Shed; got != tn.Offered {
+			t.Errorf("%s: offered %d but verdicts sum to %d", tn.Name, tn.Offered, got)
+		}
+	}
+	if qr.Run.Latency.Count() == 0 {
+		t.Fatal("no served request was measured")
+	}
+	if small.Latency.Count() == 0 || big.Latency.Count() == 0 {
+		t.Fatal("per-tenant latency histograms empty")
+	}
+
+	// Deterministic: the same replay yields the same tallies.
+	again := qosReplay(t, 2*sim.Millisecond)
+	for i := range qr.Tenants {
+		if qr.Tenants[i].Counters != again.Tenants[i].Counters {
+			t.Fatalf("replay not deterministic: %+v vs %+v",
+				qr.Tenants[i].Counters, again.Tenants[i].Counters)
+		}
+	}
+}
+
+// TestRunTraceQoSDeadline proves deadline enforcement: with a tight
+// deadline the throttle-retry loop gives up on requests whose hints
+// land past it, and those rejections are tallied, not served. Without
+// deadlines the same trace records none.
+func TestRunTraceQoSDeadline(t *testing.T) {
+	tight := qosReplay(t, 500*sim.Microsecond)
+	if tight.Tenants[1].Deadline == 0 {
+		t.Error("tight deadline never rejected a retry")
+	}
+	off := qosReplay(t, 0)
+	if n := off.Tenants[1].Deadline; n != 0 {
+		t.Errorf("deadlines disabled but %d recorded", n)
+	}
+}

@@ -60,6 +60,11 @@ const (
 	PhaseRebuildRow // reconstruction of a single member row
 	PhaseScrub      // patrol scrub pass
 
+	// QoS admission phases: instantaneous marks the plane's admission
+	// gate records when it rejects a request.
+	PhaseQoSThrottle // over-budget request throttled with a retry hint
+	PhaseQoSShed     // over-budget request shed outright
+
 	phaseCount
 )
 
@@ -89,6 +94,8 @@ var phaseNames = [phaseCount]string{
 	PhaseRebuild:     "rebuild",
 	PhaseRebuildRow:  "rebuild_row",
 	PhaseScrub:       "scrub",
+	PhaseQoSThrottle: "qos_throttle",
+	PhaseQoSShed:     "qos_shed",
 }
 
 // String returns the wire name of the phase.

@@ -1,0 +1,72 @@
+package qos
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTenants hardens the tenant/limit spec parser: whatever the
+// input, the parser must not panic, and anything it accepts must
+// satisfy the spec bounds (so downstream bucket math cannot overflow)
+// and survive a render → reparse round trip.
+func FuzzParseTenants(f *testing.F) {
+	f.Add("a:100:2,b:50:1")
+	f.Add("a:100:2:5")
+	f.Add("gold:1000:8,silver:500:4,tin:10:1:1")
+	f.Add("a:-1:2")
+	f.Add("a:9223372036854775808:1")
+	f.Add("a:1:1," + strings.Repeat("b", 64) + ":1:1")
+	f.Add(":::,:::")
+	f.Fuzz(func(t *testing.T, s string) {
+		specs, err := ParseTenants(s)
+		if err != nil {
+			return
+		}
+		if len(specs) == 0 || len(specs) > maxTenants {
+			t.Fatalf("accepted %d tenants from %q", len(specs), s)
+		}
+		var parts []string
+		seen := map[string]bool{}
+		for _, sp := range specs {
+			if sp.RateIOPS < 1 || sp.RateIOPS > maxRateIOPS ||
+				sp.Weight < 1 || sp.Weight > maxWeight ||
+				sp.Burst < 1 || sp.Burst > maxBurst {
+				t.Fatalf("accepted out-of-range spec %+v from %q", sp, s)
+			}
+			if checkName(sp.Name) != nil || seen[sp.Name] {
+				t.Fatalf("accepted bad/duplicate name %q from %q", sp.Name, s)
+			}
+			seen[sp.Name] = true
+			// The accepted spec must build a working bucket (NewBucket
+			// panics on out-of-range values).
+			NewBucket(sp.RateIOPS, sp.Burst, 0)
+			parts = append(parts, strings.Join([]string{
+				sp.Name,
+				itoa(sp.RateIOPS), itoa(sp.Weight), itoa(sp.Burst),
+			}, ":"))
+		}
+		again, err := ParseTenants(strings.Join(parts, ","))
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", s, err)
+		}
+		for i := range specs {
+			if again[i] != specs[i] {
+				t.Fatalf("round trip changed %+v to %+v", specs[i], again[i])
+			}
+		}
+	})
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

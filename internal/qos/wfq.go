@@ -1,0 +1,93 @@
+package qos
+
+// wfqQuantum is the virtual-time cost of serving one request at weight
+// 1; a tenant at weight w pays quantum/w per request, so over any busy
+// interval tenants drain in proportion to their weights.
+const wfqQuantum = int64(1) << 24
+
+// WFQ is a weighted-fair admission queue over a fixed tenant set:
+// virtual-finish-time scheduling with bounded per-tenant depth and
+// deterministic tie-breaks (equal tags pop in tenant order). A
+// non-empty tenant is never starved — its head's finish tag is finite
+// and the virtual clock only advances by pops, so every queued item is
+// popped after at most a bounded amount of other tenants' service.
+type WFQ struct {
+	weights []int64
+	depth   int
+	vtime   int64
+	queues  [][]wfqItem
+	finish  []int64 // last assigned finish tag per tenant
+	size    int
+}
+
+type wfqItem struct {
+	tag int64
+	val int64 // caller payload (request index)
+}
+
+// NewWFQ builds a queue for len(weights) tenants with the given bounded
+// per-tenant depth (<= 0 selects 64). Weights must be >= 1.
+func NewWFQ(weights []int64, depth int) *WFQ {
+	if depth <= 0 {
+		depth = 64
+	}
+	for _, w := range weights {
+		if w < 1 {
+			panic("qos: wfq weight must be >= 1")
+		}
+	}
+	q := &WFQ{
+		weights: append([]int64(nil), weights...),
+		depth:   depth,
+		queues:  make([][]wfqItem, len(weights)),
+		finish:  make([]int64, len(weights)),
+	}
+	return q
+}
+
+// Push enqueues a payload for tenant t. It reports false — the bounded
+// depth — when the tenant's queue is full; the caller sheds.
+func (q *WFQ) Push(t int, val int64) bool {
+	if len(q.queues[t]) >= q.depth {
+		return false
+	}
+	tag := q.vtime
+	if q.finish[t] > tag {
+		tag = q.finish[t]
+	}
+	tag += wfqQuantum / q.weights[t]
+	q.finish[t] = tag
+	q.queues[t] = append(q.queues[t], wfqItem{tag: tag, val: val})
+	q.size++
+	return true
+}
+
+// Pop dequeues the item with the smallest finish tag (ties to the
+// lowest tenant index) and advances the virtual clock to it.
+func (q *WFQ) Pop() (tenant int, val int64, ok bool) {
+	if q.size == 0 {
+		return 0, 0, false
+	}
+	best := -1
+	for t := range q.queues {
+		if len(q.queues[t]) == 0 {
+			continue
+		}
+		if best < 0 || q.queues[t][0].tag < q.queues[best][0].tag {
+			best = t
+		}
+	}
+	it := q.queues[best][0]
+	q.queues[best] = q.queues[best][1:]
+	q.size--
+	if it.tag > q.vtime {
+		q.vtime = it.tag
+	}
+	return best, it.val, true
+}
+
+// Len returns the number of queued items across all tenants.
+func (q *WFQ) Len() int { return q.size }
+
+// TenantLen returns tenant t's queued item count.
+func (q *WFQ) TenantLen(t int) int { return len(q.queues[t]) }

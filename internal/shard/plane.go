@@ -33,6 +33,7 @@ import (
 	"kddcache/internal/delta"
 	"kddcache/internal/metalog"
 	"kddcache/internal/obs"
+	"kddcache/internal/qos"
 	"kddcache/internal/sched"
 	"kddcache/internal/sim"
 	"kddcache/internal/stats"
@@ -104,6 +105,14 @@ type Config struct {
 	// Tracer is attached in deterministic mode only (the tracer is not
 	// synchronized; goroutine mode would race on it).
 	Tracer *obs.Tracer
+
+	// QoS attaches a per-tenant admission controller. RunBatch consults
+	// it in submission order on the submitting goroutine — before any
+	// work is scheduled — so its decisions are identical at every shard
+	// count and in both scheduler modes. Over-budget ops are rejected
+	// with typed qos errors; bypass-rung ops are served around cache
+	// admission (core.ReadNoAdmit / WriteNoAdmit).
+	QoS *qos.Controller
 }
 
 // OpKind selects a plane operation.
@@ -120,6 +129,20 @@ type Op struct {
 	Kind OpKind
 	LBA  int64
 	Buf  []byte
+
+	// Tenant is the submitting tenant's index for the QoS controller
+	// (ignored without one; zero is the untagged/first tenant).
+	Tenant int
+
+	// At is the request's arrival time; zero means the batch time. The
+	// admission gate and the deadline check use it, so batched replay
+	// keeps per-request bucket accounting exact.
+	At sim.Time
+
+	// Deadline, when non-zero, is the absolute virtual time after which
+	// the request is rejected with qos.ErrDeadlineExceeded instead of
+	// being served (enforced at the plane boundary, before execution).
+	Deadline sim.Time
 }
 
 // Result reports one Op's completion.
@@ -127,6 +150,7 @@ type Result struct {
 	Done      sim.Time
 	Err       error
 	Coalesced bool // write superseded within its batch; never executed
+	Bypassed  bool // served around cache admission (QoS bypass verdict)
 }
 
 // Plane is the sharded data plane.
@@ -310,13 +334,18 @@ func (p *Plane) note(err error) {
 // again with no read of it in between. One backward scan suffices — only
 // same-LBA operations interact, and an LBA always lands on one lane, so
 // the result is identical whether computed globally or per shard queue.
-func (p *Plane) coalesceSkips(ops []Op) []bool {
+// Ops the admission gate already rejected (drop) do not participate: a
+// shed write never executes, so it must not supersede an earlier one.
+func (p *Plane) coalesceSkips(ops []Op, drop []bool) []bool {
 	if !p.cfg.Coalesce {
 		return nil
 	}
 	skip := make([]bool, len(ops))
 	willWrite := make(map[int64]bool)
 	for i := len(ops) - 1; i >= 0; i-- {
+		if drop != nil && drop[i] {
+			continue
+		}
 		switch ops[i].Kind {
 		case OpWrite:
 			if willWrite[ops[i].LBA] {
@@ -331,20 +360,90 @@ func (p *Plane) coalesceSkips(ops []Op) []bool {
 	return skip
 }
 
+// gate runs the admission boundary over a batch in submission order on
+// the submitting goroutine: deadline enforcement first, then the QoS
+// controller's verdict. It fills res for rejected ops and returns the
+// drop mask plus the bypass mask (nil when nothing was rejected or
+// bypassed). Running strictly before any scheduling is what keeps the
+// controller single-threaded and the verdict sequence independent of
+// shard count.
+func (p *Plane) gate(t sim.Time, ops []Op, res []Result) (drop, bypass []bool) {
+	ctl := p.cfg.QoS
+	for i := range ops {
+		at := ops[i].At
+		if at == 0 {
+			at = t
+		}
+		if ops[i].Deadline > 0 && at > ops[i].Deadline {
+			if ctl != nil {
+				ctl.NoteDeadline(ops[i].Tenant)
+			}
+			if drop == nil {
+				drop = make([]bool, len(ops))
+			}
+			drop[i] = true
+			res[i] = Result{Done: at, Err: fmt.Errorf(
+				"shard: tenant %d lba %d: %w", ops[i].Tenant, ops[i].LBA, qos.ErrDeadlineExceeded)}
+			continue
+		}
+		if ctl == nil {
+			continue
+		}
+		d := ctl.Admit(at, ops[i].Tenant)
+		switch d.Verdict {
+		case qos.VerdictAdmit:
+		case qos.VerdictBypass:
+			if bypass == nil {
+				bypass = make([]bool, len(ops))
+			}
+			bypass[i] = true
+		case qos.VerdictThrottle:
+			if !p.cfg.Goroutines {
+				p.cfg.Tracer.Mark(at, obs.PhaseQoSThrottle, ops[i].LBA)
+			}
+			if drop == nil {
+				drop = make([]bool, len(ops))
+			}
+			drop[i] = true
+			res[i] = Result{Done: at, Err: ctl.Err(ops[i].Tenant, d)}
+		case qos.VerdictShed:
+			if !p.cfg.Goroutines {
+				p.cfg.Tracer.Mark(at, obs.PhaseQoSShed, ops[i].LBA)
+			}
+			if drop == nil {
+				drop = make([]bool, len(ops))
+			}
+			drop[i] = true
+			res[i] = Result{Done: at, Err: ctl.Err(ops[i].Tenant, d)}
+		}
+	}
+	return drop, bypass
+}
+
 // exec runs one operation on its lane under the stripe lock. A plane
 // that has fail-stopped refuses the op untouched.
-func (p *Plane) exec(t sim.Time, op Op) Result {
+func (p *Plane) exec(t sim.Time, op Op, bypass bool) Result {
 	if p.dead.Load() {
 		return Result{Done: t, Err: ErrStopped}
+	}
+	if op.At != 0 {
+		t = op.At
 	}
 	lane := p.LaneOf(op.LBA)
 	mu := &p.stripeMu[uint64(op.LBA/p.stripePages)%stripeLockSlots]
 	mu.Lock()
 	defer mu.Unlock()
 	var r Result
-	if op.Kind == OpRead {
+	switch {
+	case op.Kind == OpRead && bypass:
+		r.Done, r.Err = p.lanes[lane].ReadNoAdmit(t, op.LBA, op.Buf)
+		r.Bypassed = true
+	case op.Kind == OpRead:
 		r.Done, r.Err = p.lanes[lane].Read(t, op.LBA, op.Buf)
-	} else {
+	case bypass:
+		r.Done, r.Err = p.lanes[lane].WriteNoAdmit(t, op.LBA, op.Buf)
+		r.Bypassed = true
+	default:
 		r.Done, r.Err = p.lanes[lane].Write(t, op.LBA, op.Buf)
 	}
 	if fatalErr(r.Err) {
@@ -361,16 +460,21 @@ func (p *Plane) exec(t sim.Time, op Op) Result {
 // lanes' subsequence in order, concurrently with the other shards.
 func (p *Plane) RunBatch(t sim.Time, ops []Op) []Result {
 	res := make([]Result, len(ops))
-	skip := p.coalesceSkips(ops)
+	drop, bypass := p.gate(t, ops, res)
+	skip := p.coalesceSkips(ops, drop)
 	for i := range ops {
+		if drop != nil && drop[i] {
+			continue
+		}
 		if skip != nil && skip[i] {
 			res[i] = Result{Done: t, Coalesced: true}
 			p.coalesced++
 			continue
 		}
 		i := i
+		byp := bypass != nil && bypass[i]
 		p.sched.Submit(p.ShardOf(p.LaneOf(ops[i].LBA)), func() {
-			res[i] = p.exec(t, ops[i])
+			res[i] = p.exec(t, ops[i], byp)
 		})
 	}
 	// One tagged page-flush barrier per lane, in lane order (inline in

@@ -39,6 +39,12 @@ type Request struct {
 	Op    Op
 	LBA   int64 // first page
 	Pages int   // page count (>= 1)
+
+	// Tenant is the submitting tenant's index for QoS accounting.
+	// Zero — the value every parser default and legacy trace produces —
+	// is the untagged/first tenant; the uniform format round-trips it
+	// as an optional fifth field.
+	Tenant int
 }
 
 // Trace is an ordered request stream.
@@ -242,6 +248,7 @@ const (
 	maxMicros   = (int64(1) << 62) / 1000
 	maxPageLBA  = int64(1) << 50
 	maxReqPages = 1 << 20 // 4 GiB single request in pages
+	maxTenant   = 1 << 16 // tenant indices are small controller offsets
 )
 
 func parseOp(s string) (Op, error) {
@@ -266,8 +273,10 @@ func pageAlign(t sim.Time, op Op, byteOff, size int64) Request {
 }
 
 // ---------------------------------------------------------------------------
-// Uniform on-disk format: "time_us,op,lba,pages" — what cmd/tracegen
-// writes and the replay tools read back.
+// Uniform on-disk format: "time_us,op,lba,pages[,tenant]" — what
+// cmd/tracegen writes and the replay tools read back. The tenant field
+// is optional and omitted when zero, so traces without tenant tagging
+// stay byte-identical to the pre-QoS format.
 
 // WriteUniform serialises the trace to the uniform CSV format.
 func WriteUniform(w io.Writer, tr *Trace) error {
@@ -276,8 +285,15 @@ func WriteUniform(w io.Writer, tr *Trace) error {
 		return err
 	}
 	for _, r := range tr.Requests {
-		if _, err := fmt.Fprintf(bw, "%d,%s,%d,%d\n",
-			int64(r.Time)/int64(sim.Microsecond), r.Op, r.LBA, r.Pages); err != nil {
+		var err error
+		if r.Tenant != 0 {
+			_, err = fmt.Fprintf(bw, "%d,%s,%d,%d,%d\n",
+				int64(r.Time)/int64(sim.Microsecond), r.Op, r.LBA, r.Pages, r.Tenant)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d,%s,%d,%d\n",
+				int64(r.Time)/int64(sim.Microsecond), r.Op, r.LBA, r.Pages)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -297,8 +313,8 @@ func ParseUniform(name string, r io.Reader) (*Trace, error) {
 			continue
 		}
 		f := strings.Split(line, ",")
-		if len(f) != 4 {
-			return nil, fmt.Errorf("trace: uniform line %d: want 4 fields", lineNo)
+		if len(f) != 4 && len(f) != 5 {
+			return nil, fmt.Errorf("trace: uniform line %d: want 4 or 5 fields", lineNo)
 		}
 		us, err := strconv.ParseInt(f[0], 10, 64)
 		if err != nil {
@@ -322,8 +338,15 @@ func ParseUniform(name string, r io.Reader) (*Trace, error) {
 		if err != nil || pages < 1 || pages > maxReqPages {
 			return nil, fmt.Errorf("trace: uniform line %d pages: %v (want 1..%d)", lineNo, err, maxReqPages)
 		}
+		tenant := 0
+		if len(f) == 5 {
+			tenant, err = strconv.Atoi(f[4])
+			if err != nil || tenant < 0 || tenant > maxTenant {
+				return nil, fmt.Errorf("trace: uniform line %d tenant: %v (want 0..%d)", lineNo, err, maxTenant)
+			}
+		}
 		tr.Requests = append(tr.Requests, Request{
-			Time: sim.Time(us) * sim.Microsecond, Op: op, LBA: lba, Pages: pages,
+			Time: sim.Time(us) * sim.Microsecond, Op: op, LBA: lba, Pages: pages, Tenant: tenant,
 		})
 	}
 	return tr, sc.Err()

@@ -44,6 +44,15 @@ type OpenLoop struct {
 	// Seed makes the stream reproducible; every derived RNG (per-client
 	// clocks, directions, and popularity draws) splits from it.
 	Seed uint64
+
+	// Tenant stamps every generated request with a tenant index, so a
+	// population can model one tenant's arrival process and several
+	// populations merge into a multi-tenant stream (MergeTenants).
+	Tenant int
+
+	// LBABase offsets every generated LBA, giving tenants disjoint
+	// footprints when the experiment wants no sharing.
+	LBABase int64
 }
 
 // Generate synthesises the merged arrival stream, sorted by arrival
@@ -85,7 +94,10 @@ func (o OpenLoop) Generate() *trace.Trace {
 				op = trace.Read
 			}
 			all = append(all, stamped{
-				req:    trace.Request{Time: now, Op: op, LBA: perm[zipf.Next()], Pages: 1},
+				req: trace.Request{
+					Time: now, Op: op, LBA: o.LBABase + perm[zipf.Next()],
+					Pages: 1, Tenant: o.Tenant,
+				},
 				client: c,
 			})
 		}
@@ -101,4 +113,43 @@ func (o OpenLoop) Generate() *trace.Trace {
 		tr.Requests[i] = s.req
 	}
 	return tr
+}
+
+// MergeTenants interleaves several per-tenant arrival streams into one
+// multi-tenant trace, ordered by arrival time with ties broken by
+// (tenant, input position) — fully deterministic, so multi-tenant
+// experiments replay byte-identically.
+func MergeTenants(name string, traces ...*trace.Trace) *trace.Trace {
+	type tagged struct {
+		req  trace.Request
+		pos  int
+		from int
+	}
+	var n int
+	for _, tr := range traces {
+		n += len(tr.Requests)
+	}
+	all := make([]tagged, 0, n)
+	for fi, tr := range traces {
+		for i, r := range tr.Requests {
+			all = append(all, tagged{req: r, pos: i, from: fi})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].req.Time != all[j].req.Time {
+			return all[i].req.Time < all[j].req.Time
+		}
+		if all[i].req.Tenant != all[j].req.Tenant {
+			return all[i].req.Tenant < all[j].req.Tenant
+		}
+		if all[i].from != all[j].from {
+			return all[i].from < all[j].from
+		}
+		return all[i].pos < all[j].pos
+	})
+	out := &trace.Trace{Name: name, Requests: make([]trace.Request, len(all))}
+	for i, s := range all {
+		out.Requests[i] = s.req
+	}
+	return out
 }

@@ -31,6 +31,7 @@ import (
 	"kddcache/internal/blockdev"
 	"kddcache/internal/core"
 	"kddcache/internal/harness"
+	"kddcache/internal/qos"
 	"kddcache/internal/raid"
 	"kddcache/internal/sim"
 	"kddcache/internal/stats"
@@ -86,6 +87,7 @@ type Options struct {
 type System struct {
 	st  *harness.Stack
 	now sim.Time
+	qos *qos.Controller
 }
 
 // New builds a System.
@@ -268,6 +270,111 @@ func (s *System) Trace(tr *trace.Trace) (*harness.Result, error) {
 }
 
 // ---------------------------------------------------------------------------
+// Multi-tenant QoS surface.
+
+// SetQoS attaches a per-tenant admission controller to the System,
+// parameterised by a "name:rate:weight[:burst]" comma-separated tenant
+// list (the kddsim -tenants syntax). Tenant indices in ReadTenant /
+// WriteTenant refer to this list's order. An empty spec detaches the
+// controller.
+func (s *System) SetQoS(tenants string) error {
+	if tenants == "" {
+		s.qos = nil
+		return nil
+	}
+	specs, err := qos.ParseTenants(tenants)
+	if err != nil {
+		return err
+	}
+	ctl, err := qos.NewController(qos.Config{Tenants: specs, Start: s.now})
+	if err != nil {
+		return err
+	}
+	s.qos = ctl
+	return nil
+}
+
+// tenantAdmit runs the System-boundary admission check: deadline first
+// (absolute virtual time; 0 disables it), then the controller verdict.
+// The returned error is a typed qos rejection (ErrDeadlineExceeded,
+// ErrThrottled with a retry hint, or ErrShed); the request was not
+// served.
+func (s *System) tenantAdmit(tenant int, deadline sim.Time) (qos.Verdict, error) {
+	if s.qos == nil {
+		return qos.VerdictAdmit, nil
+	}
+	if deadline > 0 && s.now > deadline {
+		s.qos.NoteDeadline(tenant)
+		return 0, fmt.Errorf("kddcache: tenant %d: %w", tenant, qos.ErrDeadlineExceeded)
+	}
+	d := s.qos.Admit(s.now, tenant)
+	if err := s.qos.Err(tenant, d); err != nil {
+		return 0, err
+	}
+	return d.Verdict, nil
+}
+
+// ReadTenant is Read with tenant attribution and an optional absolute
+// deadline, enforced at the System boundary before any engine work. A
+// bypass-rung verdict on a KDD system serves the read with cache
+// admission suspended (no read-fill); other policies serve it normally.
+func (s *System) ReadTenant(tenant int, deadline sim.Time, lba int64, buf []byte) (sim.Time, error) {
+	v, err := s.tenantAdmit(tenant, deadline)
+	if err != nil {
+		return 0, err
+	}
+	if k, ok := s.st.Policy.(*core.KDD); ok && v == qos.VerdictBypass {
+		done, err := k.ReadNoAdmit(s.now, lba, buf)
+		if err != nil {
+			return 0, err
+		}
+		lat := done - s.now
+		s.now = done
+		return lat, nil
+	}
+	return s.Read(lba, buf)
+}
+
+// WriteTenant is Write under the same boundary: a bypass-rung verdict
+// on a KDD system goes write-through on a miss instead of allocating.
+func (s *System) WriteTenant(tenant int, deadline sim.Time, lba int64, buf []byte) (sim.Time, error) {
+	v, err := s.tenantAdmit(tenant, deadline)
+	if err != nil {
+		return 0, err
+	}
+	if k, ok := s.st.Policy.(*core.KDD); ok && v == qos.VerdictBypass {
+		done, err := k.WriteNoAdmit(s.now, lba, buf)
+		if err != nil {
+			return 0, err
+		}
+		lat := done - s.now
+		s.now = done
+		return lat, nil
+	}
+	return s.Write(lba, buf)
+}
+
+// QoSCounters returns the per-tenant admission tallies, in the order of
+// the SetQoS tenant list (nil without a controller).
+func (s *System) QoSCounters() []qos.Counters {
+	if s.qos == nil {
+		return nil
+	}
+	return s.qos.Snapshot()
+}
+
+// QoSRung returns tenant t's current degradation-ladder rung.
+func (s *System) QoSRung(t int) (int, error) {
+	if s.qos == nil {
+		return 0, fmt.Errorf("kddcache: no QoS controller attached")
+	}
+	if t < 0 || t >= s.qos.Tenants() {
+		return 0, fmt.Errorf("kddcache: tenant %d out of range", t)
+	}
+	return s.qos.Rung(t), nil
+}
+
+// ---------------------------------------------------------------------------
 // Experiment facade.
 
 // ExperimentScale is the default scale for quick experiment runs (full
@@ -321,6 +428,10 @@ var Experiments = map[string]func(scale float64) (string, error){
 		out, _, err := harness.Saturation(s)
 		return out, err
 	},
+	"noisy-neighbor": func(s float64) (string, error) {
+		out, _, err := harness.NoisyNeighbor(s)
+		return out, err
+	},
 }
 
 // RunExperiment executes one named experiment at the given scale.
@@ -355,6 +466,10 @@ var SeriesExperiments = map[string]func(scale float64) (string, []stats.Series, 
 	"saturation": func(s float64) (string, []stats.Series, error) {
 		_, series, err := harness.Saturation(s)
 		return "offeredKIOPS", series, err
+	},
+	"noisy-neighbor": func(s float64) (string, []stats.Series, error) {
+		_, series, err := harness.NoisyNeighbor(s)
+		return "armIdx", series, err
 	},
 }
 

@@ -2,8 +2,13 @@ package kddcache
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
+
+	"kddcache/internal/core"
+	"kddcache/internal/qos"
+	"kddcache/internal/sim"
 )
 
 func newDataSystem(t *testing.T, p Policy) *System {
@@ -186,6 +191,150 @@ func TestSystemAdvanceTriggersIdleClean(t *testing.T) {
 	}
 }
 
+func TestSystemSSDFailoverFlow(t *testing.T) {
+	sys := newDataSystem(t, KDD)
+	page := bytes.Repeat([]byte{5}, PageSize)
+	for lba := int64(0); lba < 32; lba++ {
+		if _, err := sys.Write(lba, page); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Write(lba, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h, err := sys.CacheHealth(); err != nil || h != core.HealthNormal {
+		t.Fatalf("health = %v, %v; want normal", h, err)
+	}
+	sys.FailSSD()
+	got := make([]byte, PageSize)
+	if _, err := sys.Read(7, got); err != nil {
+		t.Fatalf("read across SSD failure: %v", err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Fatal("data lost across SSD failure")
+	}
+	if h, _ := sys.CacheHealth(); h != core.HealthBypass {
+		t.Fatalf("health = %v after fail-stop, want bypass", h)
+	}
+	if err := sys.ReattachSSD(); err != nil {
+		t.Fatal(err)
+	}
+	// The fresh device re-enters service through the rebuilding state
+	// while the metadata log is re-initialised and the cache re-warms.
+	if h, _ := sys.CacheHealth(); h == core.HealthBypass {
+		t.Fatal("still in bypass after reattach")
+	}
+	if _, err := sys.Write(7, page); err != nil {
+		t.Fatalf("write after reattach: %v", err)
+	}
+	// Non-KDD policies surface both probes as unsupported.
+	wt := newDataSystem(t, WT)
+	if _, err := wt.CacheHealth(); err != ErrNotKDD {
+		t.Fatalf("CacheHealth on WT = %v, want ErrNotKDD", err)
+	}
+	if err := wt.ReattachSSD(); err != ErrNotKDD {
+		t.Fatalf("ReattachSSD on WT = %v, want ErrNotKDD", err)
+	}
+}
+
+func TestSystemQoSBoundary(t *testing.T) {
+	sys := newDataSystem(t, KDD)
+	if err := sys.SetQoS("not a spec"); err == nil {
+		t.Fatal("malformed tenant spec accepted")
+	}
+	// abuser: 1 kIOPS with burst 1 — back-to-back requests at one
+	// virtual instant are over budget immediately.
+	if err := sys.SetQoS("gold:100000:4,abuser:1000:1:1"); err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, PageSize)
+
+	if _, err := sys.WriteTenant(0, 0, 3, page); err != nil {
+		t.Fatalf("in-budget gold write: %v", err)
+	}
+	// Unknown tenant indices are untagged traffic: never throttled.
+	if _, err := sys.WriteTenant(42, 0, 4, page); err != nil {
+		t.Fatalf("untagged write: %v", err)
+	}
+
+	// Deadline enforcement runs first, at the System boundary.
+	sys.Advance(sim.Millisecond)
+	if _, err := sys.ReadTenant(1, 1, 3, page); !errors.Is(err, qos.ErrDeadlineExceeded) {
+		t.Fatalf("past-deadline read returned %v", err)
+	}
+
+	// Flood the abuser across accounting windows: first throttled with
+	// retry hints, then demoted to shedding, finally to the bypass rung.
+	var sawThrottle, sawShed bool
+	for w := 0; w < 8; w++ {
+		for i := int64(0); i < 12; i++ {
+			_, err := sys.WriteTenant(1, 0, 100+i, page)
+			var rej *qos.Reject
+			switch {
+			case err == nil:
+			case errors.As(err, &rej) && rej.Verdict == qos.VerdictThrottle:
+				sawThrottle = true
+				if !errors.Is(err, qos.ErrThrottled) || rej.RetryAfter <= sys.Now() {
+					t.Fatalf("throttle without a usable retry hint: %v", err)
+				}
+			case errors.As(err, &rej) && rej.Verdict == qos.VerdictShed:
+				sawShed = true
+				if !errors.Is(err, qos.ErrShed) {
+					t.Fatalf("shed rejection not ErrShed: %v", err)
+				}
+			default:
+				t.Fatalf("window %d: %v", w, err)
+			}
+		}
+		sys.Advance(6 * sim.Millisecond)
+	}
+	if !sawThrottle || !sawShed {
+		t.Fatalf("ladder never engaged: throttle=%v shed=%v", sawThrottle, sawShed)
+	}
+	rung, err := sys.QoSRung(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rung != qos.RungBypass {
+		t.Fatalf("abuser on rung %d after sustained overload, want bypass (%d)", rung, qos.RungBypass)
+	}
+	if _, err := sys.QoSRung(9); err == nil {
+		t.Fatal("out-of-range tenant rung accepted")
+	}
+
+	// On the bypass rung an in-budget request is served around the
+	// cache: reads with no fill, writes write-through.
+	if _, err := sys.WriteTenant(1, 0, 200, page); err != nil {
+		t.Fatalf("bypass write: %v", err)
+	}
+	sys.Advance(2 * sim.Millisecond)
+	got := make([]byte, PageSize)
+	if _, err := sys.ReadTenant(1, 0, 200, got); err != nil {
+		t.Fatalf("bypass read: %v", err)
+	}
+	cs := sys.QoSCounters()
+	if len(cs) != 2 {
+		t.Fatalf("got %d tenant counters, want 2", len(cs))
+	}
+	if cs[1].Bypassed == 0 || cs[1].Throttled == 0 || cs[1].Shed == 0 || cs[1].Deadline == 0 {
+		t.Fatalf("abuser tallies missing a stage: %+v", cs[1])
+	}
+	if cs[0].Admitted != cs[0].Offered {
+		t.Fatalf("gold tenant degraded: %+v", cs[0])
+	}
+
+	// Detaching restores unconditional admission.
+	if err := sys.SetQoS(""); err != nil {
+		t.Fatal(err)
+	}
+	if sys.QoSCounters() != nil {
+		t.Fatal("counters survive detach")
+	}
+	if _, err := sys.WriteTenant(1, 1, 5, page); err != nil {
+		t.Fatalf("write after detach: %v", err)
+	}
+}
+
 func TestRunExperimentFacade(t *testing.T) {
 	out, err := RunExperiment("table1", 0.002)
 	if err != nil {
@@ -196,6 +345,15 @@ func TestRunExperimentFacade(t *testing.T) {
 	}
 	if _, err := RunExperiment("nope", 1); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+	noisy, err := RunExperiment("noisy-neighbor", 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"aggressor", "isolated", "unprotected"} {
+		if !strings.Contains(noisy, want) {
+			t.Fatalf("noisy-neighbor output missing %q:\n%s", want, noisy)
+		}
 	}
 	if len(Workloads()) != 4 {
 		t.Fatal("workloads facade wrong")
