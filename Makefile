@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race chaos chaos-ssd chaos-rebuild check mutate fuzz cover bench-harness bench-gate obs-test shard-test qos-test ci clean
+.PHONY: all build vet test race chaos chaos-ssd chaos-rebuild check mutate fuzz cover bench-harness bench-gate obs-test shard-test qos-test lsraid-test ci clean
 
 all: ci
 
@@ -60,6 +60,7 @@ fuzz:
 	$(GO) test -fuzz '^FuzzPageDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/metalog/
 	$(GO) test -fuzz '^FuzzDecodeRecord$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/obs/
 	$(GO) test -fuzz '^FuzzParseTenants$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/qos/
+	$(GO) test -fuzz '^FuzzLSRaidSegmentDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/lsraid/
 
 # Observability battery: obs unit/property tests, golden trace and
 # metrics artifacts, and the cross-width determinism contract — all
@@ -92,6 +93,17 @@ qos-test:
 	$(GO) test -race -parallel 16 -count=1 -run 'TestDeterministicNoisy' ./internal/harness/
 	$(GO) test -race -run 'TestNoisyNeighborIsolation|TestChaosLaneKill' ./internal/harness/
 
+# Log-structured backend battery: lsraid unit and property tests (GC
+# liveness, crash+replay over every enumerated torn-write site, segment
+# accounting), the kdd-vs-lsraid differential trace battery at FanOut
+# widths 1/4/16 (byte-identical reads, equal engine digests at flush
+# barriers), and the checker's full crash-site sweep on the lsraid
+# backend — all under the race detector.
+lsraid-test:
+	$(GO) test -race ./internal/lsraid/
+	$(GO) test -race -run 'TestDifferentialBackends' -timeout 20m ./internal/harness/
+	$(GO) run ./cmd/kddcheck -ci -backend lsraid
+
 # Coverage ratchet: total statement coverage may not drop more than 0.5
 # points below the committed baseline in COVERAGE.txt. Raise the baseline
 # when coverage genuinely improves.
@@ -115,7 +127,7 @@ bench-harness:
 bench-gate:
 	$(GO) run ./cmd/harnessbench -scale $(or $(BENCH_SCALE),0.01) -o BENCH_harness.json -gate
 
-ci: vet build test race obs-test shard-test qos-test chaos-ssd chaos-rebuild check mutate cover bench-gate
+ci: vet build test race obs-test shard-test qos-test lsraid-test chaos-ssd chaos-rebuild check mutate cover bench-gate
 
 clean:
 	$(GO) clean ./...

@@ -68,6 +68,18 @@ type noisyResult struct {
 	UnprotectedRatio float64 `json:"unprotected_ratio"`
 }
 
+// lsraidResult summarizes the backend head-to-head: small-write mean/p99
+// and member write amplification for the parity backend versus the
+// log-structured backend under the same cache and trace. Virtual-time
+// deterministic, so it needs no trajectory baseline.
+type lsraidResult struct {
+	Sec         float64 `json:"sec"`
+	KddP99Ms    float64 `json:"kdd_p99_ms"`
+	LsP99Ms     float64 `json:"lsraid_p99_ms"`
+	KddWriteAmp float64 `json:"kdd_write_amp"`
+	LsWriteAmp  float64 `json:"lsraid_write_amp"`
+}
+
 // benchEntry is one trajectory point: a full harnessbench run.
 type benchEntry struct {
 	Time        string             `json:"time,omitempty"`
@@ -78,6 +90,7 @@ type benchEntry struct {
 	ObsOverhead *obsOverheadResult `json:"obs_overhead,omitempty"`
 	Saturation  *saturationResult  `json:"saturation,omitempty"`
 	Noisy       *noisyResult       `json:"noisy,omitempty"`
+	LSRaid      *lsraidResult      `json:"lsraid,omitempty"`
 }
 
 // benchFile is the BENCH_harness.json schema: a perf trajectory, newest
@@ -254,6 +267,23 @@ func main() {
 		fmt.Printf("noisy    %5.2fs  victim p99 ratio %.2fx (protected)  %.2fx (unprotected)\n",
 			noisySec, noisy.VictimP99Ratio, noisy.UnprotectedRatio)
 	}
+
+	// Backend head-to-head: parity RAID vs the log-structured backend
+	// on the small-write worst case.
+	lsStart := time.Now()
+	ls, err := harness.LSRaidCompareSweep(*scale)
+	if err != nil {
+		fatal(fmt.Errorf("lsraid-compare: %w", err))
+	}
+	entry.LSRaid = &lsraidResult{
+		Sec:         time.Since(lsStart).Seconds(),
+		KddP99Ms:    ls.KddP99Ms,
+		LsP99Ms:     ls.LsP99Ms,
+		KddWriteAmp: ls.KddWriteAmp,
+		LsWriteAmp:  ls.LsWriteAmp,
+	}
+	fmt.Printf("lsraid   %5.2fs  p99 %.2fms vs %.2fms (kdd vs lsraid)  write amp %.2f vs %.2f\n",
+		entry.LSRaid.Sec, ls.KddP99Ms, ls.LsP99Ms, ls.KddWriteAmp, ls.LsWriteAmp)
 
 	prev := readEntries(*out)
 	var gateErrs []error

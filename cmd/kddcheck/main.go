@@ -37,6 +37,7 @@ func main() {
 		shardOnly = flag.Bool("shard", false, "run only the sharded-plane crash sweep (batched workload, crash points with multiple lanes' metadata batches in flight)")
 		rebuild   = flag.Bool("rebuild", false, "rebuild-window scenario: kill a member mid-workload with a hot spare parked (RAID-6), so every crash point and fault site fires against an online rebuild")
 		stride    = flag.Int("media-stride", 0, "sample every Nth member media-fault site (0/1 = exhaustive); crash and SSD sites are never strided — useful with -rebuild, where the rebuild touches every member page")
+		backend   = flag.String("backend", "kdd", "array backend under the cache: kdd (parity RAID + delayed-parity protocol) or lsraid (log-structured, full-stripe appends)")
 	)
 	flag.Parse()
 	for _, v := range []struct {
@@ -49,6 +50,14 @@ func main() {
 		}
 	}
 
+	if *backend != "kdd" && *backend != "lsraid" {
+		fmt.Fprintf(os.Stderr, "kddcheck: -backend must be kdd or lsraid, got %q\n", *backend)
+		os.Exit(2)
+	}
+	if *backend == "lsraid" && (*rebuild || *shardOnly) {
+		fmt.Fprintln(os.Stderr, "kddcheck: -rebuild and -shard require -backend kdd (RAID-6 geometry / sharded-plane wiring)")
+		os.Exit(2)
+	}
 	o := check.Options{
 		Seed:        *seed,
 		Seeds:       *seeds,
@@ -58,6 +67,7 @@ func main() {
 		Parallel:    *parallel,
 		Rebuild:     *rebuild,
 		MediaStride: *stride,
+		Backend:     *backend,
 	}
 	if *ci {
 		o.Ops = 120
@@ -74,8 +84,10 @@ func main() {
 	if !*shardOnly {
 		report(check.Run(o), "")
 	}
-	if *shardOnly || *ci {
+	if (*shardOnly || *ci) && *backend == "kdd" {
 		report(check.RunShard(o), "-shard ")
+	} else if *ci {
+		fmt.Println("shard sweep skipped: sharded plane is kdd-only")
 	}
 	if failed {
 		os.Exit(1)

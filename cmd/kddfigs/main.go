@@ -43,9 +43,14 @@ func main() {
 		// context switches, not correctness; set -parallel 1 to time
 		// experiments serially inside each -j slot.
 		parallel = flag.Int("parallel", 0, "worker-pool width for experiment simulations; output is identical at any width (0 = GOMAXPROCS, 1 = serial)")
+		backend  = flag.String("backend", "kdd", "array backend under the cache for every experiment: kdd (parity RAID + delayed parity) or lsraid (log-structured)")
 	)
 	flag.Parse()
 	kddcache.SetParallelism(*parallel)
+	if *backend != "kdd" && *backend != "lsraid" {
+		fatal(fmt.Errorf("-backend must be kdd or lsraid, got %q", *backend))
+	}
+	kddcache.SetDefaultBackend(*backend)
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)

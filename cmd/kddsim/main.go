@@ -54,9 +54,14 @@ func main() {
 		rbRate     = flag.Int("rebuild-rate", 0, "KDD rebuild pump: max rows reconstructed per request when the array is idle (0 = default 8, -1 = pump disabled)")
 		tenants    = flag.String("tenants", "", "QoS tenant budgets as name:rate:weight[:burst],... (e.g. \"a:100:2,b:50:1\"); gates the single-run replay through the admission controller")
 		deadlineMs = flag.Float64("deadline-ms", 0, "with -tenants: per-request deadline margin in virtual ms (0 = no deadlines)")
+		backend    = flag.String("backend", "kdd", "array backend under the cache: kdd (parity RAID + delayed parity) or lsraid (log-structured, full-stripe appends)")
 	)
 	flag.Parse()
 	kddcache.SetParallelism(*parallel)
+	if *backend != "kdd" && *backend != "lsraid" {
+		fatal(fmt.Errorf("-backend must be kdd or lsraid, got %q", *backend))
+	}
+	kddcache.SetDefaultBackend(*backend)
 
 	if *list {
 		var names []string

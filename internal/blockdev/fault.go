@@ -388,8 +388,7 @@ func (f *FaultInjector) TrimPages(t sim.Time, lba int64, count int) (sim.Time, e
 // otherwise) so corruption helpers and data-mode sniffing see through the
 // injector.
 func (f *FaultInjector) Store() *MemStore {
-	type storer interface{ Store() *MemStore }
-	if s, ok := f.Inner().(storer); ok {
+	if s, ok := f.Inner().(Storer); ok {
 		return s.Store()
 	}
 	return nil

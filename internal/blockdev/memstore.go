@@ -22,6 +22,14 @@ type MemStore struct {
 	cap   int64
 }
 
+// Storer is satisfied by any data-mode device (or wrapper that can see
+// through to one) whose bytes live in a MemStore. Test rigs and recovery
+// paths use it to reach the backing bytes for checksum sweeps and
+// corruption injection without caring which device wrapper they hold.
+type Storer interface {
+	Store() *MemStore
+}
+
 // NewMemStore returns a store with the given capacity in pages.
 func NewMemStore(pages int64) *MemStore {
 	return &MemStore{

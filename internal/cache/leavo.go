@@ -76,8 +76,7 @@ func (l *LeavO) metaUpdate(t sim.Time, n int) sim.Time {
 }
 
 func (l *LeavO) dataModeSSD() bool {
-	type storer interface{ Store() *blockdev.MemStore }
-	if s, ok := l.ssd.(storer); ok {
+	if s, ok := l.ssd.(blockdev.Storer); ok {
 		return s.Store() != nil
 	}
 	return false

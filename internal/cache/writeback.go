@@ -143,8 +143,7 @@ func (w *WB) writeBack(t sim.Time, slot int32) (sim.Time, error) {
 }
 
 func (w *WB) dataModeWB() bool {
-	type storer interface{ Store() *blockdev.MemStore }
-	if s, ok := w.ssd.(storer); ok {
+	if s, ok := w.ssd.(blockdev.Storer); ok {
 		return s.Store() != nil
 	}
 	return false

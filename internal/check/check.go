@@ -41,6 +41,12 @@ type Options struct {
 	// itself touches the whole array. The -race -short CI sweep uses this;
 	// the stride offset rotates per member so no member goes unsampled.
 	MediaStride int
+	// Backend picks the array implementation under the cache: "kdd" (the
+	// default; parity RAID with the delayed-parity protocol) or "lsraid"
+	// (the log-structured backend). The rebuild scenario and the sharded
+	// sweep are kdd-only: the former depends on RAID-6 double-fault
+	// geometry, the latter pins the sharded plane's own array wiring.
+	Backend string
 }
 
 func (o Options) withDefaults() Options {
@@ -58,6 +64,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CachePages == 0 {
 		o.CachePages = 128
+	}
+	if o.Backend == "" {
+		o.Backend = "kdd"
 	}
 	return o
 }

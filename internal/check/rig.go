@@ -7,9 +7,11 @@ import (
 	"kddcache/internal/blockdev"
 	"kddcache/internal/core"
 	"kddcache/internal/delta"
+	"kddcache/internal/lsraid"
 	"kddcache/internal/model"
 	"kddcache/internal/obs"
 	"kddcache/internal/raid"
+	"kddcache/internal/raidiface"
 	"kddcache/internal/sim"
 )
 
@@ -40,7 +42,7 @@ type rig struct {
 	nDisks int
 
 	members []*blockdev.NullDevice
-	arr     *raid.Array
+	arr     raidiface.Array
 	inj     *blockdev.FaultInjector // SSD-side injector
 	cfg     core.Config
 	kdd     *core.KDD
@@ -83,9 +85,27 @@ func newRig(seed uint64, o Options) *rig {
 		r.members = append(r.members, d)
 		members = append(members, d)
 	}
-	arr, err := raid.New(raid.Config{Level: level, ChunkPages: checkChunk}, members)
-	if err != nil {
-		panic(err) // static geometry; cannot fail
+	var arr raidiface.Array
+	switch o.Backend {
+	case "", "kdd":
+		a, err := raid.New(raid.Config{Level: level, ChunkPages: checkChunk}, members)
+		if err != nil {
+			panic(err) // static geometry; cannot fail
+		}
+		arr = a
+	case "lsraid":
+		if o.Rebuild {
+			panic("check: the rebuild scenario requires the kdd backend (RAID-6 double-fault geometry)")
+		}
+		// 256 pages / 16 rows = 16 segments of 48 data pages; the logical
+		// bound (16-2-2)*48 = 576 comfortably covers the checker footprint.
+		a, err := lsraid.New(lsraid.Config{ChunkPages: checkChunk, SegRows: 16, Seed: seed}, members)
+		if err != nil {
+			panic(err) // static geometry; cannot fail
+		}
+		arr = a
+	default:
+		panic(fmt.Sprintf("check: unknown backend %q", o.Backend))
 	}
 	r.arr = arr
 	if o.Rebuild {
@@ -268,6 +288,19 @@ func (r *rig) restore() {
 	// The rebuild watermark is volatile array state: a power failure
 	// wipes it, and Restore must resume from the NVRAM checkpoint alone.
 	r.arr.CrashRebuildState()
+	// The log-structured backend rebuilds its whole L2P map from the
+	// NVRAM segment summaries on that same call: replay must be
+	// idempotent and land in an invariant-clean state.
+	if la, ok := r.arr.(*lsraid.Array); ok {
+		d1 := la.StateDigest()
+		la.CrashRebuildState()
+		if d2 := la.StateDigest(); d1 != d2 {
+			r.violf("lsraid replay not idempotent: %016x vs %016x", d1, d2)
+		}
+		if err := la.CheckInvariants(); err != nil {
+			r.violf("lsraid post-replay invariants: %v", err)
+		}
+	}
 	k1, _, err := core.Restore(r.cfg, 0, ctr, buffered, staging)
 	if err != nil {
 		r.violf("restore after crash: %v", err)
@@ -302,6 +335,11 @@ func (r *rig) restore() {
 func (r *rig) verify() {
 	if err := r.kdd.CheckInvariants(); err != nil {
 		r.violf("invariants: %v", err)
+	}
+	if la, ok := r.arr.(*lsraid.Array); ok {
+		if err := la.CheckInvariants(); err != nil {
+			r.violf("lsraid invariants: %v", err)
+		}
 	}
 	// Drive any in-flight rebuild to completion: the checks below (flush,
 	// scrub, content sweep, degraded proof) all assume full redundancy.

@@ -9,6 +9,7 @@ import (
 	"kddcache/internal/model"
 	"kddcache/internal/nvram"
 	"kddcache/internal/raid"
+	"kddcache/internal/raidiface"
 	"kddcache/internal/shard"
 	"kddcache/internal/sim"
 )
@@ -46,7 +47,7 @@ type shardRig struct {
 	mdl    *model.Model
 	halt   bool
 
-	arr *raid.Array
+	arr raidiface.Array
 	inj *blockdev.FaultInjector
 	cfg shard.Config
 	p   *shard.Plane

@@ -449,9 +449,8 @@ func (k *KDD) Reattach(t sim.Time, dev blockdev.Device) error {
 		}
 		k.ssd = dev
 		k.cfg.SSD = dev
-		type storer interface{ Store() *blockdev.MemStore }
 		dm := false
-		if s, ok := dev.(storer); ok {
+		if s, ok := dev.(blockdev.Storer); ok {
 			dm = s.Store() != nil
 		}
 		if _, modelled := k.codec.(*delta.Modelled); modelled {

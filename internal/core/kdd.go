@@ -304,8 +304,7 @@ func New(cfg Config) (*KDD, error) {
 	// placeholders only, even if the SSD could persist bytes (the
 	// crash-recovery timing stack uses exactly that combination: real
 	// metadata-log bytes, modelled data path).
-	type storer interface{ Store() *blockdev.MemStore }
-	if s, ok := cfg.SSD.(storer); ok {
+	if s, ok := cfg.SSD.(blockdev.Storer); ok {
 		k.dataMode = s.Store() != nil
 	}
 	if _, modelled := cfg.Codec.(*delta.Modelled); modelled {

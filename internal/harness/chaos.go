@@ -15,6 +15,7 @@ import (
 	"kddcache/internal/delta"
 	"kddcache/internal/obs"
 	"kddcache/internal/raid"
+	"kddcache/internal/raidiface"
 	"kddcache/internal/sim"
 )
 
@@ -237,7 +238,7 @@ type chaosRig struct {
 	mut  *delta.Mutator
 
 	members []*blockdev.NullDevice
-	arr     *raid.Array
+	arr     raidiface.Array
 	inj     *blockdev.FaultInjector // SSD-side injector
 	cfg     core.Config
 	kdd     *core.KDD

@@ -11,6 +11,7 @@ import (
 	"kddcache/internal/delta"
 	"kddcache/internal/obs"
 	"kddcache/internal/raid"
+	"kddcache/internal/raidiface"
 	"kddcache/internal/shard"
 	"kddcache/internal/sim"
 )
@@ -38,7 +39,7 @@ type laneKillRig struct {
 	rng *sim.RNG
 	mut *delta.Mutator
 
-	arr   *raid.Array
+	arr   raidiface.Array
 	inj   *blockdev.FaultInjector
 	plane *shard.Plane
 	dig   *obs.Digest

@@ -1,0 +1,35 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLSRaidCompareSweep runs the backend head-to-head at a small scale
+// and checks the structural claims the experiment exists to make: both
+// arms complete, the log-structured arm actually pays GC (the log must
+// wrap), and the parity arm pays more member writes per user write.
+func TestLSRaidCompareSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("head-to-head sweep is slow")
+	}
+	// 0.004 is the smallest scale whose write volume wraps the log and
+	// forces the lsraid arm into steady-state GC.
+	res, err := LSRaidCompareSweep(0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KddMeanMs <= 0 || res.LsMeanMs <= 0 || res.KddP99Ms <= 0 || res.LsP99Ms <= 0 {
+		t.Fatalf("degenerate latencies: %+v", res)
+	}
+	if res.LsGCSegs == 0 || res.LsGCCopies == 0 {
+		t.Fatalf("log never wrapped — GC cost unmeasured: %+v", res)
+	}
+	if res.KddWriteAmp <= res.LsWriteAmp {
+		t.Fatalf("parity arm should amplify more than the log arm: kdd=%.3f lsraid=%.3f",
+			res.KddWriteAmp, res.LsWriteAmp)
+	}
+	if !strings.Contains(res.Table, "kdd") || !strings.Contains(res.Table, "lsraid") {
+		t.Fatalf("table missing arms:\n%s", res.Table)
+	}
+}

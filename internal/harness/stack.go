@@ -6,14 +6,17 @@ package harness
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"kddcache/internal/blockdev"
 	"kddcache/internal/cache"
 	"kddcache/internal/core"
 	"kddcache/internal/delta"
 	"kddcache/internal/hdd"
+	"kddcache/internal/lsraid"
 	"kddcache/internal/obs"
 	"kddcache/internal/raid"
+	"kddcache/internal/raidiface"
 	"kddcache/internal/sim"
 	"kddcache/internal/ssd"
 )
@@ -36,9 +39,38 @@ const (
 	PolicyPLog  PolicyKind = "PLog"
 )
 
+// defaultBackend is the process-wide array-backend selection applied
+// when StackOpts.Backend is empty; empty means "kdd".
+var defaultBackend atomic.Value // string
+
+// SetDefaultBackend sets the array backend every subsequently built
+// stack uses when StackOpts.Backend is empty: "kdd" (parity RAID with
+// the delayed-parity protocol) or "lsraid" (log-structured full-stripe
+// appends). The empty string restores the default, "kdd". This is the
+// hook the -backend CLI flags hang off, so a whole experiment sweep
+// flips backend without threading the option through every call site.
+func SetDefaultBackend(name string) { defaultBackend.Store(name) }
+
+// DefaultBackend returns the effective process-wide backend name.
+func DefaultBackend() string {
+	if v, _ := defaultBackend.Load().(string); v != "" {
+		return v
+	}
+	return "kdd"
+}
+
 // StackOpts configures one experiment stack.
 type StackOpts struct {
 	Policy PolicyKind
+
+	// Backend selects the array implementation under the cache: "kdd"
+	// (default; parity RAID + the paper's delayed-parity protocol) or
+	// "lsraid" (log-structured backend — full-stripe appends, no parity
+	// debt). Empty selects the process-wide DefaultBackend(). The lsraid
+	// stack is built with oversized members so its logical capacity
+	// equals the kdd geometry's (Disks-1)*DiskPages — head-to-head runs
+	// see identical address spaces.
+	Backend string
 
 	// DeltaMean sets KDD's modelled content locality (0.50/0.25/0.12 for
 	// KDD-50%/25%/12%). Ignored by other policies.
@@ -145,13 +177,16 @@ func (o StackOpts) withDefaults() StackOpts {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Backend == "" {
+		o.Backend = DefaultBackend()
+	}
 	return o
 }
 
 // Stack is a ready-to-run experiment rig.
 type Stack struct {
 	Policy cache.Policy
-	Array  *raid.Array
+	Array  raidiface.Array
 	SSDDev blockdev.Device
 	// SSDInj is the fault injector wrapping the SSD (SSDDev == SSDInj),
 	// through which whole-cache-device failure is injected mid-run.
@@ -174,32 +209,61 @@ type Stack struct {
 func Build(o StackOpts) (*Stack, error) {
 	o = o.withDefaults()
 
-	// Member disks.
+	// Member disks. The lsraid backend needs physically larger members to
+	// present the same logical capacity as the kdd parity geometry: the
+	// log keeps reserve segments plus GC headroom, so member size is
+	// derived from the target (Disks-1)*DiskPages logical space.
+	const lsSegRows = 32
+	memberPages := o.DiskPages
+	if o.Backend == "lsraid" {
+		segPages := int64(lsSegRows) * int64(o.Disks-1)
+		target := int64(o.Disks-1) * o.DiskPages
+		needSegs := (target+segPages-1)/segPages + 16 // reserve(2)+open slack(2)+GC headroom
+		memberPages = needSegs * lsSegRows
+	}
 	var members []blockdev.Device
 	var disks []*hdd.Disk
 	for i := 0; i < o.Disks; i++ {
 		name := fmt.Sprintf("hdd%d", i)
 		switch {
 		case o.Timing && o.DataMode:
-			d := hdd.NewData(name, hdd.DefaultConfig(o.DiskPages), o.Seed+uint64(i)*7)
+			d := hdd.NewData(name, hdd.DefaultConfig(memberPages), o.Seed+uint64(i)*7)
 			disks = append(disks, d)
 			members = append(members, d)
 		case o.Timing:
-			d := hdd.New(name, hdd.DefaultConfig(o.DiskPages), o.Seed+uint64(i)*7)
+			d := hdd.New(name, hdd.DefaultConfig(memberPages), o.Seed+uint64(i)*7)
 			disks = append(disks, d)
 			members = append(members, d)
 		case o.DataMode:
-			members = append(members, blockdev.NewNullDataDevice(name, o.DiskPages))
+			members = append(members, blockdev.NewNullDataDevice(name, memberPages))
 		default:
-			members = append(members, blockdev.NewNullDevice(name, o.DiskPages))
+			members = append(members, blockdev.NewNullDevice(name, memberPages))
 		}
 	}
-	array, err := raid.New(raid.Config{Level: o.Level, ChunkPages: o.ChunkPages}, members)
-	if err != nil {
-		return nil, err
+	var array raidiface.Array
+	switch o.Backend {
+	case "kdd":
+		a, err := raid.New(raid.Config{Level: o.Level, ChunkPages: o.ChunkPages}, members)
+		if err != nil {
+			return nil, err
+		}
+		array = a
+	case "lsraid":
+		a, err := lsraid.New(lsraid.Config{
+			ChunkPages:   o.ChunkPages,
+			SegRows:      lsSegRows,
+			LogicalPages: int64(o.Disks-1) * o.DiskPages,
+			Seed:         o.Seed ^ 0x15AA1D,
+		}, members)
+		if err != nil {
+			return nil, err
+		}
+		array = a
+	default:
+		return nil, fmt.Errorf("harness: unknown backend %q", o.Backend)
 	}
 	for i := 0; i < o.Spares; i++ {
-		if err := array.AddSpare(buildMember(o, fmt.Sprintf("spare%d", i), o.DiskPages, 1900+uint64(i)*7)); err != nil {
+		if err := array.AddSpare(buildMember(o, fmt.Sprintf("spare%d", i), memberPages, 1900+uint64(i)*7)); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,119 @@
+package lsraid
+
+import (
+	"kddcache/internal/blockdev"
+	"kddcache/internal/sim"
+)
+
+// gcCopyHook, when non-nil (white-box tests only), observes every live
+// page the collector copies forward.
+var gcCopyHook func(lba int64, data []byte)
+
+// gc reclaims segments until the free count clears the reserve. Victim
+// selection is greedy (most dead pages) or cost-benefit ((1-u)/(1+u)
+// weighted by age); live pages are copied forward through the normal
+// staging path, so they re-enter the log with fresh parity and the old
+// segment drops to zero live pages.
+func (a *Array) gc(t sim.Time) (sim.Time, error) {
+	a.inGC = true
+	defer func() { a.inGC = false }()
+	done := t
+	for a.freeCount <= int64(a.cfg.ReserveSegs) {
+		v := a.pickVictim()
+		if v < 0 {
+			break // nothing reclaimable; the logical-capacity bound keeps this unreachable under load
+		}
+		c, err := a.collect(t, v)
+		if err != nil {
+			return done, err
+		}
+		done = sim.MaxTime(done, c)
+		t = c
+	}
+	return done, nil
+}
+
+// pickVictim chooses the next segment to collect: committed, full, not
+// open, with at least one dead page.
+func (a *Array) pickVictim() int {
+	best, bestScore := -1, 0.0
+	for s := int64(0); s < a.numSegs; s++ {
+		m := &a.segs[s]
+		if m.Seq == 0 || int32(s) == a.open || m.Rows < a.cfg.SegRows {
+			continue
+		}
+		dead := a.segPages - int64(a.live[s])
+		if dead <= 0 {
+			continue
+		}
+		var score float64
+		if a.cfg.Policy == GCCostBenefit {
+			u := float64(a.live[s]) / float64(a.segPages)
+			age := float64(a.nextSeq - m.Seq + 1)
+			score = (1 - u) / (1 + u) * age
+		} else {
+			score = float64(dead)
+		}
+		if best < 0 || score > bestScore {
+			best, bestScore = int(s), score
+		}
+	}
+	return best
+}
+
+// collect copies the victim's live pages forward and frees it. A page is
+// live iff the L2P map still names this exact slot as the authoritative
+// copy and no newer version sits staged in NVRAM.
+func (a *Array) collect(t sim.Time, v int) (sim.Time, error) {
+	m := &a.segs[v]
+	done := t
+	var buf []byte
+	if a.dataMode {
+		buf = blockdev.GetPage()
+		defer blockdev.PutPage(buf)
+	}
+	for idx, lba := range m.LBAs {
+		ph := phys{seg: int32(v), idx: int32(idx)}
+		if cur, ok := a.l2p[lba]; !ok || cur != ph {
+			continue // dead: overwritten by a later committed copy
+		}
+		if _, pend := a.pendingIdx[lba]; pend {
+			continue // dead: shadowed by a staged newer version
+		}
+		c, err := a.readPhysInto(t, lba, ph, buf)
+		if err != nil {
+			return done, err
+		}
+		done = sim.MaxTime(done, c)
+		t = c
+		a.stats.GCCopies++
+		if gcCopyHook != nil {
+			gcCopyHook(lba, buf)
+		}
+		c, err = a.writePage(t, lba, buf)
+		if err != nil {
+			return done, err
+		}
+		done = sim.MaxTime(done, c)
+		t = c
+	}
+	// Free the victim. Mapping entries still naming it belong to pages
+	// whose newer version sits staged in NVRAM (copy-forward stages but
+	// the row has not committed yet): drop them — reads resolve
+	// NVRAM-first and the commit will re-add the mapping.
+	for idx, lba := range m.LBAs {
+		if cur, ok := a.l2p[lba]; ok && cur == (phys{seg: int32(v), idx: int32(idx)}) {
+			if _, pend := a.pendingIdx[lba]; pend {
+				delete(a.l2p, lba)
+			}
+		}
+	}
+	m.Seq, m.Rows, m.LBAs = 0, 0, m.LBAs[:0]
+	a.live[v] = 0
+	a.freeCount++
+	a.stats.GCSegments++
+	if a.open == int32(v) {
+		a.open = -1
+	}
+	return done, nil
+}

@@ -1,0 +1,450 @@
+// Package lsraid is the log-structured array engine behind the
+// raidiface.Array seam: the modern answer to the small-write problem the
+// paper's KDD cache attacks with delayed parity. Instead of updating
+// parity in place (read-modify-write, or KDD's delta-deferred variant),
+// every write is staged into an NVRAM row buffer and flushed as a full
+// stripe append into the open segment — data pages plus freshly computed
+// parity, no parity reads ever. Overwrites simply make the old physical
+// page dead; a segment garbage collector copies surviving pages forward
+// and reclaims dead segments (greedy or cost-benefit victim selection,
+// after LFS/RAID-on-ZNS practice, arxiv 2402.17963).
+//
+// Durability model, matching the repo's NVRAM conventions: the segment
+// summaries, the L2P-relevant metadata, and the staged row buffer live in
+// battery-backed NVRAM (plain fields on the same instance the rig keeps
+// across a simulated power loss). The derived lookup state — the L2P map,
+// per-segment live counts, the free list — is volatile and is rebuilt by
+// replaying the summaries when CrashRebuildState fires, exactly where the
+// parity engine forgets its rebuild watermark.
+//
+// Crash ordering: a row flush writes member data pages, then parity, and
+// only then commits the NVRAM metadata (summary append + mapping flip +
+// row buffer clear). A crash anywhere mid-flush leaves the metadata
+// pointing at the old copies while the staged pages still sit in NVRAM,
+// so reads resolve to the new values (served NVRAM-first) and the next
+// flush rewrites the same physical row from scratch. Torn member pages
+// can only exist in row slots the metadata never referenced.
+package lsraid
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"kddcache/internal/blockdev"
+	"kddcache/internal/obs"
+	"kddcache/internal/raid"
+	"kddcache/internal/raidiface"
+	"kddcache/internal/sim"
+)
+
+// Errors specific to the log-structured engine. Array-level conditions
+// shared with the parity engine (too many failures, unrecoverable pages,
+// bad geometry) reuse the internal/raid taxonomy so callers' errors.Is
+// checks work unchanged across backends.
+var (
+	// ErrNoSpace means the log ran out of free segments and GC could not
+	// reclaim any: the logical capacity bound was violated (a bug — New
+	// enforces enough over-provisioning for GC to always make progress).
+	ErrNoSpace = errors.New("lsraid: no free segments (over-provisioning exhausted)")
+)
+
+// GCPolicy selects the segment-GC victim heuristic.
+type GCPolicy int
+
+const (
+	// GCGreedy picks the segment with the most dead pages.
+	GCGreedy GCPolicy = iota
+	// GCCostBenefit weighs reclaimable space against copy cost and age,
+	// (1-u)/(1+u) * age, preferring cold mostly-dead segments (LFS §3.2).
+	GCCostBenefit
+)
+
+// Config sizes the log-structured array.
+type Config struct {
+	// ChunkPages is the logical chunk size used for the stripe-geometry
+	// surface (StripePages, RowPeers, StripeOf). The cache layers align
+	// sets and delta batches to it; it does not constrain the physical
+	// log layout. Default 4.
+	ChunkPages int64
+	// SegRows is the number of member rows per segment. Default 32.
+	SegRows int64
+	// LogicalPages is the exported capacity. It must leave enough
+	// physical headroom for GC to always find a victim with dead pages:
+	// at most (segments - reserve - 2) * segment data pages. Default is
+	// 3/4 of the physical data capacity, clamped to that bound.
+	LogicalPages int64
+	// ReserveSegs is the free-segment low watermark that triggers GC
+	// (and the headroom copy-forward may consume mid-collection).
+	// Default 2.
+	ReserveSegs int
+	// Policy selects the GC victim heuristic. Default GCGreedy.
+	Policy GCPolicy
+	// Seed seeds the member fault injectors.
+	Seed uint64
+}
+
+// phys is a physical page address: a committed slot in a segment.
+// idx = rowInSeg*(disks-1) + slot, in summary order.
+type phys struct {
+	seg int32
+	idx int32
+}
+
+// segMeta is one segment's NVRAM summary: its allocation sequence number
+// (0 = free), how many rows are committed, and the logical LBA of every
+// committed data page in write order. It is what replay rebuilds the L2P
+// map from, and what the binary summary codec (summary.go) serialises.
+type segMeta struct {
+	Seq  uint64
+	Rows int64
+	LBAs []int64
+}
+
+// pending is one staged page in the NVRAM row buffer.
+type pending struct {
+	lba  int64
+	data []byte // nil in timing mode
+}
+
+// Array is a log-structured parity array over member block devices. It
+// satisfies raidiface.Array and cache.Backend.
+type Array struct {
+	cfg       Config
+	disks     []*blockdev.FaultInjector
+	diskPages int64 // member capacity in pages
+	segPages  int64 // data pages per segment: SegRows * (disks-1)
+	numSegs   int64
+	logical   int64
+	dataMode  bool
+
+	// NVRAM-durable state (survives CrashRebuildState).
+	nextSeq uint64
+	segs    []segMeta
+	open    int32 // open segment index; -1 when none
+	rowBuf  []pending
+
+	// Volatile state, rebuilt by replay().
+	l2p        map[int64]phys
+	live       []int32
+	freeCount  int64
+	pendingIdx map[int64]int
+
+	// Fault and rebuild state (mirrors internal/raid semantics).
+	failed  int
+	rebuild *rebuildState
+	spares  []blockdev.Device
+	lost    map[int64]bool // logical pages declared unrecoverable
+
+	inGC  bool
+	stats raid.Stats
+	tr    *obs.Tracer
+}
+
+// New builds a log-structured array over the member devices, wrapping
+// each in a fault injector exactly like raid.New.
+func New(cfg Config, members []blockdev.Device) (*Array, error) {
+	n := len(members)
+	if n < 3 {
+		return nil, fmt.Errorf("%w: log-structured RAID needs >=3 disks", raid.ErrBadGeometry)
+	}
+	if cfg.ChunkPages <= 0 {
+		cfg.ChunkPages = 4
+	}
+	if cfg.SegRows <= 0 {
+		cfg.SegRows = 32
+	}
+	if cfg.ReserveSegs <= 0 {
+		cfg.ReserveSegs = 2
+	}
+	pages := members[0].Pages()
+	for _, m := range members[1:] {
+		if m.Pages() != pages {
+			return nil, fmt.Errorf("%w: member sizes differ", raid.ErrBadGeometry)
+		}
+	}
+	numSegs := pages / cfg.SegRows
+	segPages := cfg.SegRows * int64(n-1)
+	maxLogical := (numSegs - int64(cfg.ReserveSegs) - 2) * segPages
+	if maxLogical <= 0 {
+		return nil, fmt.Errorf("%w: %d segments of %d rows leave no logical capacity", raid.ErrBadGeometry, numSegs, cfg.SegRows)
+	}
+	if cfg.LogicalPages == 0 {
+		cfg.LogicalPages = numSegs * segPages * 3 / 4
+	}
+	if cfg.LogicalPages > maxLogical {
+		cfg.LogicalPages = maxLogical
+	}
+	a := &Array{
+		cfg:        cfg,
+		diskPages:  pages,
+		segPages:   segPages,
+		numSegs:    numSegs,
+		logical:    cfg.LogicalPages,
+		segs:       make([]segMeta, numSegs),
+		open:       -1,
+		l2p:        make(map[int64]phys),
+		live:       make([]int32, numSegs),
+		freeCount:  numSegs,
+		pendingIdx: make(map[int64]int),
+		lost:       make(map[int64]bool),
+	}
+	for i, m := range members {
+		a.disks = append(a.disks, blockdev.NewFaultInjector(m, cfg.Seed^uint64(i)))
+	}
+	if s, ok := members[0].(blockdev.Storer); ok {
+		a.dataMode = s.Store() != nil
+	}
+	return a, nil
+}
+
+// --- identity and geometry ---------------------------------------------
+
+// Name returns the engine name shown in traces and tables.
+func (a *Array) Name() string { return "lsraid" }
+
+// Pages returns the logical capacity.
+func (a *Array) Pages() int64 { return a.logical }
+
+// Disks returns the member count.
+func (a *Array) Disks() int { return len(a.disks) }
+
+// ChunkPages returns the logical chunk size.
+func (a *Array) ChunkPages() int64 { return a.cfg.ChunkPages }
+
+// StripePages returns logical pages per stripe. The arithmetic matches a
+// parity array of the same width, so cache-set alignment, delta batching
+// and the differential battery's digests line up across backends.
+func (a *Array) StripePages() int64 { return a.cfg.ChunkPages * int64(len(a.disks)-1) }
+
+// StripeOf returns the stripe number holding the logical page.
+func (a *Array) StripeOf(lba int64) int64 { return lba / a.StripePages() }
+
+// RowPeers returns the logical LBAs sharing a parity row with lba in the
+// logical geometry (one page per data chunk at the same chunk offset),
+// in data-chunk order — same arithmetic as the parity engine.
+func (a *Array) RowPeers(lba int64) []int64 {
+	sp := a.StripePages()
+	stripe, within := lba/sp, lba%sp
+	pic := within % a.cfg.ChunkPages
+	dc := len(a.disks) - 1
+	peers := make([]int64, 0, dc)
+	for i := 0; i < dc; i++ {
+		peers = append(peers, stripe*sp+int64(i)*a.cfg.ChunkPages+pic)
+	}
+	return peers
+}
+
+// DataLocation returns where lba's data currently lives: the member disk
+// and member-local page of its most recent committed copy. A page still
+// staged in NVRAM (or never written) has no physical home; (-1, -1) says
+// so, and fault-aiming tooling must skip it.
+func (a *Array) DataLocation(lba int64) (disk int, page int64) {
+	if _, ok := a.pendingIdx[lba]; ok {
+		return -1, -1
+	}
+	ph, ok := a.l2p[lba]
+	if !ok {
+		return -1, -1
+	}
+	row, slot := a.physRowSlot(ph)
+	return a.dataDisk(row, slot), row
+}
+
+// ParityLocation returns the member holding the parity of lba's current
+// physical row (qDisk is always -1: single parity). Like DataLocation it
+// reports -1 for pages with no committed physical home.
+func (a *Array) ParityLocation(lba int64) (pDisk, qDisk int, page int64) {
+	ph, ok := a.l2p[lba]
+	if !ok {
+		return -1, -1, -1
+	}
+	row, _ := a.physRowSlot(ph)
+	return a.parityDisk(row), -1, row
+}
+
+// Member returns member i's inner device.
+func (a *Array) Member(i int) blockdev.Device { return a.disks[i].Inner() }
+
+// Injector returns member i's fault injector.
+func (a *Array) Injector(i int) *blockdev.FaultInjector { return a.disks[i] }
+
+// SetTracer attaches the observability tracer.
+func (a *Array) SetTracer(tr *obs.Tracer) { a.tr = tr }
+
+// Stats returns the member-I/O accounting.
+func (a *Array) Stats() raid.Stats { return a.stats }
+
+// --- physical layout ----------------------------------------------------
+
+// parityDisk returns the member holding row's parity page (rotated per
+// row so parity writes spread over all members, RAID-5 style).
+func (a *Array) parityDisk(row int64) int {
+	n := len(a.disks)
+	return n - 1 - int(row%int64(n))
+}
+
+// dataDisk returns the member holding data slot k of row.
+func (a *Array) dataDisk(row int64, k int) int {
+	n := len(a.disks)
+	return (a.parityDisk(row) + 1 + k) % n
+}
+
+// physRowSlot converts a phys address to (member row, data slot).
+func (a *Array) physRowSlot(ph phys) (row int64, slot int) {
+	dc := int64(len(a.disks) - 1)
+	rowInSeg := int64(ph.idx) / dc
+	return int64(ph.seg)*a.cfg.SegRows + rowInSeg, int(int64(ph.idx) % dc)
+}
+
+// segRowCommitted reports whether member row falls inside the committed
+// prefix of an allocated segment — i.e. whether its contents are
+// meaningful. Uncommitted rows may hold torn garbage from interrupted
+// flushes; nothing references them.
+func (a *Array) segRowCommitted(row int64) bool {
+	seg := row / a.cfg.SegRows
+	if seg >= a.numSegs {
+		return false
+	}
+	m := &a.segs[seg]
+	return m.Seq != 0 && row%a.cfg.SegRows < m.Rows
+}
+
+// --- health and failure -------------------------------------------------
+
+// FailDisk marks member i failed, mirroring the parity engine's
+// semantics: failing an active rebuild's target abandons the rebuild.
+func (a *Array) FailDisk(i int) {
+	if !a.disks[i].Failed() {
+		a.disks[i].Fail()
+		a.failed++
+		if a.rebuild != nil && a.rebuild.disk == i {
+			a.rebuild = nil
+			a.stats.RebuildsAborted++
+		}
+	}
+}
+
+// noteFailed folds a device-discovered fail-stop (ErrFailed surfacing
+// from member I/O) into the array state.
+func (a *Array) noteFailed(i int) {
+	if !a.disks[i].Failed() {
+		a.disks[i].Fail()
+	}
+	failed := 0
+	for _, d := range a.disks {
+		if d.Failed() {
+			failed++
+		}
+	}
+	if failed != a.failed {
+		a.failed = failed
+		if a.rebuild != nil && a.disks[a.rebuild.disk].Failed() {
+			a.rebuild = nil
+			a.stats.RebuildsAborted++
+		}
+	}
+}
+
+// FailedDisks returns the indices of failed members.
+func (a *Array) FailedDisks() []int {
+	var out []int
+	for i, d := range a.disks {
+		if d.Failed() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Healthy reports full redundancy: no member failed, no rebuild open.
+func (a *Array) Healthy() bool { return a.failed == 0 && a.rebuild == nil }
+
+// Survivable reports whether current failures are within the single-
+// parity tolerance.
+func (a *Array) Survivable() bool { return a.failed <= 1 }
+
+// LostRows returns the logical pages declared unrecoverable, sorted.
+// (The parity engine reports member rows; here the log's physical rows
+// move under GC, so the stable name for a loss is the logical page.)
+func (a *Array) LostRows() []int64 {
+	rows := make([]int64, 0, len(a.lost))
+	for r := range a.lost {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	return rows
+}
+
+// missing reports whether member disk's page at row must be treated as
+// absent: failed outright, or above an active rebuild's watermark.
+func (a *Array) missing(disk int, row int64) bool {
+	if a.disks[disk].Failed() {
+		return true
+	}
+	return a.rebuild != nil && a.rebuild.disk == disk && row >= a.rebuild.next
+}
+
+// --- parity-protocol surface (no-ops: the log never owes parity) --------
+
+// StaleRows is always zero: every committed row was written whole with
+// fresh parity, and uncommitted rows are unreferenced.
+func (a *Array) StaleRows() int { return 0 }
+
+// ParityUpdateDelta is a no-op: WriteNoParity already wrote full stripes
+// with parity, so there is no debt for the cleaner to repay.
+func (a *Array) ParityUpdateDelta(t sim.Time, lbas []int64, deltas [][]byte) (sim.Time, error) {
+	return t, nil
+}
+
+// ParityUpdateDeltaBatch is a no-op (see ParityUpdateDelta).
+func (a *Array) ParityUpdateDeltaBatch(t sim.Time, fixes []raid.RowFix) (sim.Time, error) {
+	return t, nil
+}
+
+// ParityUpdateReconstruct is a no-op (see ParityUpdateDelta).
+func (a *Array) ParityUpdateReconstruct(t sim.Time, lba int64, rowData [][]byte) (sim.Time, error) {
+	return t, nil
+}
+
+// ResyncRow is a no-op: parity is never stale.
+func (a *Array) ResyncRow(t sim.Time, lba int64) (sim.Time, error) { return t, nil }
+
+// Resync is a no-op: parity is never stale.
+func (a *Array) Resync(t sim.Time) (sim.Time, error) { return t, nil }
+
+// PublishMetrics writes the engine's accounting into reg. Counter names
+// are shared with the parity engine where the meaning matches, so
+// dashboards compare backends directly; log-specific series get their
+// own names.
+func (a *Array) PublishMetrics(reg *obs.Registry) {
+	s := a.stats
+	reg.SetCounter("raid_data_reads_total", "Member data-page reads for user requests.", s.DataReads)
+	reg.SetCounter("raid_data_writes_total", "Member data-page writes for user requests.", s.DataWrites)
+	reg.SetCounter("raid_parity_writes_total", "Parity-page writes.", s.ParityWrites)
+	reg.SetCounter("raid_degraded_reads_total", "Reconstruct-on-read operations.", s.DegradedRead)
+	reg.SetCounter("raid_media_errors_total", "Member reads that returned a media error.", s.MediaErrors)
+	reg.SetCounter("raid_read_repairs_total", "Pages reconstructed and rewritten in place.", s.ReadRepairs)
+	reg.SetCounter("raid_rebuild_rows_done_total", "Member rows reconstructed by the online rebuild.", s.RebuildRows)
+	reg.SetCounter("raid_rebuild_bytes_total", "Bytes written onto rebuild targets.", s.RebuildBytes)
+	reg.SetCounter("raid_rebuilds_started_total", "Member rebuilds opened.", s.RebuildsStarted)
+	reg.SetCounter("raid_rebuilds_completed_total", "Member rebuilds run to completion.", s.RebuildsCompleted)
+	reg.SetCounter("raid_rebuilds_aborted_total", "Member rebuilds abandoned because the target died.", s.RebuildsAborted)
+	reg.SetCounter("raid_spare_attaches_total", "Hot spares auto-attached to failed members.", s.SpareAttaches)
+	reg.SetCounter("raid_lost_pages_total", "Member pages declared unrecoverable.", s.LostPages)
+	reg.SetCounter("lsraid_gc_copies_total", "Live pages copied forward by segment GC.", s.GCCopies)
+	reg.SetCounter("lsraid_gc_segments_total", "Segments reclaimed by GC.", s.GCSegments)
+	reg.SetGauge("raid_failed_disks", "Currently failed member disks.", float64(a.failed))
+	reg.SetGauge("raid_spares", "Hot spares currently parked.", float64(len(a.spares)))
+	reg.SetGauge("lsraid_free_segments", "Segments currently free.", float64(a.freeCount))
+	reg.SetGauge("lsraid_pending_pages", "Pages staged in the NVRAM row buffer.", float64(len(a.rowBuf)))
+	active, watermark := 0.0, 0.0
+	if a.rebuild != nil {
+		active, watermark = 1, float64(a.rebuild.next)
+	}
+	reg.SetGauge("raid_rebuild_active", "1 while a member rebuild is in progress.", active)
+	reg.SetGauge("raid_rebuild_watermark", "Rows of the rebuild target already reconstructed.", watermark)
+}
+
+// Compile-time check: the log-structured engine satisfies the seam.
+var _ raidiface.Array = (*Array)(nil)

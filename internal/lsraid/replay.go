@@ -1,0 +1,211 @@
+package lsraid
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// replay rebuilds all volatile lookup state — the L2P map, per-segment
+// live counts, the free count, the pending index — from the NVRAM
+// summaries and staged row buffer. It is the crash-recovery path
+// (CrashRebuildState) and must be a pure function of NVRAM state:
+// running it twice yields identical state (tested via StateDigest).
+func (a *Array) replay() {
+	a.inGC = false
+	a.l2p = make(map[int64]phys, len(a.l2p))
+	a.live = make([]int32, a.numSegs)
+	a.pendingIdx = make(map[int64]int, len(a.rowBuf))
+	a.freeCount = 0
+
+	// Apply summaries in allocation order: a later segment's mapping of
+	// the same LBA supersedes an earlier one's.
+	order := make([]int, 0, a.numSegs)
+	for s := int64(0); s < a.numSegs; s++ {
+		if a.segs[s].Seq != 0 {
+			order = append(order, int(s))
+		} else {
+			a.freeCount++
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return a.segs[order[i]].Seq < a.segs[order[j]].Seq })
+	dc := int64(a.dc())
+	for _, s := range order {
+		m := &a.segs[s]
+		for idx := int64(0); idx < m.Rows*dc; idx++ {
+			lba := m.LBAs[idx]
+			if prev, ok := a.l2p[lba]; ok {
+				a.live[prev.seg]--
+			}
+			a.l2p[lba] = phys{seg: int32(s), idx: int32(idx)}
+			a.live[s]++
+		}
+	}
+	// Staged pages shadow their committed copies.
+	for i, p := range a.rowBuf {
+		a.pendingIdx[p.lba] = i
+		if ph, ok := a.l2p[p.lba]; ok {
+			a.live[ph.seg]--
+		}
+	}
+}
+
+// CheckInvariants recomputes the derived state from NVRAM first
+// principles and cross-checks the incrementally maintained version, plus
+// the segment accounting identity live + dead + free == capacity. It is
+// what the property tests (and any rig that wants to) call after
+// arbitrary op sequences.
+func (a *Array) CheckInvariants() error {
+	dc := int64(a.dc())
+	// Summary shape.
+	var committed int64
+	for s := int64(0); s < a.numSegs; s++ {
+		m := &a.segs[s]
+		if m.Seq == 0 {
+			if m.Rows != 0 {
+				return fmt.Errorf("lsraid: free segment %d has %d rows", s, m.Rows)
+			}
+			continue
+		}
+		if m.Rows < 0 || m.Rows > a.cfg.SegRows {
+			return fmt.Errorf("lsraid: segment %d rows %d outside [0,%d]", s, m.Rows, a.cfg.SegRows)
+		}
+		if int64(len(m.LBAs)) != m.Rows*dc {
+			return fmt.Errorf("lsraid: segment %d summary has %d lbas for %d rows", s, len(m.LBAs), m.Rows)
+		}
+		if int32(s) != a.open && m.Rows != a.cfg.SegRows {
+			return fmt.Errorf("lsraid: non-open segment %d is partial (%d rows)", s, m.Rows)
+		}
+		committed += m.Rows * dc
+		// The summary codec must round-trip its own encoding: it is the
+		// on-NVRAM representation replay depends on.
+		dec, err := DecodeSummary(EncodeSummary(m))
+		if err != nil {
+			return fmt.Errorf("lsraid: segment %d summary does not round-trip: %v", s, err)
+		}
+		if dec.Seq != m.Seq || dec.Rows != m.Rows || len(dec.LBAs) != len(m.LBAs) {
+			return fmt.Errorf("lsraid: segment %d summary round-trip mismatch", s)
+		}
+		for i := range m.LBAs {
+			if dec.LBAs[i] != m.LBAs[i] {
+				return fmt.Errorf("lsraid: segment %d summary lba %d round-trip mismatch", s, i)
+			}
+		}
+	}
+	// Recompute the volatile state and compare.
+	want := &Array{
+		cfg: a.cfg, diskPages: a.diskPages, segPages: a.segPages,
+		numSegs: a.numSegs, logical: a.logical, disks: a.disks,
+		segs: a.segs, open: a.open, rowBuf: a.rowBuf,
+	}
+	want.replay()
+	if want.freeCount != a.freeCount {
+		return fmt.Errorf("lsraid: free count %d, replay says %d", a.freeCount, want.freeCount)
+	}
+	if len(want.l2p) != len(a.l2p) {
+		return fmt.Errorf("lsraid: l2p has %d entries, replay says %d", len(a.l2p), len(want.l2p))
+	}
+	for lba, ph := range a.l2p {
+		if wph, ok := want.l2p[lba]; !ok || wph != ph {
+			return fmt.Errorf("lsraid: l2p[%d]=%v, replay says %v (present=%v)", lba, ph, want.l2p[lba], ok)
+		}
+	}
+	var livePages int64
+	for s := int64(0); s < a.numSegs; s++ {
+		if a.live[s] != want.live[s] {
+			return fmt.Errorf("lsraid: live[%d]=%d, replay says %d", s, a.live[s], want.live[s])
+		}
+		if a.live[s] < 0 {
+			return fmt.Errorf("lsraid: live[%d]=%d negative", s, a.live[s])
+		}
+		if int64(a.live[s]) > a.segs[s].Rows*dc {
+			return fmt.Errorf("lsraid: live[%d]=%d exceeds committed %d", s, a.live[s], a.segs[s].Rows*dc)
+		}
+		livePages += int64(a.live[s])
+	}
+	if len(a.pendingIdx) != len(a.rowBuf) {
+		return fmt.Errorf("lsraid: pending index %d entries for %d staged pages", len(a.pendingIdx), len(a.rowBuf))
+	}
+	for i, p := range a.rowBuf {
+		if a.pendingIdx[p.lba] != i {
+			return fmt.Errorf("lsraid: pending index for %d is %d, want %d", p.lba, a.pendingIdx[p.lba], i)
+		}
+	}
+	// Accounting identity: live + dead + free == physical data capacity.
+	capacity := a.numSegs * a.segPages
+	dead := committed - livePages - a.shadowed()
+	free := capacity - committed
+	if livePages+a.shadowed()+dead+free != capacity {
+		return fmt.Errorf("lsraid: accounting broken: live %d + shadowed %d + dead %d + free %d != capacity %d",
+			livePages, a.shadowed(), dead, free, capacity)
+	}
+	if dead < 0 {
+		return fmt.Errorf("lsraid: negative dead pages: committed %d live %d shadowed %d", committed, livePages, a.shadowed())
+	}
+	if mapped := int64(len(a.l2p)); mapped > a.logical {
+		return fmt.Errorf("lsraid: %d mapped pages exceed logical capacity %d", mapped, a.logical)
+	}
+	return nil
+}
+
+// shadowed counts committed pages whose LBA currently resolves to a
+// staged NVRAM copy instead (mapped but superseded): they are committed
+// yet neither live nor dead until the staged row flushes.
+func (a *Array) shadowed() int64 {
+	var n int64
+	for _, p := range a.rowBuf {
+		if _, ok := a.l2p[p.lba]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// StateDigest hashes the engine's durable state — the encoded segment
+// summaries (in slot order), the open pointer, the sequence counter, and
+// the staged row buffer — plus the derived L2P map. Replay idempotence
+// (crash, replay, digest; replay again, digest) must hold exactly.
+func (a *Array) StateDigest() uint64 {
+	h := fnv.New64a()
+	var scratch [8]byte
+	putU64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			scratch[i] = byte(v >> (8 * i))
+		}
+		h.Write(scratch[:])
+	}
+	putU64(uint64(a.numSegs))
+	putU64(uint64(a.logical))
+	putU64(a.nextSeq)
+	putU64(uint64(a.open))
+	for s := int64(0); s < a.numSegs; s++ {
+		h.Write(EncodeSummary(&a.segs[s]))
+	}
+	for _, p := range a.rowBuf {
+		putU64(uint64(p.lba))
+		if p.data != nil {
+			h.Write(p.data)
+		}
+	}
+	// The derived map, in deterministic order.
+	lbas := make([]int64, 0, len(a.l2p))
+	for lba := range a.l2p {
+		lbas = append(lbas, lba)
+	}
+	sort.Slice(lbas, func(i, j int) bool { return lbas[i] < lbas[j] })
+	for _, lba := range lbas {
+		ph := a.l2p[lba]
+		putU64(uint64(lba))
+		putU64(uint64(ph.seg)<<32 | uint64(uint32(ph.idx)))
+	}
+	return h.Sum64()
+}
+
+// GCStats exposes the log-specific counters without widening the shared
+// raid.Stats surface consumers already read.
+func (a *Array) GCStats() (copies, segments int64) {
+	return a.stats.GCCopies, a.stats.GCSegments
+}
+
+// FreeSegments reports the current free-segment count (tests, gauges).
+func (a *Array) FreeSegments() int64 { return a.freeCount }

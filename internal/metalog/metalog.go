@@ -489,8 +489,7 @@ func (l *Log) maybeGC(t sim.Time) error {
 }
 
 func (l *Log) dataMode() bool {
-	type storer interface{ Store() *blockdev.MemStore }
-	if s, ok := l.dev.(storer); ok {
+	if s, ok := l.dev.(blockdev.Storer); ok {
 		return s.Store() != nil
 	}
 	return false

@@ -50,6 +50,12 @@ type Stats struct {
 	RebuildsAborted   int64 // rebuilds abandoned because the target died
 	SpareAttaches     int64 // hot spares auto-attached to failed members
 	LostPages         int64 // member pages whose content was declared lost
+
+	// Log-structured backend (internal/lsraid) accounting. The seam
+	// shares one Stats struct so experiments and dashboards compare
+	// engines field-for-field; the parity engine leaves these zero.
+	GCCopies   int64 // live pages copied forward by segment GC
+	GCSegments int64 // segments reclaimed by GC
 }
 
 // Array is a parity-protected disk array over member block devices.

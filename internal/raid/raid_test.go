@@ -310,8 +310,7 @@ func TestWriteNoParityMarksStaleAndDeltaRepairs(t *testing.T) {
 // "repaired" without rebuilding (test helper only).
 func mirrorOf(t *testing.T, a *Array, i int) blockdev.Device {
 	t.Helper()
-	type storer interface{ Store() *blockdev.MemStore }
-	s, ok := a.disks[i].Inner().(storer)
+	s, ok := a.disks[i].Inner().(blockdev.Storer)
 	if !ok || s.Store() == nil {
 		t.Fatal("mirrorOf requires data mode")
 	}

@@ -676,8 +676,7 @@ func (a *Array) ReplaceDisk(t sim.Time, i int, fresh blockdev.Device) (sim.Time,
 // dataMode sniffs whether members carry real bytes by probing for a
 // MemStore-backed device; arrays are homogeneous in practice.
 func (a *Array) dataMode() bool {
-	type storer interface{ Store() *blockdev.MemStore }
-	if s, ok := a.disks[0].Inner().(storer); ok {
+	if s, ok := a.disks[0].Inner().(blockdev.Storer); ok {
 		return s.Store() != nil
 	}
 	return false

@@ -10,8 +10,7 @@ import (
 
 func memberStore(t *testing.T, a *Array, i int) *blockdev.MemStore {
 	t.Helper()
-	type storer interface{ Store() *blockdev.MemStore }
-	s, ok := a.Member(i).(storer)
+	s, ok := a.Member(i).(blockdev.Storer)
 	if !ok || s.Store() == nil {
 		t.Fatal("test requires data-mode members")
 	}

@@ -51,8 +51,7 @@ func (d *lockedDevice) WritePages(t sim.Time, lba int64, count int, buf []byte) 
 // MemStore-backed device to decide whether real bytes flow end to end,
 // and the wrapper must not mask that.
 func (d *lockedDevice) Store() *blockdev.MemStore {
-	type storer interface{ Store() *blockdev.MemStore }
-	if s, ok := d.dev.(storer); ok {
+	if s, ok := d.dev.(blockdev.Storer); ok {
 		return s.Store()
 	}
 	return nil

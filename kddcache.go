@@ -74,6 +74,7 @@ type Options struct {
 	DiskPages  int64      // member capacity in pages
 	ChunkPages int64      // RAID chunk size in pages
 	Level      raid.Level // RAID level (default RAID-5)
+	Backend    string     // array backend: "kdd" (parity RAID, default) or "lsraid" (log-structured)
 
 	// Timing enables the HDD/SSD latency models; DataMode carries real
 	// bytes (and runs the real ZRLE delta codec under KDD).
@@ -104,6 +105,7 @@ func New(o Options) (*System, error) {
 		DiskPages:  o.DiskPages,
 		ChunkPages: o.ChunkPages,
 		Level:      o.Level,
+		Backend:    o.Backend,
 		Seed:       o.Seed,
 	})
 	if err != nil {
@@ -387,6 +389,11 @@ const ExperimentScale = 0.02
 // width. n <= 0 restores the default, GOMAXPROCS.
 func SetParallelism(n int) { harness.SetParallelism(n) }
 
+// SetDefaultBackend sets the array backend ("kdd" or "lsraid") used by
+// every subsequently built System and experiment stack whose Options
+// leave Backend empty. The empty string restores the default, "kdd".
+func SetDefaultBackend(name string) { harness.SetDefaultBackend(name) }
+
 // Experiments maps experiment names to their runners, each returning the
 // formatted table the paper's figure/table corresponds to.
 var Experiments = map[string]func(scale float64) (string, error){
@@ -432,6 +439,7 @@ var Experiments = map[string]func(scale float64) (string, error){
 		out, _, err := harness.NoisyNeighbor(s)
 		return out, err
 	},
+	"lsraid-compare": harness.LSRaidCompare,
 }
 
 // RunExperiment executes one named experiment at the given scale.
